@@ -1,0 +1,199 @@
+(* The sfi command-line tool: inspect and run the repository's benchmark
+   kernels through the SFI toolchain, compute ColorGuard pool layouts, and
+   run FaaS scaling simulations.
+
+     dune exec bin/sfi.exe -- list
+     dune exec bin/sfi.exe -- disasm sightglass/fib2 --strategy segue
+     dune exec bin/sfi.exe -- run spec2006/429_mcf --strategy segue
+     dune exec bin/sfi.exe -- layout --slots 64 --max-mem 408 --guard 8192 --keys 15 --stripe
+     dune exec bin/sfi.exe -- simulate --workload regex --processes 8
+*)
+
+open Cmdliner
+module Strategy = Sfi_core.Strategy
+module Codegen = Sfi_core.Codegen
+module Kernel = Sfi_workloads.Kernel
+module Pool = Sfi_core.Pool
+module Invariants = Sfi_core.Invariants
+module Units = Sfi_util.Units
+module Sim = Sfi_faas.Sim
+
+let all_kernels : Kernel.t list =
+  Sfi_workloads.Spec2006.all @ Sfi_workloads.Sightglass.all @ Sfi_workloads.Polybench.all
+  @ [ Sfi_workloads.Polybench.dhrystone ]
+  @ Sfi_workloads.Spec2017.all
+
+let kernel_id (k : Kernel.t) = k.Kernel.suite ^ "/" ^ k.Kernel.name
+
+let find_kernel name =
+  match List.find_opt (fun k -> kernel_id k = name || k.Kernel.name = name) all_kernels with
+  | Some k -> Ok k
+  | None -> Error (`Msg (Printf.sprintf "unknown kernel %s (see `sfi list`)" name))
+
+let strategy_of_string = function
+  | "native" -> Ok Strategy.native
+  | "base" | "wasm" -> Ok Strategy.wasm_default
+  | "segue" -> Ok Strategy.segue
+  | "segue-loads" -> Ok Strategy.segue_loads_only
+  | "bounds" -> Ok Strategy.wasm_bounds_checked
+  | "segue-bounds" -> Ok Strategy.segue_bounds_checked
+  | "mask" -> Ok { Strategy.addressing = Strategy.Reserved_base; bounds = Strategy.Mask }
+  | s -> Error (`Msg ("unknown strategy " ^ s ^ " (native|base|segue|segue-loads|bounds|segue-bounds|mask)"))
+
+let strategy_conv =
+  Arg.conv ((fun s -> strategy_of_string s), fun ppf s -> Strategy.pp ppf s)
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Strategy.segue & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+         ~doc:"Compilation strategy: native, base, segue, segue-loads, bounds, segue-bounds, mask.")
+
+let vectorize_arg =
+  Arg.(value & flag & info [ "vectorize" ] ~doc:"Enable the WAMR-style loop vectorizer.")
+
+(* --- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (k : Kernel.t) ->
+        Printf.printf "%-28s %s\n" (kernel_id k) k.Kernel.description)
+      all_kernels
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available benchmark kernels.")
+    Term.(const run $ const ())
+
+(* --- disasm --------------------------------------------------------- *)
+
+let kernel_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel id (see list).")
+
+let disasm_cmd =
+  let run name strategy vectorize =
+    match find_kernel name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok k ->
+        let cfg = { (Codegen.default_config ~strategy ()) with Codegen.vectorize } in
+        let compiled = Codegen.compile cfg (Lazy.force k.Kernel.wasm) in
+        Format.printf "; %s under %a (%d bytes)@.%a"
+          (kernel_id k) Strategy.pp strategy compiled.Codegen.code_bytes
+          Sfi_x86.Ast.pp_program compiled.Codegen.program
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Compile a kernel and print the generated x86-64.")
+    Term.(const run $ kernel_arg $ strategy_arg $ vectorize_arg)
+
+(* --- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let arg_override =
+    Arg.(value & opt (some int) None & info [ "arg" ] ~docv:"N" ~doc:"Override the scale argument.")
+  in
+  let run name strategy vectorize arg =
+    match find_kernel name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok k ->
+        let k =
+          match arg with
+          | Some n -> { k with Kernel.args = [ Int64.of_int n ] }
+          | None -> k
+        in
+        let m = Kernel.run ~vectorize ~strategy k in
+        Printf.printf "%s under %s (args %s)\n" (kernel_id k) (Strategy.name strategy)
+          (String.concat "," (List.map Int64.to_string k.Kernel.args));
+        Printf.printf "  result        %Ld\n" m.Kernel.result;
+        Printf.printf "  instructions  %d\n" m.Kernel.instructions;
+        Printf.printf "  cycles        %d (%.3f ms at 2.2 GHz)\n" m.Kernel.cycles
+          (m.Kernel.ns /. 1e6);
+        Printf.printf "  code size     %d bytes (static), %d fetched\n" m.Kernel.code_bytes
+          m.Kernel.fetched_bytes;
+        Printf.printf "  dTLB misses   %d\n" m.Kernel.dtlb_misses;
+        Printf.printf "  dcache misses %d\n" m.Kernel.dcache_misses
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a kernel on the simulated machine and print its counters.")
+    Term.(const run $ kernel_arg $ strategy_arg $ vectorize_arg $ arg_override)
+
+(* --- layout ---------------------------------------------------------- *)
+
+let layout_cmd =
+  let slots = Arg.(value & opt int 64 & info [ "slots" ] ~docv:"N" ~doc:"Number of slots.") in
+  let max_mem =
+    Arg.(value & opt int 4096 & info [ "max-mem" ] ~docv:"MIB" ~doc:"Max memory per slot (MiB).")
+  in
+  let expected =
+    Arg.(value & opt (some int) None
+         & info [ "expected" ] ~docv:"MIB" ~doc:"Expected reservation (MiB, default max-mem).")
+  in
+  let guard = Arg.(value & opt int 4096 & info [ "guard" ] ~docv:"MIB" ~doc:"Guard size (MiB).") in
+  let keys = Arg.(value & opt int 15 & info [ "keys" ] ~docv:"N" ~doc:"Available MPK keys.") in
+  let stripe = Arg.(value & flag & info [ "stripe" ] ~doc:"Enable ColorGuard striping.") in
+  let pre = Arg.(value & flag & info [ "pre-guard" ] ~doc:"Enable shared pre-guards.") in
+  let run slots max_mem expected guard keys stripe pre =
+    let params =
+      {
+        Pool.num_slots = slots;
+        max_memory_bytes = max_mem * Units.mib;
+        expected_slot_bytes = Option.value expected ~default:max_mem * Units.mib;
+        guard_bytes = guard * Units.mib;
+        pre_guard_enabled = pre;
+        num_pkeys_available = keys;
+        stripe_enabled = stripe;
+      }
+    in
+    match Pool.compute params with
+    | Error msg ->
+        Printf.printf "rejected: %s\n" msg;
+        exit 1
+    | Ok l ->
+        Format.printf "%a@." Pool.pp_layout l;
+        (match Invariants.check l with
+        | [] -> print_endline "all Table 1 invariants hold"
+        | vs -> List.iter (fun v -> Format.printf "%a@." Invariants.pp_violation v) vs);
+        let r = Sfi_core.Colorguard.scaling params in
+        Printf.printf
+          "address-space capacity: %d slots unstriped, %d striped (%.1fx)\n"
+          r.Sfi_core.Colorguard.unstriped_slots r.Sfi_core.Colorguard.striped_slots
+          r.Sfi_core.Colorguard.factor
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Compute and verify a ColorGuard pool layout.")
+    Term.(const run $ slots $ max_mem $ expected $ guard $ keys $ stripe $ pre)
+
+(* --- simulate --------------------------------------------------------- *)
+
+let simulate_cmd =
+  let workload =
+    let workload_conv =
+      Arg.conv
+        ( (function
+          | "hash" -> Ok Sfi_faas.Workloads.Hash_balance
+          | "regex" -> Ok Sfi_faas.Workloads.Regex_filter
+          | "template" -> Ok Sfi_faas.Workloads.Templating
+          | s -> Error (`Msg ("unknown workload " ^ s ^ " (hash|regex|template)"))),
+          fun ppf w -> Format.pp_print_string ppf (Sfi_faas.Workloads.name w) )
+    in
+    Arg.(value & opt workload_conv Sfi_faas.Workloads.Hash_balance
+         & info [ "workload"; "w" ] ~docv:"W" ~doc:"hash, regex or template.")
+  in
+  let processes =
+    Arg.(value & opt int 8 & info [ "processes"; "p" ] ~docv:"K" ~doc:"Process count to compare.")
+  in
+  let run workload processes =
+    let cfg = Sim.default_config ~workload () in
+    let cg = Sim.run { cfg with Sim.mode = Sim.Colorguard } in
+    let mp = Sim.run { cfg with Sim.mode = Sim.Multiprocess processes } in
+    Printf.printf "%s, %d in-flight requests, %.0f ms simulated:\n"
+      (Sfi_faas.Workloads.name workload) cfg.Sim.concurrency (cfg.Sim.duration_ns /. 1e6);
+    Printf.printf "  ColorGuard:      %5d served, %8.0f req/s-core, %6d transitions, %d dTLB\n"
+      cg.Sim.completed cg.Sim.capacity_rps cg.Sim.user_transitions cg.Sim.dtlb_misses;
+    Printf.printf "  %2d processes:    %5d served, %8.0f req/s-core, %6d ctx switches, %d dTLB\n"
+      processes mp.Sim.completed mp.Sim.capacity_rps mp.Sim.context_switches mp.Sim.dtlb_misses;
+    Printf.printf "  per-core efficiency gain: %+.1f%%\n"
+      ((cg.Sim.capacity_rps -. mp.Sim.capacity_rps) /. mp.Sim.capacity_rps *. 100.0)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Compare ColorGuard vs multiprocess FaaS scaling.")
+    Term.(const run $ workload $ processes)
+
+let () =
+  let doc = "Segue & ColorGuard SFI toolchain (simulated x86-64)" in
+  let info = Cmd.info "sfi" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; disasm_cmd; run_cmd; layout_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_surface.ml: Printf Sfi_core Sfi_runtime Sfi_util Sfi_wasm Sfi_x86

@@ -1,0 +1,1 @@
+examples/colorguard_layout.ml: Format List Printf Sfi_core Sfi_util

@@ -1,0 +1,1 @@
+examples/colorguard_layout.mli:

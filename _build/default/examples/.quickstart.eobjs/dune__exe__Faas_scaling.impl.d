@@ -1,0 +1,1 @@
+examples/faas_scaling.ml: List Printf Sfi_faas

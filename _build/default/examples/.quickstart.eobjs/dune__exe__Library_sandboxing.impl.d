@@ -1,0 +1,1 @@
+examples/library_sandboxing.ml: Printf Sfi_core Sfi_util Sfi_workloads

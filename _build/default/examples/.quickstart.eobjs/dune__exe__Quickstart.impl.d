@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Int64 Option Printf Seq Sfi_core Sfi_machine Sfi_runtime Sfi_wasm Sfi_x86

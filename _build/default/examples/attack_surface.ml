@@ -1,0 +1,91 @@
+(* The security story, adversarially: a hostile Wasm module attempts the
+   classic sandbox escapes; every attempt must trap, under every hardening
+   mechanism this repository implements — guard regions, explicit bounds
+   checks, ColorGuard's MPK striping, indirect-call type checks, and the
+   stack-exhaustion check.
+
+     dune exec examples/attack_surface.exe
+*)
+
+module W = Sfi_wasm.Ast
+module X = Sfi_x86.Ast
+module Strategy = Sfi_core.Strategy
+module Codegen = Sfi_core.Codegen
+module Pool = Sfi_core.Pool
+module Runtime = Sfi_runtime.Runtime
+module Units = Sfi_util.Units
+open Sfi_wasm.Builder
+
+(* A module whose exports are attacks. *)
+let hostile_module () =
+  let b = create ~memory_pages:1 ~max_memory_pages:1 () in
+  (* 1. Read far outside linear memory through a huge index. *)
+  let oob_read = declare b "oob_read" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b oob_read [ get 0; load32 () ];
+  (* 2. Write through a wrapped 64-bit "pointer". *)
+  let wild_write = declare b "wild_write" ~params:[ W.I64 ] ~results:[] () in
+  define b wild_write [ get 0; wrap; i32 0x41414141; store32 () ];
+  (* 3. Call a function-table slot that does not exist. *)
+  let bad_elem = declare b "bad_elem" ~params:[] ~results:[ W.I32 ] () in
+  let victim = declare b "victim" ~params:[] ~results:[ W.I32 ] () in
+  define b victim [ i32 7 ];
+  elem b [ victim ];
+  define b bad_elem [ i32 99; call_indirect b ~params:[] ~results:[ W.I32 ] ];
+  (* 4. Type-confuse an indirect call. *)
+  let confused = declare b "confused" ~params:[] ~results:[ W.I32 ] () in
+  define b confused
+    [ i32 1; i32 0; call_indirect b ~params:[ W.I32 ] ~results:[ W.I32 ] ];
+  (* 5. Blow the call stack. *)
+  let recurse = declare b "recurse" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b recurse [ get 0; i32 1; add; call recurse ];
+  build b
+
+let show name result =
+  match result with
+  | Ok v -> Printf.printf "  %-28s ESCAPED (returned %Ld)!\n" name v
+  | Error k -> Printf.printf "  %-28s trapped: %s\n" name (X.trap_name k)
+
+let attack_round ~strategy ~colorguard ~allocator label =
+  Printf.printf "%s\n" label;
+  let cfg = { (Codegen.default_config ~strategy ()) with Codegen.colorguard } in
+  let engine = Runtime.create_engine ?allocator (Codegen.compile cfg (hostile_module ())) in
+  let inst = Runtime.instantiate engine in
+  show "oob read (idx 2^31)" (Runtime.invoke inst "oob_read" [ 0x7FFF0000L ]);
+  show "oob read (just past end)" (Runtime.invoke inst "oob_read" [ 65536L ]);
+  show "wild 64-bit pointer write" (Runtime.invoke inst "wild_write" [ 0x4141414141414141L ]);
+  show "undefined table element" (Runtime.invoke inst "bad_elem" []);
+  show "indirect type confusion" (Runtime.invoke inst "confused" []);
+  show "stack exhaustion" (Runtime.invoke inst "recurse" [ 0L ]);
+  print_newline ()
+
+let () =
+  print_endline "Every attack must trap; any non-trap is a sandbox escape.\n";
+  attack_round ~strategy:Strategy.wasm_default ~colorguard:false ~allocator:None
+    "Classic Wasm (reserved base + guard regions):";
+  attack_round ~strategy:Strategy.segue ~colorguard:false ~allocator:None
+    "Segue (gs-relative, guard regions):";
+  attack_round ~strategy:Strategy.wasm_bounds_checked ~colorguard:false ~allocator:None
+    "Explicit bounds checks:";
+  let striped =
+    match
+      Pool.compute
+        {
+          Pool.num_slots = 8;
+          max_memory_bytes = 4 * Units.mib;
+          expected_slot_bytes = 4 * Units.mib;
+          guard_bytes = 16 * Units.mib;
+          pre_guard_enabled = false;
+          num_pkeys_available = 15;
+          stripe_enabled = true;
+        }
+    with
+    | Ok l -> l
+    | Error m -> failwith m
+  in
+  attack_round ~strategy:Strategy.segue ~colorguard:true
+    ~allocator:(Some (Runtime.Pool striped))
+    "ColorGuard (striped pool, MPK isolation in place of guards):";
+  print_endline
+    "Note how ColorGuard's slots sit 4 MiB apart — inside each other's 32-bit\n\
+     index range — yet the out-of-bounds reads still trap: the MPK color check\n\
+     replaces the dead guard space (sec 3.2)."

@@ -1,0 +1,39 @@
+(* A FaaS edge node under load (§6.4): serve the same concurrent request
+   population with ColorGuard's single-address-space scaling and with
+   multiprocess scaling, and compare per-core efficiency, context switches
+   and dTLB behaviour.
+
+     dune exec examples/faas_scaling.exe
+*)
+
+module Sim = Sfi_faas.Sim
+module Wk = Sfi_faas.Workloads
+
+let () =
+  let cfg = Sim.default_config ~workload:Wk.Regex_filter () in
+  Printf.printf
+    "Simulating %d in-flight requests (regex URL filtering), 5 ms Poisson IO,\n\
+     1 ms epochs, one core, %.0f ms simulated...\n\n"
+    cfg.Sim.concurrency
+    (cfg.Sim.duration_ns /. 1e6);
+  let cg = Sim.run { cfg with Sim.mode = Sim.Colorguard } in
+  Printf.printf "ColorGuard (one process, striped pool):\n";
+  Printf.printf "  %d requests served, %.0f req/s per busy core\n" cg.Sim.completed
+    cg.Sim.capacity_rps;
+  Printf.printf "  %d sandbox transitions (user-level), %d dTLB misses\n\n"
+    cg.Sim.user_transitions cg.Sim.dtlb_misses;
+  Printf.printf "Multiprocess scaling:\n";
+  Printf.printf "  %-6s %-12s %-14s %-12s %-12s\n" "procs" "req/s-core" "ctx switches"
+    "dTLB misses" "CG gain";
+  List.iter
+    (fun k ->
+      let mp = Sim.run { cfg with Sim.mode = Sim.Multiprocess k } in
+      Printf.printf "  %-6d %-12.0f %-14d %-12d %+.1f%%\n" k mp.Sim.capacity_rps
+        mp.Sim.context_switches mp.Sim.dtlb_misses
+        ((cg.Sim.capacity_rps -. mp.Sim.capacity_rps) /. mp.Sim.capacity_rps *. 100.0))
+    [ 1; 2; 4; 8; 15 ];
+  print_newline ();
+  print_endline
+    "The single-address-space design also removes the 16K-instance limit:\n\
+     striping 15 MPK colors packs ~15x more instances per process (see\n\
+     examples/colorguard_layout.exe and bench experiment 'scaling')."

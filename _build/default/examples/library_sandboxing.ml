@@ -1,0 +1,51 @@
+(* Firefox-style library sandboxing (the paper's §6.1 motivation): a host
+   application calls a Wasm-sandboxed font shaper once per glyph and a
+   sandboxed XML parser per document, compares native / sandboxed /
+   sandboxed+Segue, and shows the FSGSBASE fallback cost on old CPUs.
+
+     dune exec examples/library_sandboxing.exe
+*)
+
+module Strategy = Sfi_core.Strategy
+module Firefox = Sfi_workloads.Firefox
+module Stats = Sfi_util.Stats
+
+let () =
+  print_endline "Rendering a page: 6,000 sandboxed glyph-shaping calls";
+  let font strategy = Firefox.run_font ~strategy ~glyphs:6000 () in
+  let fn = font Strategy.native in
+  let fb = font Strategy.wasm_default in
+  let fs = font Strategy.segue in
+  Printf.printf "  native          %6.2f ms\n" (fn.Firefox.total_ns /. 1e6);
+  Printf.printf "  sandboxed       %6.2f ms  (+%.1f%%)\n"
+    (fb.Firefox.total_ns /. 1e6)
+    (Stats.percent_overhead ~baseline:fn.Firefox.total_ns ~measured:fb.Firefox.total_ns);
+  Printf.printf "  sandboxed+segue %6.2f ms  (+%.1f%%; %.0f%% of the overhead eliminated)\n"
+    (fs.Firefox.total_ns /. 1e6)
+    (Stats.percent_overhead ~baseline:fn.Firefox.total_ns ~measured:fs.Firefox.total_ns)
+    (Stats.overhead_eliminated ~baseline:fn.Firefox.total_ns ~unopt:fb.Firefox.total_ns
+       ~opt:fs.Firefox.total_ns);
+  Printf.printf "  per-call cost: %.0f ns native, %.0f ns segue (includes the per-entry\n"
+    fn.Firefox.per_call_ns fs.Firefox.per_call_ns;
+  print_endline "  segment-base switch, since Firefox re-enters the sandbox per glyph)";
+  print_newline ();
+
+  print_endline "Parsing a large SVG (the amplified toolbar document):";
+  let xml strategy = Firefox.run_xml ~strategy ~repeats:10 () in
+  let xn = xml Strategy.native in
+  let xb = xml Strategy.wasm_default in
+  let xs = xml Strategy.segue in
+  Printf.printf "  native          %6.2f ms\n" (xn.Firefox.total_ns /. 1e6);
+  Printf.printf "  sandboxed       %6.2f ms  (+%.1f%%)\n"
+    (xb.Firefox.total_ns /. 1e6)
+    (Stats.percent_overhead ~baseline:xn.Firefox.total_ns ~measured:xb.Firefox.total_ns);
+  Printf.printf "  sandboxed+segue %6.2f ms  (+%.1f%%)\n"
+    (xs.Firefox.total_ns /. 1e6)
+    (Stats.percent_overhead ~baseline:xn.Firefox.total_ns ~measured:xs.Firefox.total_ns);
+  print_newline ();
+
+  print_endline "On a pre-IvyBridge CPU (no FSGSBASE), setting the segment base takes a";
+  print_endline "system call per sandbox entry (sec 4.1):";
+  let slow = Firefox.run_font ~fsgsbase_available:false ~strategy:Strategy.segue ~glyphs:6000 () in
+  Printf.printf "  sandboxed+segue via arch_prctl: %.2f ms (vs %.2f ms with wrgsbase)\n"
+    (slow.Firefox.total_ns /. 1e6) (fs.Firefox.total_ns /. 1e6)

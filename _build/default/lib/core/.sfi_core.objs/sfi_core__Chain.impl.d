@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array List Printf Sfi_util Sfi_vmem

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Format Int32 Int64 Lazy List Option Printf Sfi_util Sfi_wasm Sfi_x86 Strategy Vectorize

@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Sfi_wasm Sfi_x86 Strategy

@@ -1,0 +1,1 @@
+lib/core/colorguard.ml: Pool Sfi_util Sfi_vmem

@@ -1,0 +1,1 @@
+lib/core/colorguard.mli: Pool Sfi_vmem

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Checked Format List Pool Sfi_util

@@ -1,0 +1,1 @@
+lib/core/pool.ml: Checked Format Sfi_util Sfi_vmem

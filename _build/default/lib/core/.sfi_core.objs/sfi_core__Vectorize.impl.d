@@ -1,0 +1,1 @@
+lib/core/vectorize.ml: Array List Sfi_wasm Strategy

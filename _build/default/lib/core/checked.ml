@@ -1,0 +1,31 @@
+type mode = Checked | Saturating
+
+exception Overflow of string
+
+let check_nonneg name a b =
+  if a < 0 || b < 0 then invalid_arg (Printf.sprintf "Checked.%s: negative operand" name)
+
+let add mode a b =
+  check_nonneg "add" a b;
+  let r = a + b in
+  if r < 0 then
+    match mode with
+    | Checked -> raise (Overflow (Printf.sprintf "add %d %d" a b))
+    | Saturating -> max_int
+  else r
+
+let mul mode a b =
+  check_nonneg "mul" a b;
+  if a = 0 || b = 0 then 0
+  else begin
+    let r = a * b in
+    if r / a <> b || r < 0 then
+      match mode with
+      | Checked -> raise (Overflow (Printf.sprintf "mul %d %d" a b))
+      | Saturating -> max_int
+    else r
+  end
+
+let align_up mode x a =
+  if a <= 0 then invalid_arg "Checked.align_up: non-positive alignment";
+  add mode x (a - 1) / a * a

@@ -1,0 +1,23 @@
+(** Overflow-aware integer arithmetic for layout computations.
+
+    §5.2's verification found that Wasmtime's ColorGuard layout code used a
+    {e saturating} addition where a {e checked} addition was required: if
+    the addition ever saturated, the Table 1 invariants silently broke.
+    This module provides both behaviours so the repository can demonstrate
+    the bug ({!Pool} takes the arithmetic mode as a parameter and the
+    property tests show which mode preserves the invariants). *)
+
+type mode = Checked | Saturating
+
+exception Overflow of string
+(** Raised by [Checked] operations that would wrap. *)
+
+val add : mode -> int -> int -> int
+(** [add mode a b] for non-negative operands. [Checked] raises {!Overflow}
+    on wrap-around; [Saturating] clamps to [max_int] — the buggy behaviour
+    the Flux proof flagged. *)
+
+val mul : mode -> int -> int -> int
+val align_up : mode -> int -> int -> int
+(** Alignment via [add] then truncation, so it inherits the mode's
+    overflow behaviour. *)

@@ -1,0 +1,79 @@
+module Units = Sfi_util.Units
+module Mte = Sfi_vmem.Mte
+
+let classic_max_instances () = Units.user_address_space_bytes / (8 * Units.gib)
+let wasmtime_default_max_instances () = Units.user_address_space_bytes / (6 * Units.gib)
+
+type scaling_report = {
+  unstriped_slots : int;
+  striped_slots : int;
+  factor : float;
+  unstriped_stride : int;
+  striped_stride : int;
+}
+
+let stride_of p =
+  match Pool.compute { p with Pool.num_slots = 16 } with
+  | Ok l -> l.Pool.slot_bytes
+  | Error msg -> invalid_arg ("Colorguard.scaling: " ^ msg)
+
+let scaling ?(address_space_bytes = Units.user_address_space_bytes) (p : Pool.params) =
+  let unstriped = { p with Pool.stripe_enabled = false } in
+  let striped = { p with Pool.stripe_enabled = true } in
+  let unstriped_slots = Pool.max_slots_in unstriped ~address_space_bytes in
+  let striped_slots = Pool.max_slots_in striped ~address_space_bytes in
+  {
+    unstriped_slots;
+    striped_slots;
+    factor = float_of_int striped_slots /. float_of_int unstriped_slots;
+    unstriped_stride = stride_of unstriped;
+    striped_stride = stride_of striped;
+  }
+
+module Mte_cost = struct
+  type t = {
+    base_init_ns : float;
+    base_teardown_ns : float;
+    st2g_ns : float;
+    tag_discard_ns : float;
+  }
+
+  (* A 64 KiB memory holds 4096 granules: 2048 st2g instructions on init
+     (2,182 us - 79 us over 2048 ops ~ 1,027 ns each, dominated by
+     cache-cold tag storage), 4096 granule clears on teardown
+     (377 us - 29 us over 4096 ~ 85 ns each). *)
+  let default =
+    {
+      base_init_ns = 79_000.0;
+      base_teardown_ns = 29_000.0;
+      st2g_ns = 1_026.8;
+      tag_discard_ns = 84.96;
+    }
+
+  let init_instance t mte ~memory_bytes ~tag =
+    if tag = 0 then t.base_init_ns
+    else begin
+      let instrs = Mte.tag_range_user mte ~addr:0 ~len:memory_bytes ~tag in
+      t.base_init_ns +. (float_of_int instrs *. t.st2g_ns)
+    end
+
+  let teardown_instance t mte ~memory_bytes ~mte:enabled =
+    if not enabled then t.base_teardown_ns
+    else begin
+      let granules = Mte.discard_range mte ~addr:0 ~len:memory_bytes in
+      t.base_teardown_ns +. (float_of_int granules *. t.tag_discard_ns)
+    end
+
+  let teardown_keeping_tags t _mte ~memory_bytes =
+    ignore memory_bytes;
+    t.base_teardown_ns
+
+  let reinit_instance t mte ~memory_bytes ~tag =
+    if tag = 0 then t.base_init_ns
+    else begin
+      let mismatched = Mte.count_mismatched mte ~addr:0 ~len:memory_bytes ~tag in
+      if mismatched > 0 then ignore (Mte.tag_range_user mte ~addr:0 ~len:memory_bytes ~tag);
+      (* st2g covers two granules, so instructions ~ mismatched/2. *)
+      t.base_init_ns +. (float_of_int ((mismatched + 1) / 2) *. t.st2g_ns)
+    end
+end

@@ -1,0 +1,72 @@
+(** ColorGuard-level analyses: scaling arithmetic (§2, §6.4.2) and the
+    ARM MTE cost model (§7).
+
+    The striping layout itself lives in {!Pool}; this module answers the
+    paper's scaling questions on top of it and models the two MTE
+    observations — slow user-level bulk tagging, and tag discard on
+    [madvise] — against the {!Sfi_vmem.Mte} tag store. *)
+
+val classic_max_instances : unit -> int
+(** §2's arithmetic: a 47-bit user space over 8 GiB (4 GiB memory + 4 GiB
+    guard) instances — 16K. *)
+
+val wasmtime_default_max_instances : unit -> int
+(** With the 2 GiB + 2 GiB shared-guard scheme (6 GiB per instance):
+    roughly 21K ("marginally increase this limit to roughly 21K"). *)
+
+type scaling_report = {
+  unstriped_slots : int;
+  striped_slots : int;
+  factor : float;
+  unstriped_stride : int;
+  striped_stride : int;
+}
+
+val scaling : ?address_space_bytes:int -> Pool.params -> scaling_report
+(** The §6.4.2 microbenchmark: how many slots fit the address space with
+    and without striping. Raises [Invalid_argument] if the parameters are
+    rejected by the layout computation. *)
+
+(** {1 MTE (§7)}
+
+    Costs are calibrated from the paper's Pixel 8 Pro measurements: forty
+    64 KiB linear memories take 79 µs/instance to initialize without MTE
+    and 2,182 µs with user-level [st2g] tagging (Observation 1);
+    deallocation goes from 29 µs to 377 µs because
+    [madvise(MADV_DONTNEED)] discards tags (Observation 2). *)
+
+module Mte_cost : sig
+  type t = {
+    base_init_ns : float;  (** non-MTE per-instance initialization *)
+    base_teardown_ns : float;  (** non-MTE madvise-based teardown *)
+    st2g_ns : float;  (** per user-level two-granule tagging instruction *)
+    tag_discard_ns : float;  (** kernel per-granule tag clearing in madvise *)
+  }
+
+  val default : t
+  (** Calibrated so a 64 KiB memory reproduces the paper's numbers. *)
+
+  val init_instance : t -> Sfi_vmem.Mte.t -> memory_bytes:int -> tag:int -> float
+  (** Tag a fresh instance's memory through the tag store (counting real
+      [st2g] operations) and return the simulated time in ns. With
+      [tag = 0] (no MTE) only the base cost is charged. *)
+
+  val teardown_instance : t -> Sfi_vmem.Mte.t -> memory_bytes:int -> mte:bool -> float
+  (** Model [madvise(MADV_DONTNEED)]: discards tags when [mte] and returns
+      the simulated time in ns. *)
+
+  (** {2 The paper's proposed fix}
+
+      §7 suggests "adding a flag to madvise that leaves tags invariant,
+      similar to MPK". These model that kernel extension: teardown skips
+      the tag clearing, and a subsequent re-initialization only tags the
+      granules whose color actually changed — zero when a slot is recycled
+      for the same stripe. *)
+
+  val teardown_keeping_tags : t -> Sfi_vmem.Mte.t -> memory_bytes:int -> float
+  (** Teardown under the proposed tag-preserving madvise flag: the base
+      madvise cost only; tags stay in place. *)
+
+  val reinit_instance : t -> Sfi_vmem.Mte.t -> memory_bytes:int -> tag:int -> float
+  (** Re-initialize a recycled slot, tagging only mismatched granules. *)
+end

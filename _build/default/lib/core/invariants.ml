@@ -1,0 +1,88 @@
+module Units = Sfi_util.Units
+
+type violation = { number : int; description : string }
+
+let pp_violation ppf v = Format.fprintf ppf "invariant %d violated: %s" v.number v.description
+
+let descriptions =
+  [
+    (1, "total_slot_bytes == pre_slot_guard_bytes + slot_bytes * num_slots + post_slot_guard_bytes");
+    (2, "slot_bytes >= max_memory_bytes");
+    (3, "slot sizes and guards are page aligned");
+    (4, "1 <= num_stripes <= min(num_pkeys_available (when striping), num_slots)");
+    (5, "num_stripes <= guard_bytes / max_memory_bytes + 2");
+    (6, "bytes_to_next_stripe_slot >= max(expected_slot_bytes, max_memory_bytes) + guard_bytes; last slot does not rely on MPK");
+    (7, "[missing] expected_slot_bytes is a multiple of the Wasm page size (64 KiB)");
+    (8, "[missing] max_memory_bytes is a multiple of the Wasm page size (64 KiB)");
+    (9, "[missing] guard_bytes is a multiple of the OS page size (4 KiB)");
+    (10, "[missing] the total slab fits the usable address space");
+  ]
+
+let check (l : Pool.layout) =
+  let p = l.Pool.params in
+  let violations = ref [] in
+  let note number fmt =
+    Format.kasprintf
+      (fun description -> violations := { number; description } :: !violations)
+      fmt
+  in
+  (* 1: no leaks — the piecewise slab accounting matches the total. Use
+     overflow-checked arithmetic so a saturated layout cannot "pass" by
+     wrapping here too. *)
+  (match
+     Checked.add Checked.Checked
+       (Checked.add Checked.Checked l.pre_slot_guard_bytes
+          (Checked.mul Checked.Checked l.slot_bytes p.num_slots))
+       l.post_slot_guard_bytes
+   with
+  | exception Checked.Overflow _ -> note 1 "slab accounting overflows"
+  | sum ->
+      if sum <> l.total_slot_bytes then
+        note 1 "pre (%d) + slot_bytes (%d) * %d + post (%d) = %d <> total (%d)"
+          l.pre_slot_guard_bytes l.slot_bytes p.num_slots l.post_slot_guard_bytes sum
+          l.total_slot_bytes);
+  (* 2: memories must fit their slots. *)
+  if l.slot_bytes < p.max_memory_bytes then
+    note 2 "slot_bytes %d < max_memory_bytes %d" l.slot_bytes p.max_memory_bytes;
+  (* 3: page alignment of every layout component. *)
+  List.iter
+    (fun (name, v, align) ->
+      if not (Units.is_aligned v align) then note 3 "%s (%d) not %d-aligned" name v align)
+    [
+      ("slot_bytes", l.slot_bytes, Units.wasm_page_size);
+      ("pre_slot_guard_bytes", l.pre_slot_guard_bytes, Units.os_page_size);
+      ("post_slot_guard_bytes", l.post_slot_guard_bytes, Units.os_page_size);
+      ("total_slot_bytes", l.total_slot_bytes, Units.os_page_size);
+    ];
+  (* 4: stripe count within the color budget. *)
+  if l.num_stripes < 1 then note 4 "num_stripes %d < 1" l.num_stripes;
+  if l.num_stripes > 1 && l.num_stripes > p.num_pkeys_available then
+    note 4 "num_stripes %d > available pkeys %d" l.num_stripes p.num_pkeys_available;
+  if l.num_stripes > max 1 p.num_slots then
+    note 4 "num_stripes %d > num_slots %d" l.num_stripes p.num_slots;
+  (* 5: no more stripes than the guard region can justify. *)
+  if p.max_memory_bytes > 0 && l.num_stripes > (p.guard_bytes / p.max_memory_bytes) + 2 then
+    note 5 "num_stripes %d > guard/max_memory + 2 = %d" l.num_stripes
+      ((p.guard_bytes / p.max_memory_bytes) + 2);
+  (* 6: striping preserves the isolation distance, and the last slot is
+     protected without MPK. *)
+  let reservation = max p.expected_slot_bytes p.max_memory_bytes in
+  if l.num_stripes > 1 then begin
+    let next_same_color = l.num_stripes * l.slot_bytes in
+    if next_same_color < reservation + p.guard_bytes then
+      note 6 "bytes_to_next_stripe_slot %d < %d" next_same_color (reservation + p.guard_bytes)
+  end;
+  if l.slot_bytes + l.post_slot_guard_bytes < reservation then
+    note 6 "slot_bytes + post_slot_guard_bytes = %d < expected reservation %d"
+      (l.slot_bytes + l.post_slot_guard_bytes)
+      reservation;
+  (* 7-10: the verification-discovered preconditions. *)
+  if not (Units.is_aligned p.expected_slot_bytes Units.wasm_page_size) then
+    note 7 "expected_slot_bytes %d not 64 KiB aligned" p.expected_slot_bytes;
+  if not (Units.is_aligned p.max_memory_bytes Units.wasm_page_size) then
+    note 8 "max_memory_bytes %d not 64 KiB aligned" p.max_memory_bytes;
+  if not (Units.is_aligned p.guard_bytes Units.os_page_size) then
+    note 9 "guard_bytes %d not 4 KiB aligned" p.guard_bytes;
+  if l.total_slot_bytes > Units.user_address_space_bytes then
+    note 10 "total slab %d exceeds the 47-bit user address space" l.total_slot_bytes;
+  List.rev !violations

@@ -1,0 +1,23 @@
+(** Executable form of Table 1: the ColorGuard safety invariants.
+
+    The Wasmtime team specified invariants 1-6 and fuzzed them; formal
+    verification (Flux + Z3) then revealed one bug (a saturating addition
+    that should have been checked) and four missing preconditions
+    (invariants 7-10). Here every row of the table is an executable check
+    over a {!Pool.layout}; the property-based tests run them against
+    randomized parameters in both arithmetic modes, reproducing the §5.2
+    verification findings dynamically. *)
+
+type violation = { number : int; description : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Pool.layout -> violation list
+(** All Table 1 invariants against a computed layout (empty list = safe).
+    Invariants 1-6 are the team-specified properties; 7-10 are the
+    verification-discovered preconditions, evaluated on the layout's stored
+    parameters. *)
+
+val descriptions : (int * string) list
+(** Human-readable table of all ten invariants, for documentation and the
+    Table 1 harness. *)

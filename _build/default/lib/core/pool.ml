@@ -1,0 +1,148 @@
+module Units = Sfi_util.Units
+
+type params = {
+  num_slots : int;
+  max_memory_bytes : int;
+  expected_slot_bytes : int;
+  guard_bytes : int;
+  pre_guard_enabled : bool;
+  num_pkeys_available : int;
+  stripe_enabled : bool;
+}
+
+let default_params =
+  {
+    num_slots = 64;
+    max_memory_bytes = 4 * Units.gib;
+    expected_slot_bytes = 4 * Units.gib;
+    guard_bytes = 4 * Units.gib;
+    pre_guard_enabled = false;
+    num_pkeys_available = 0;
+    stripe_enabled = false;
+  }
+
+type layout = {
+  slot_bytes : int;
+  pre_slot_guard_bytes : int;
+  post_slot_guard_bytes : int;
+  num_stripes : int;
+  total_slot_bytes : int;
+  params : params;
+}
+
+exception Bad of string
+
+let failf fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+let compute_exn ~arith ~defensive (p : params) =
+  if p.num_slots < 1 then failf "num_slots must be at least 1";
+  if p.max_memory_bytes <= 0 || p.expected_slot_bytes <= 0 || p.guard_bytes < 0 then
+    failf "sizes must be positive";
+  if p.num_pkeys_available < 0 || p.num_pkeys_available > Sfi_vmem.Mpk.max_usable_keys then
+    failf "num_pkeys_available out of range";
+  if defensive then begin
+    (* The four preconditions the verification effort found missing
+       (Table 1, invariants 7-10). Without them, unaligned inputs produce
+       layouts whose guards are not page-protectable. *)
+    if p.expected_slot_bytes mod Units.wasm_page_size <> 0 then
+      failf "expected_slot_bytes must be a multiple of the Wasm page size (inv 7)";
+    if p.max_memory_bytes mod Units.wasm_page_size <> 0 then
+      failf "max_memory_bytes must be a multiple of the Wasm page size (inv 8)";
+    if p.guard_bytes mod Units.os_page_size <> 0 then
+      failf "guard_bytes must be a multiple of the OS page size (inv 9)";
+    ()
+  end;
+  let add = Checked.add arith and mul = Checked.mul arith in
+  let reservation = max p.expected_slot_bytes p.max_memory_bytes in
+  (* Distance two same-colored (or consecutive unstriped) slots must keep. *)
+  let needed_distance = add reservation p.guard_bytes in
+  let pre = if p.pre_guard_enabled then Units.align_up (p.guard_bytes / 2) Units.os_page_size else 0 in
+  let striping =
+    p.stripe_enabled && p.num_pkeys_available >= 2 && p.num_slots >= 2
+    && p.max_memory_bytes < reservation + p.guard_bytes
+  in
+  let num_stripes, slot_bytes =
+    if striping then begin
+      (* Colors wanted so that slots pack at linear-memory size; capped by
+         the available keys, the slot count, and invariant 5's bound. *)
+      let bound_inv5 = (p.guard_bytes / p.max_memory_bytes) + 2 in
+      let wanted = (needed_distance + p.max_memory_bytes - 1) / p.max_memory_bytes in
+      let stripes = min (min p.num_pkeys_available p.num_slots) (min bound_inv5 wanted) in
+      if stripes < 2 then
+        (1, Checked.align_up arith (add reservation (p.guard_bytes - pre)) Units.wasm_page_size)
+      else begin
+        (* Stride so that same-colored slots are needed_distance apart; when
+           the color budget binds, the stride grows beyond max_memory —
+           "a combination of stripes and guard regions" (§5.1). *)
+        let stride = (needed_distance + stripes - 1) / stripes in
+        let stride = Checked.align_up arith (max stride p.max_memory_bytes) Units.wasm_page_size in
+        (stripes, stride)
+      end
+    end
+    else
+      (* The stride must stay Wasm-page aligned (invariant 3); rounding up
+         only widens the guard slightly. *)
+      (1, Checked.align_up arith (add reservation (p.guard_bytes - pre)) Units.wasm_page_size)
+  in
+  (* The slab's trailing guard: the last slot must not rely on MPK for
+     protection (invariant 6, second line). *)
+  let post =
+    if num_stripes > 1 then
+      Units.align_up (max 0 (needed_distance - slot_bytes)) Units.os_page_size
+    else if p.pre_guard_enabled then pre
+    else 0
+  in
+  let total = add (add pre (mul slot_bytes p.num_slots)) post in
+  if defensive && total > Units.user_address_space_bytes then
+    failf "total slab (%s) exceeds the user address space (inv 10)" (Units.to_string total);
+  {
+    slot_bytes;
+    pre_slot_guard_bytes = pre;
+    post_slot_guard_bytes = post;
+    num_stripes;
+    total_slot_bytes = total;
+    params = p;
+  }
+
+let compute ?(arith = Checked.Checked) ?(defensive = true) p =
+  match compute_exn ~arith ~defensive p with
+  | layout -> Ok layout
+  | exception Bad msg -> Error msg
+  | exception Checked.Overflow what -> Error ("arithmetic overflow: " ^ what)
+
+let slot_base l i =
+  if i < 0 || i >= l.params.num_slots then invalid_arg "Pool.slot_base: out of range";
+  l.pre_slot_guard_bytes + (i * l.slot_bytes)
+
+let color_of_slot l i =
+  if i < 0 || i >= l.params.num_slots then invalid_arg "Pool.color_of_slot: out of range";
+  if l.num_stripes <= 1 then 0 else 1 + (i mod l.num_stripes)
+
+let bytes_to_next_stripe_slot l = l.num_stripes * l.slot_bytes
+
+let stride_of p =
+  match compute { p with num_slots = max p.num_slots 16 } with
+  | Ok l -> l.slot_bytes
+  | Error msg -> invalid_arg ("Pool.density_vs_unstriped: " ^ msg)
+
+let density_vs_unstriped p =
+  let striped = stride_of { p with stripe_enabled = true } in
+  let unstriped = stride_of { p with stripe_enabled = false } in
+  float_of_int unstriped /. float_of_int striped
+
+let max_slots_in p ~address_space_bytes =
+  (* Find the largest slot count whose slab fits the budget. The stride is
+     independent of num_slots (once striping can engage), so solve directly
+     from a small representative layout. *)
+  match compute { p with num_slots = max p.num_slots 16 } with
+  | Error msg -> invalid_arg ("Pool.max_slots_in: " ^ msg)
+  | Ok l ->
+      let fixed = l.pre_slot_guard_bytes + l.post_slot_guard_bytes in
+      if address_space_bytes <= fixed then 0
+      else (address_space_bytes - fixed) / l.slot_bytes
+
+let pp_layout ppf l =
+  Format.fprintf ppf
+    "@[<v>slots: %d x %a (stride)@,pre-guard: %a@,post-guard: %a@,stripes: %d@,total slab: %a@]"
+    l.params.num_slots Units.pp_bytes l.slot_bytes Units.pp_bytes l.pre_slot_guard_bytes
+    Units.pp_bytes l.post_slot_guard_bytes l.num_stripes Units.pp_bytes l.total_slot_bytes

@@ -1,0 +1,79 @@
+(** The Wasmtime-style pooling allocator slot layout, with ColorGuard
+    striping (§5.1).
+
+    The pooling allocator pre-reserves one big slab and carves it into
+    fixed-stride slots used as linear memories. Without striping, each
+    slot's stride covers the expected reservation plus its guard region;
+    adjacent slots share guards when pre-guards are enabled (the 2 GiB +
+    2 GiB trick that cuts 8 GiB/instance to 6 GiB). With striping, slots
+    pack at (nearly) the linear-memory size and MPK colors provide the
+    isolation distance: consecutive same-colored slots must still be at
+    least [max(expected_slot_bytes, max_memory_bytes) + guard_bytes] apart
+    (Table 1, invariant 6), so the stride is
+    [ceil(needed_distance / num_stripes)] when the color budget is the
+    binding constraint.
+
+    The layout this module computes is the {e contract} between allocator
+    and compiler: if it is wrong, isolation breaks — which is why
+    {!Invariants} re-checks every Table 1 property and why the arithmetic
+    mode is explicit ({!Checked.mode}; the saturating mode reproduces the
+    bug found by verification, §5.2). *)
+
+type params = {
+  num_slots : int;  (** slots (≈ concurrent instances) in the pool *)
+  max_memory_bytes : int;  (** largest linear memory a slot must hold *)
+  expected_slot_bytes : int;
+      (** virtual reservation each instance expects (4 GiB for vanilla
+          wasm32; smaller when the embedder caps memories) *)
+  guard_bytes : int;  (** total guard per slot (pre+post when enabled) *)
+  pre_guard_enabled : bool;
+      (** reserve part of the guard before the slot; enables the
+          signed-offset trick and guard sharing (§5.1) *)
+  num_pkeys_available : int;
+      (** MPK keys usable for striping (≤ 15; 0 disables) *)
+  stripe_enabled : bool;
+}
+
+val default_params : params
+(** 64 slots, 4 GiB expected, 4 GiB max memory, 4 GiB guard, no pre-guard,
+    no striping. *)
+
+type layout = {
+  slot_bytes : int;  (** stride between consecutive slot bases *)
+  pre_slot_guard_bytes : int;
+  post_slot_guard_bytes : int;
+  num_stripes : int;  (** 1 = no striping *)
+  total_slot_bytes : int;
+      (** whole-slab reservation:
+          pre + slot_bytes * num_slots + post (invariant 1) *)
+  params : params;
+}
+
+val compute : ?arith:Checked.mode -> ?defensive:bool -> params -> (layout, string) result
+(** Compute the slab layout. [arith] defaults to [Checked]; [Saturating]
+    reproduces the §5.2 bug on adversarial inputs. [defensive] (default
+    true) enforces the four preconditions verification found missing
+    (Table 1, invariants 7-10); pass false to model the pre-verification
+    allocator, whose property tests the invariant checker can then fail. *)
+
+val slot_base : layout -> int -> int
+(** Byte offset of slot [i]'s linear memory within the slab. Raises
+    [Invalid_argument] when out of range. *)
+
+val color_of_slot : layout -> int -> int
+(** MPK color for slot [i]: [1 + (i mod num_stripes)] under striping (color
+    0 stays reserved for non-sandbox memory), 0 otherwise. *)
+
+val bytes_to_next_stripe_slot : layout -> int
+(** Distance between two consecutive same-colored slot bases —
+    [num_stripes * slot_bytes]; invariant 6's left-hand side. *)
+
+val density_vs_unstriped : params -> float
+(** How many times more instances fit per byte of address space with
+    striping than without (the paper's "up to 15x"). *)
+
+val max_slots_in : params -> address_space_bytes:int -> int
+(** How many slots fit a given address budget under this configuration —
+    the §6.4.2 scaling microbenchmark. *)
+
+val pp_layout : Format.formatter -> layout -> unit

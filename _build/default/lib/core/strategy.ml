@@ -1,0 +1,39 @@
+type addressing = Direct | Reserved_base | Segment | Segment_loads_only
+type bounds = Guard_region | Explicit_check | Mask
+
+type t = { addressing : addressing; bounds : bounds }
+
+let native = { addressing = Direct; bounds = Guard_region }
+let wasm_default = { addressing = Reserved_base; bounds = Guard_region }
+let segue = { addressing = Segment; bounds = Guard_region }
+let segue_loads_only = { addressing = Segment_loads_only; bounds = Guard_region }
+let wasm_bounds_checked = { addressing = Reserved_base; bounds = Explicit_check }
+let segue_bounds_checked = { addressing = Segment; bounds = Explicit_check }
+
+let reserves_base_register t =
+  match t.addressing with
+  | Reserved_base | Segment_loads_only -> true
+  | Direct | Segment -> false
+
+let uses_segment t =
+  match t.addressing with
+  | Segment | Segment_loads_only -> true
+  | Direct | Reserved_base -> false
+
+let addressing_name = function
+  | Direct -> "native"
+  | Reserved_base -> "base-reg"
+  | Segment -> "segue"
+  | Segment_loads_only -> "segue-loads"
+
+let bounds_name = function
+  | Guard_region -> "guard"
+  | Explicit_check -> "bounds-check"
+  | Mask -> "mask"
+
+let name t =
+  match t.bounds with
+  | Guard_region -> addressing_name t.addressing
+  | _ -> addressing_name t.addressing ^ "+" ^ bounds_name t.bounds
+
+let pp ppf t = Format.pp_print_string ppf (name t)

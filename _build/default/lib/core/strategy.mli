@@ -1,0 +1,61 @@
+(** SFI compilation strategies.
+
+    A strategy is the cross product of {e how the heap base is added} to the
+    32-bit linear-memory offset (the axis Segue optimizes) and {e how bounds
+    are enforced} (guard regions, explicit checks, or historic masking —
+    §2's discussion and §6.1's bounds-check experiment). *)
+
+(** How sandboxed memory operands reach their linear memory:
+
+    - [Direct]: no sandboxing; addresses used as-is. The native baseline
+      all figures normalize to.
+    - [Reserved_base]: classic Wasm/SFI — a reserved GPR ([r14] here, [rax]
+      in Figure 1) holds the heap base and occupies the base slot of every
+      memory operand. Complex address expressions need an extra [lea], and
+      one register is lost to the reservation.
+    - [Segment]: Segue — the heap base lives in [%gs]; memory operands use
+      segment-relative addressing with the address-size override, freeing
+      the base slot, the register, and folding the 32-bit truncation into
+      the access (Figure 1c).
+    - [Segment_loads_only]: WAMR's tuning knob (§4.2/§6.2) — loads go
+      through [%gs] but stores keep the reserved-base scheme (so the base
+      register stays reserved and base-register-pattern optimizations such
+      as the vectorizer keep working). *)
+type addressing = Direct | Reserved_base | Segment | Segment_loads_only
+
+(** How out-of-bounds accesses trap:
+
+    - [Guard_region]: rely on the unmapped (or differently-colored) pages
+      after linear memory; no per-access code.
+    - [Explicit_check]: compare against the current memory bound (loaded
+      from the instance context) before each access — what engines must do
+      for 64-bit memories (§6.1).
+    - [Mask]: Wahbe-style masking; forces the offset into the region but
+      turns out-of-bounds accesses into wrap-around instead of traps, which
+      Wasm proper cannot use (§2, footnote 1). *)
+type bounds = Guard_region | Explicit_check | Mask
+
+type t = { addressing : addressing; bounds : bounds }
+
+val native : t
+(** [Direct] + [Guard_region] (no checks emitted). *)
+
+val wasm_default : t
+(** [Reserved_base] + [Guard_region]: stock Wasm2c / Wasmtime / WAMR. *)
+
+val segue : t
+(** [Segment] + [Guard_region]: the paper's headline configuration. *)
+
+val segue_loads_only : t
+val wasm_bounds_checked : t
+val segue_bounds_checked : t
+
+val reserves_base_register : t -> bool
+(** Does this strategy keep a GPR pinned to the heap base? True for
+    [Reserved_base] and [Segment_loads_only]. *)
+
+val uses_segment : t -> bool
+(** Does this strategy set [%gs] on sandbox entry? *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** WAMR-style loop vectorization (§4.2).
+
+    WAMR ships LLVM-level passes that rewrite long scalar load/store
+    sequences and byte loops into SIMD code. Those passes pattern-match the
+    {e reserved-base} memory-access shape; Segue's segment-relative
+    operands do not match, so enabling full Segue silently disables the
+    optimization — the cause of the [memmove] (+35.6%) and [sieve] (+48.7%)
+    regressions in Figure 4. WAMR's workaround, Segue-for-loads-only, keeps
+    the reserved base register (stores still use it), so the pass keeps
+    firing.
+
+    We model the pass one level up, on the Wasm IR: canonical byte-copy and
+    byte-fill loops (the shape {!Sfi_wasm.Builder.for_loop} emits) are
+    rewritten into bulk-memory operations, which lower to the runtime's
+    vectorized builtins — {e except} under full Segue, where the pass
+    declines to fire, exactly mirroring WAMR's engineering gap.
+
+    The rewrite preserves semantics for non-overlapping (or forward-safe)
+    ranges; like WAMR's pass, it assumes the ranges a benchmark loop
+    touches do not alias byte-by-byte. *)
+
+val apply : Strategy.t -> Sfi_wasm.Ast.module_ -> Sfi_wasm.Ast.module_
+(** Rewrite recognizable byte-copy/byte-fill loops into
+    [memory.copy]/[memory.fill]. Returns the module unchanged when the
+    strategy's addressing is full [Segment]. *)
+
+val loops_vectorized : Strategy.t -> Sfi_wasm.Ast.module_ -> int
+(** How many loops {!apply} would rewrite — used by tests and by the
+    Figure 4 harness to report which configurations lost vectorization. *)

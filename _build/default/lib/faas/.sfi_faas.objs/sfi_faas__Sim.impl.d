@@ -1,0 +1,1 @@
+lib/faas/sim.ml: Array Int64 List Sfi_core Sfi_machine Sfi_runtime Sfi_util Sfi_vmem Sfi_x86 Workloads

@@ -1,0 +1,1 @@
+lib/faas/workloads.ml: Char List Sfi_wasm Sfi_workloads String

@@ -1,0 +1,1 @@
+lib/faas/workloads.mli: Sfi_wasm

@@ -1,0 +1,60 @@
+(** The simulated FaaS edge platform of §6.4.3 (Figures 6, 7a, 7b).
+
+    A single core serves a fixed population of in-flight requests. Each
+    request waits on IO (delay drawn from a Poisson-parameterized
+    distribution with a 5 ms mean, like the paper's simulation), then runs
+    its workload inside a Wasm instance under epoch-based preemption
+    (1 ms epochs).
+
+    Two scaling strategies are compared:
+
+    - {b ColorGuard}: one process; instances live in a striped pool and
+      transitions are user-level (a pkru write — no TLB flush);
+    - {b Multiprocess}: [processes] separate engines (own address space,
+      own TLB state); the OS round-robins between them on 1 ms timeslices,
+      paying a context-switch cost and a TLB flush per switch.
+
+    Compute is real: the workload modules execute on the machine, so dTLB
+    misses (Figure 7b) come out of the TLB model rather than a formula. *)
+
+type mode = Colorguard | Multiprocess of int  (** process count (1-15) *)
+
+type config = {
+  mode : mode;
+  workload : Workloads.t;
+  concurrency : int;  (** in-flight requests (closed loop) *)
+  duration_ns : float;  (** simulated wall-clock to run for *)
+  io_mean_ns : float;  (** mean IO delay (paper: 5 ms) *)
+  epoch_ns : float;  (** preemption epoch (paper: 1 ms) *)
+  os_switch_ns : float;  (** OS context-switch direct cost *)
+  seed : int64;
+}
+
+val default_config : ?mode:mode -> ?workload:Workloads.t -> unit -> config
+(** concurrency 128, duration 20 ms, IO mean 5 ms, epoch 1 ms, OS switch
+    5 us (direct + indirect cost of a Linux process switch), ColorGuard,
+    hash workload. *)
+
+type result = {
+  completed : int;
+  throughput_rps : float;  (** completions per simulated wall-clock second *)
+  capacity_rps : float;
+      (** completions per CPU-busy second — the per-core efficiency that
+          Figure 6's throughput-gain percentages compare *)
+  context_switches : int;
+      (** OS-level process switches (multiprocess) — Figure 7a's metric;
+          always 0 for ColorGuard, whose switches are user-level *)
+  user_transitions : int;  (** sandbox entries/exits *)
+  dtlb_misses : int;  (** summed over all engines — Figure 7b *)
+  checksum : int64;  (** folded request results, for validation *)
+  simulated_ns : float;
+  cpu_busy_ns : float;
+}
+
+val run : config -> result
+(** Raises [Failure] if a request traps. *)
+
+val throughput_gain : workload:Workloads.t -> processes:int -> config -> float
+(** Percent throughput advantage of ColorGuard over [processes]-process
+    scaling for the same load — one point of Figure 6. The [config] supplies
+    everything except mode/workload. *)

@@ -1,0 +1,194 @@
+(* The three FaaS request workloads of §6.4.3, as Wasm modules: HTML
+   templating, hash-based load balancing, and regular-expression filtering
+   of URLs — "benchmarks typical of FaaS edge environments". Each exports
+   [handle(seed) -> i32]: the request body is synthesized in-sandbox from
+   the seed, processed, and checksummed. *)
+
+module W = Sfi_wasm.Ast
+module Frag = Sfi_workloads.Frag
+open Sfi_wasm.Builder
+
+type t = Templating | Hash_balance | Regex_filter
+
+let name = function
+  | Templating -> "HTML templating"
+  | Hash_balance -> "Hash load-balance"
+  | Regex_filter -> "Regex filtering"
+
+let all = [ Hash_balance; Regex_filter; Templating ]
+
+(* --- HTML templating ---------------------------------------------------- *)
+
+(* The template lives in a data segment; [handle] expands {{0}}..{{9}}
+   placeholders with request-derived values into the output buffer. *)
+let template =
+  let item =
+    "<tr><td>{{0}}</td><td>{{1}}</td><td class=\"price\">{{2}}</td><td>{{3}}</td></tr>"
+  in
+  "<html><body><h1>Order {{4}}</h1><table>"
+  ^ String.concat "" (List.init 8 (fun _ -> item))
+  ^ "</table><footer>{{5}} - {{6}}</footer></body></html>"
+
+let templating_module () =
+  let b = create ~memory_pages:2 () in
+  data b ~offset:0 template;
+  let tlen = String.length template in
+  let handle = declare b "handle" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let pos = 1 and out = 2 and c = 3 and acc = 4 and v = 5 and d = 6 in
+  let outbuf = 0x8000 in
+  define b handle ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 0; set pos; i32 0; set out ]
+    @ while_loop
+        [ get pos; i32 tlen; lt_u ]
+        [
+          get pos; load8_u (); set c;
+          (* "{{d}}" ? *)
+          get c; i32 (Char.code '{'); eq;
+          get pos; load8_u ~offset:1 (); i32 (Char.code '{'); eq; band;
+          if_
+            ([
+               (* placeholder index *)
+               get pos; load8_u ~offset:2 (); i32 (Char.code '0'); sub; set d;
+               (* value = digits of seed*(d+1) *)
+               get 0; get d; i32 1; add; mul; i32 0x7FFFFF; band; set v;
+             ]
+            @ while_loop
+                [ get v; i32 0; gt_u ]
+                [
+                  get out; i32 outbuf; add;
+                  get v; i32 10; rem_u; i32 (Char.code '0'); add; store8 ();
+                  get out; i32 1; add; set out;
+                  get v; i32 10; div_u; set v;
+                ]
+            @ [ get pos; i32 5; add; set pos ])
+            [
+              get out; i32 outbuf; add; get c; store8 ();
+              get out; i32 1; add; set out;
+              get pos; i32 1; add; set pos;
+            ];
+        ]
+    (* checksum the rendered page *)
+    @ [ i32 0; set acc; i32 0; set pos ]
+    @ while_loop
+        [ get pos; get out; lt_u ]
+        [
+          get acc; i32 5; rotl; get pos; i32 outbuf; add; load8_u (); bxor; set acc;
+          get pos; i32 1; add; set pos;
+        ]
+    @ [ get acc ]);
+  build b
+
+(* --- hash-based load balancing ------------------------------------------ *)
+
+let hash_module () =
+  let b = create ~memory_pages:2 () in
+  let handle = declare b "handle" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and h = 3 and backend = 4 and key = 5 in
+  let counts = 0x4000 in
+  define b handle ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* synthesize a 192-byte request key from the seed *)
+     [ get 0; i32 1; bor; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 192 ]
+        ([ get i ] @ Frag.lcg_next ~state @ [ store8 () ])
+    (* FNV-1a over the key, one sweep per consistent-hash ring probe *)
+    @ [ i32 0; set backend ]
+    @ for_loop ~i:key ~start:[ i32 0 ] ~stop:[ i32 8 ]
+        ([ i32 2166136261; set h ]
+        @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 192 ]
+            [ get h; get i; load8_u (); bxor; i32 16777619; mul; set h ]
+        @ [
+            (* bump the chosen backend's counter *)
+            get h; i32 63; band; i32 2; shl; i32 counts; add;
+            get h; i32 63; band; i32 2; shl; i32 counts; add; load32 (); i32 1; add;
+            store32 ();
+            get backend; get h; bxor; set backend;
+          ])
+    @ [ get backend ]);
+  build b
+
+(* --- regex filtering ------------------------------------------------------ *)
+
+(* Matches URLs against an /api/v<digits>/<word>/<digits> shape with a
+   hand-compiled DFA — the table-driven inner loop a regex engine runs. *)
+let regex_module () =
+  let b = create ~memory_pages:2 () in
+  let handle = declare b "handle" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and st = 3 and c = 4 and acc = 5 and ulen = 6 in
+  let url = 0 in
+  define b handle ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* synthesize a URL: "/api/vN/usersNNN/..." with seed-driven noise *)
+     [ get 0; i32 1; bor; set state; i32 0; set ulen ]
+    @ (let emit_str s =
+         List.concat_map
+           (fun ch ->
+             [ get ulen; i32 url; add; i32 (Char.code ch); store8 ();
+               get ulen; i32 1; add; set ulen ])
+           (List.init (String.length s) (String.get s))
+       in
+       emit_str "/api/v"
+       @ [ get ulen; i32 url; add ]
+       @ Frag.lcg_next ~state
+       @ [ i32 10; rem_u; i32 (Char.code '0'); add; store8 (); get ulen; i32 1; add; set ulen ]
+       @ emit_str "/users/"
+       @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 40 ]
+           ([ get ulen; i32 url; add ]
+           @ Frag.lcg_next ~state
+           @ [ i32 36; rem_u;
+               tee c; i32 10; lt_u;
+               if_ ~ty:W.I32 [ get c; i32 (Char.code '0'); add ]
+                 [ get c; i32 (Char.code 'a'); add; i32 10; sub ];
+               store8 (); get ulen; i32 1; add; set ulen ]))
+    (* DFA over the URL, one pass per rule of a 48-rule filter chain *)
+    @ for_loop ~i:acc ~start:[ i32 0 ] ~stop:[ i32 96 ]
+        ([ i32 0; set st; i32 0; set i ]
+        @ while_loop
+            [ get i; get ulen; lt_u; get st; i32 255; ne; band ]
+            [
+              get i; i32 url; add; load8_u (); set c;
+              (* transition: states 0../api/v..digits..slash..word *)
+              get st; i32 0; eq;
+              if_
+                [ get c; i32 (Char.code '/'); eq; if_ [ i32 1; set st ] [ i32 255; set st ] ]
+                [
+                  get st; i32 5; lt_u;
+                  if_
+                    [
+                      (* literal "api/v" *)
+                      get c;
+                      get st; i32 1; sub;
+                      i32 url; add; load8_u ~offset:1 (); eq;
+                      if_ [ get st; i32 1; add; set st ] [ i32 255; set st ];
+                    ]
+                    [
+                      get st; i32 5; eq;
+                      if_
+                        [
+                          (* digits *)
+                          get c; i32 (Char.code '0'); ge_u;
+                          get c; i32 (Char.code '9'); le_u; band;
+                          if_ [ i32 5; set st ]
+                            [
+                              get c; i32 (Char.code '/'); eq;
+                              if_ [ i32 6; set st ] [ i32 255; set st ];
+                            ];
+                        ]
+                        [
+                          (* tail: anything word-ish *)
+                          get c; i32 (Char.code 'a'); ge_u;
+                          get c; i32 (Char.code 'z'); le_u; band;
+                          get c; i32 (Char.code '0'); ge_u;
+                          get c; i32 (Char.code '9'); le_u; band;
+                          bor; get c; i32 (Char.code '/'); eq; bor;
+                          if_ [] [ i32 255; set st ];
+                        ];
+                    ];
+                ];
+              get i; i32 1; add; set i;
+            ])
+    @ [ get st; get ulen; add ]);
+  build b
+
+let module_of = function
+  | Templating -> templating_module ()
+  | Hash_balance -> hash_module ()
+  | Regex_filter -> regex_module ()

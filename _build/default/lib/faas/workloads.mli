@@ -1,0 +1,15 @@
+(** The three FaaS request workloads of §6.4.3, as real Wasm modules:
+    HTML templating, FNV-based load balancing, and DFA-driven URL
+    filtering. Each module exports [handle(seed) -> i32]: the request body
+    is synthesized in-sandbox from the seed, processed, and checksummed,
+    so the simulator's requests perform genuine, validated work. *)
+
+type t = Templating | Hash_balance | Regex_filter
+
+val name : t -> string
+val all : t list
+
+val module_of : t -> Sfi_wasm.Ast.module_
+
+val template : string
+(** The order-page template the templating workload expands. *)

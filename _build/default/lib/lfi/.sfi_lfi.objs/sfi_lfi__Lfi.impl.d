@@ -1,0 +1,1 @@
+lib/lfi/lfi.ml: Array Int64 List Sfi_core Sfi_machine Sfi_runtime Sfi_util Sfi_wasm Sfi_x86

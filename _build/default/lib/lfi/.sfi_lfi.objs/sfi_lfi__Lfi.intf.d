@@ -1,0 +1,1 @@
+lib/lfi/lfi.mli: Sfi_machine Sfi_wasm Sfi_x86

@@ -1,0 +1,207 @@
+module X = Sfi_x86.Ast
+module W = Sfi_wasm.Ast
+module Machine = Sfi_machine.Machine
+module Codegen = Sfi_core.Codegen
+module Strategy = Sfi_core.Strategy
+module Runtime = Sfi_runtime.Runtime
+module Vec = Sfi_util.Vec
+
+let region_base_reg = X.R14
+let halt_label = "__lfi_halt"
+let halt_hostcall = Runtime.hostcall_halt
+
+(* Scratch registers for materializing sandboxed addresses. R15 is
+   transient in the input programs (the Direct lowering's own scratch);
+   when an instruction itself touches R15 we fall back to R13 bracketed by
+   a save/restore. *)
+let primary_scratch = X.R15
+let fallback_scratch = X.R13
+
+let regs_of_mem (m : X.mem) =
+  (match m.X.base with Some r -> [ r ] | None -> [])
+  @ match m.X.index with Some (r, _) -> [ r ] | None -> []
+
+let regs_of_operand = function
+  | X.Reg r -> [ r ]
+  | X.Imm _ -> []
+  | X.Mem m -> regs_of_mem m
+
+let regs_of_instr (i : X.instr) =
+  match i with
+  | X.Mov (_, a, b) | X.Alu (_, _, a, b) | X.Cmp (_, a, b) | X.Test (_, a, b) ->
+      regs_of_operand a @ regs_of_operand b
+  | X.Movzx (_, _, r, src) | X.Movsx (_, _, r, src) | X.Imul (_, r, src)
+  | X.Bitcnt (_, _, r, src) | X.Cmovcc (_, _, r, src) ->
+      r :: regs_of_operand src
+  | X.Lea (_, r, m) -> r :: regs_of_mem m
+  | X.Shift (_, _, op, _) | X.Neg (_, op) | X.Not (_, op) | X.Push op | X.Div (_, _, op) ->
+      regs_of_operand op
+  | X.Pop r | X.Jmp_reg r | X.Call_reg r
+  | X.Wrfsbase r | X.Wrgsbase r | X.Rdfsbase r | X.Rdgsbase r | X.Setcc (_, r) ->
+      [ r ]
+  | X.Vload (_, m) | X.Vstore (m, _) -> regs_of_mem m
+  | X.Label _ | X.Cqo _ | X.Jmp _ | X.Jcc _ | X.Call _ | X.Ret | X.Wrpkru | X.Rdpkru
+  | X.Vzero _ | X.Vdup8 _ | X.Hostcall _ | X.Trap _ | X.Nop ->
+      []
+
+(* Rewrite one sandboxed (native_base) memory operand. Returns prelude
+   instructions, the replacement operand, and trailer instructions. *)
+let sandbox_mem ~segue ~instr_regs (m : X.mem) =
+  if segue then
+    (* One instruction: gs-relative with 32-bit effective address; the
+       address-size override performs the truncation (Figure 1c). *)
+    ([], { m with X.native_base = false; seg = Some X.GS; addr32 = true }, [])
+  else begin
+    let plain = { m with X.native_base = false } in
+    match (m.X.base, m.X.index, m.X.disp) with
+    | Some r, None, d when d >= 0 && d < 0x4000_0000 ->
+        (* Fits the classic form: reserved base + zero-extended index. *)
+        ([], X.mem ~base:region_base_reg ~index:(r, X.S1) ~disp:d (), [])
+    | None, None, d when d >= 0 ->
+        ([], X.mem ~base:region_base_reg ~disp:d (), [])
+    | _ ->
+        (* Materialize the 32-bit address first (the extra instruction
+           Segue eliminates). *)
+        if not (List.mem primary_scratch instr_regs) then
+          ( [ X.Lea (X.W32, primary_scratch, plain) ],
+            X.mem ~base:region_base_reg ~index:(primary_scratch, X.S1) (),
+            [] )
+        else
+          ( [ X.Push (X.Reg fallback_scratch); X.Lea (X.W32, fallback_scratch, plain) ],
+            X.mem ~base:region_base_reg ~index:(fallback_scratch, X.S1) (),
+            [ X.Pop fallback_scratch ] )
+  end
+
+let map_sandboxed_operand ~segue instr op rebuild =
+  match op with
+  | X.Mem m when m.X.native_base ->
+      let prelude, m', trailer = sandbox_mem ~segue ~instr_regs:(regs_of_instr instr) m in
+      Some (prelude @ [ rebuild (X.Mem m') ] @ trailer)
+  | _ -> None
+
+(* Sandbox an indirect control-flow target held in [r]: truncate to the
+   32-bit region offset and rebase. The region base is 4 GiB aligned, so
+   in-region targets round-trip. *)
+let sandbox_target r =
+  [ X.Mov (X.W32, X.Reg r, X.Reg r); X.Alu (X.Add, X.W64, X.Reg r, X.Reg region_base_reg) ]
+
+let rewrite_instr ~segue (i : X.instr) : X.instr list =
+  let inline rebuild op =
+    match map_sandboxed_operand ~segue i op rebuild with Some l -> Some l | None -> None
+  in
+  let default = [ i ] in
+  match i with
+  (* Data sandboxing: the Direct lowering only marks loads and stores
+     (plain mov / movzx / movsx and the vector moves). *)
+  | X.Mov (w, dst, src) -> (
+      match inline (fun dst' -> X.Mov (w, dst', src)) dst with
+      | Some l -> l
+      | None -> (
+          match inline (fun src' -> X.Mov (w, dst, src')) src with
+          | Some l -> l
+          | None -> default))
+  | X.Movzx (dw, sw, r, src) -> (
+      match inline (fun src' -> X.Movzx (dw, sw, r, src')) src with
+      | Some l -> l
+      | None -> default)
+  | X.Movsx (dw, sw, r, src) -> (
+      match inline (fun src' -> X.Movsx (dw, sw, r, src')) src with
+      | Some l -> l
+      | None -> default)
+  | X.Vload (v, m) when m.X.native_base ->
+      let prelude, m', trailer = sandbox_mem ~segue ~instr_regs:(regs_of_instr i) m in
+      prelude @ [ X.Vload (v, m') ] @ trailer
+  | X.Vstore (m, v) when m.X.native_base ->
+      let prelude, m', trailer = sandbox_mem ~segue ~instr_regs:(regs_of_instr i) m in
+      prelude @ [ X.Vstore (m', v) ] @ trailer
+  (* Control-flow sandboxing: identical with and without Segue (§4.3). *)
+  | X.Ret ->
+      (* pop the return address into a caller-saved register, mask, jump. *)
+      X.Pop X.R11 :: (sandbox_target X.R11 @ [ X.Jmp_reg X.R11 ])
+  | X.Call_reg r -> sandbox_target r @ [ X.Call_reg r ]
+  | X.Jmp_reg r -> sandbox_target r @ [ X.Jmp_reg r ]
+  | _ ->
+      (* Any other instruction with a sandboxed operand would be a
+         lowering we do not generate. *)
+      (match X.mem_operands i with
+      | ms when List.exists (fun (m : X.mem) -> m.X.native_base) ms ->
+          invalid_arg "Lfi.rewrite: unexpected sandboxed operand shape"
+      | _ -> ());
+      default
+
+let rewrite ~segue (p : X.program) : X.program =
+  let out = Vec.create () in
+  ignore (Vec.push out (X.Label halt_label));
+  ignore (Vec.push out (X.Hostcall halt_hostcall));
+  Array.iter (fun i -> List.iter (fun i' -> ignore (Vec.push out i')) (rewrite_instr ~segue i)) p;
+  Vec.to_array out
+
+let instrumentation_counts ~segue (p : X.program) =
+  let data = ref 0 and control = ref 0 in
+  Array.iter
+    (fun i ->
+      (match i with
+      | X.Ret | X.Call_reg _ | X.Jmp_reg _ -> incr control
+      | _ -> ());
+      if List.exists (fun (m : X.mem) -> m.X.native_base) (X.mem_operands i) then incr data)
+    p;
+  ignore segue;
+  (!data, !control)
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type measurement = {
+  result : int64;
+  cycles : int;
+  instructions : int;
+  code_bytes : int;
+  ns : float;
+}
+
+let compile_native ~reserve m =
+  let cfg =
+    {
+      (Codegen.default_config ~strategy:Strategy.native ()) with
+      Codegen.lfi_reserve_base = reserve;
+    }
+  in
+  Codegen.compile cfg m
+
+let measure ?cost compiled ~code_base ~set_region_base ~entry ~args =
+  let engine = Runtime.create_engine ?cost ~code_base compiled in
+  let inst = Runtime.instantiate engine in
+  if set_region_base then
+    Machine.set_reg (Runtime.machine engine) region_base_reg
+      (Int64.of_int (Runtime.heap_base inst));
+  Runtime.reset_metrics engine;
+  match Runtime.invoke inst entry args with
+  | Ok result ->
+      let c = Machine.counters (Runtime.machine engine) in
+      {
+        result;
+        cycles = c.Machine.cycles;
+        instructions = c.Machine.instructions;
+        code_bytes = compiled.Codegen.code_bytes;
+        ns = Machine.elapsed_ns (Runtime.machine engine);
+      }
+  | Error k -> failwith ("Lfi: benchmark trapped: " ^ X.trap_name k)
+
+let run_native ?cost m ~entry ~args =
+  let compiled = compile_native ~reserve:false m in
+  measure ?cost compiled ~code_base:Runtime.slab_base ~set_region_base:false ~entry ~args
+
+let run_lfi ?cost ~segue m ~entry ~args =
+  let compiled = compile_native ~reserve:true m in
+  let program = rewrite ~segue compiled.Codegen.program in
+  let compiled =
+    {
+      compiled with
+      Codegen.program;
+      code_bytes = Sfi_x86.Encode.program_length program;
+    }
+  in
+  (* Code and data share the region: the machine's code base is the heap
+     base of slot 0, so a single register bases both. *)
+  measure ?cost compiled ~code_base:Runtime.slab_base ~set_region_base:true ~entry ~args

@@ -1,0 +1,65 @@
+(** An x86-64 LFI backend (§4.3, Figure 5).
+
+    LFI sandboxes {e native} programs by rewriting their assembly: every
+    load and store is forced into the 4 GiB sandbox region, and every
+    indirect control transfer (indirect calls/jumps and returns) is
+    truncated to 32 bits and rebased into the region, NaCl-style. Code and
+    data share one region, so a single reserved GPR ([%r14]) holds the
+    region base.
+
+    With Segue, data accesses go through [%gs] instead — one instruction,
+    no materializing [lea] — but unlike Wasm the reserved GPR {e stays}
+    reserved: segment registers cannot be used on control-flow targets, so
+    the truncate-and-add-base sequence on returns and indirect branches
+    still needs the base in a GPR. That is exactly the difference §4.3
+    describes, and why LFI's Segue win comes from instruction count alone.
+
+    Native input programs come from the repository's own pipeline: a Wasm
+    kernel lowered under the [Direct] (native) strategy is an ordinary
+    register program whose memory operands are marked as absolute-pointer
+    accesses; the rewriter instruments exactly those. Frame (RBP-relative)
+    and instance-context ([%fs]) accesses model the protected runtime and
+    stay untouched, as LFI's trusted runtime does. *)
+
+val region_base_reg : Sfi_x86.Ast.gpr
+(** [%r14], the reserved region base. *)
+
+val halt_label : string
+(** Label of the halt trampoline the rewriter prepends; masked return
+    addresses land here when the outermost frame returns. *)
+
+val halt_hostcall : int
+(** Hostcall id the trampoline issues; the runner terminates on it. *)
+
+val rewrite : segue:bool -> Sfi_x86.Ast.program -> Sfi_x86.Ast.program
+(** Instrument a native program. [segue = false] is the LFI baseline
+    (reserved-base data sandboxing); [segue = true] uses [%gs] for data.
+    Both sandbox control flow identically. *)
+
+val instrumentation_counts : segue:bool -> Sfi_x86.Ast.program -> int * int
+(** [(data_sites, control_sites)] the rewriter instruments — used by tests
+    and the Figure 5 harness narration. *)
+
+(** {1 Running rewritten programs} *)
+
+type measurement = {
+  result : int64;
+  cycles : int;
+  instructions : int;
+  code_bytes : int;
+  ns : float;
+}
+
+val run_native :
+  ?cost:Sfi_machine.Cost.t -> Sfi_wasm.Ast.module_ -> entry:string -> args:int64 list -> measurement
+(** Baseline: the [Direct]-lowered program, uninstrumented. *)
+
+val run_lfi :
+  ?cost:Sfi_machine.Cost.t ->
+  segue:bool ->
+  Sfi_wasm.Ast.module_ ->
+  entry:string ->
+  args:int64 list ->
+  measurement
+(** Lower the module natively, rewrite with LFI (with or without Segue),
+    place code and heap in one shared region, and execute. *)

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Bytes Char Cost Hashtbl Int64 Printf Sfi_vmem Sfi_x86

@@ -1,0 +1,47 @@
+type t = {
+  frontend_bytes_per_cycle : int;
+  alu_cycles : int;
+  lea_cycles : int;
+  load_cycles : int;
+  store_cycles : int;
+  mul_cycles : int;
+  div_cycles : int;
+  branch_cycles : int;
+  taken_branch_cycles : int;
+  indirect_branch_cycles : int;
+  call_ret_cycles : int;
+  vector_cycles : int;
+  wrsegbase_cycles : int;
+  wrsegbase_syscall_cycles : int;
+  wrpkru_cycles : int;
+  hostcall_cycles : int;
+  dcache_miss_cycles : int;
+  frequency_ghz : float;
+}
+
+let default =
+  {
+    frontend_bytes_per_cycle = 16;
+    alu_cycles = 1;
+    lea_cycles = 1;
+    load_cycles = 3;
+    store_cycles = 1;
+    mul_cycles = 3;
+    div_cycles = 20;
+    branch_cycles = 1;
+    taken_branch_cycles = 1;
+    indirect_branch_cycles = 4;
+    call_ret_cycles = 2;
+    vector_cycles = 2;
+    wrsegbase_cycles = 12;
+    wrsegbase_syscall_cycles = 700;
+    wrpkru_cycles = 40;
+    hostcall_cycles = 120;
+    dcache_miss_cycles = 14;
+    frequency_ghz = 2.2;
+  }
+
+let no_frontend = { default with frontend_bytes_per_cycle = 0 }
+
+let ns_of_cycles t cycles = float_of_int cycles /. t.frequency_ghz
+let cycles_of_ns t ns = int_of_float (Float.round (ns *. t.frequency_ghz))

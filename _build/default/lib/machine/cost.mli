@@ -1,0 +1,49 @@
+(** Cycle cost model for the simulated CPU.
+
+    The model charges two components per instruction:
+
+    - a {e backend} cost by instruction class (ALU ops are cheap, loads pay
+      L1 latency, division is slow, [wrpkru] pays the ~40 cycles the paper
+      measures, etc.); and
+    - a {e frontend} cost: the decoder sustains [frontend_bytes_per_cycle]
+      of code bytes, so longer encodings cost fetch/decode bandwidth. This
+      is what makes Segue's longer (prefixed) memory instructions visible —
+      the 473_astar outlier of §6.1 — while still rewarding Segue's halved
+      instruction counts.
+
+    Cycles are converted to wall-clock using [frequency_ghz] (the paper pins
+    benchmarks at 2.2 GHz). *)
+
+type t = {
+  frontend_bytes_per_cycle : int;  (** 16 on modern big cores; 0 disables the frontend model *)
+  alu_cycles : int;
+  lea_cycles : int;
+  load_cycles : int;
+  store_cycles : int;
+  mul_cycles : int;
+  div_cycles : int;
+  branch_cycles : int;
+  taken_branch_cycles : int;  (** extra cycles for a taken branch *)
+  indirect_branch_cycles : int;
+  call_ret_cycles : int;
+  vector_cycles : int;
+  wrsegbase_cycles : int;  (** wrfsbase/wrgsbase — FSGSBASE user instructions *)
+  wrsegbase_syscall_cycles : int;  (** arch_prctl fallback on pre-IvyBridge CPUs (§4.1) *)
+  wrpkru_cycles : int;  (** ~40 cycles / ~20 ns at 2.2 GHz (§3.2, §6.4.1) *)
+  hostcall_cycles : int;
+  dcache_miss_cycles : int;
+      (** L1D miss penalty (an L2-hit latency; one flat level keeps the
+          model simple while exposing working-set effects such as Wasm's
+          32-bit "pointer compression" advantage, §6.1's 429_mcf outlier) *)
+  frequency_ghz : float;
+}
+
+val default : t
+(** Calibrated loosely against a modern desktop core at 2.2 GHz. *)
+
+val no_frontend : t
+(** [default] with the frontend model disabled — the ablation showing the
+    astar outlier disappears when code size is free. *)
+
+val ns_of_cycles : t -> int -> float
+val cycles_of_ns : t -> float -> int

@@ -1,0 +1,724 @@
+open Sfi_x86.Ast
+module Space = Sfi_vmem.Space
+module Tlb = Sfi_vmem.Tlb
+module Mpk = Sfi_vmem.Mpk
+module Encode = Sfi_x86.Encode
+
+type counters = {
+  mutable instructions : int;
+  mutable cycles : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable code_bytes : int;
+  mutable seg_base_writes : int;
+  mutable pkru_writes : int;
+}
+
+type status = Halted | Trapped of trap_kind | Yielded
+
+exception Hostcall_exit of int
+exception Trap_exn of trap_kind
+
+(* Raised by [step] when the entry function returns to the halt sentinel. *)
+exception Halt_exn
+
+type loaded = {
+  program : program;
+  offsets : int array; (* byte offset of each instruction *)
+  labels : (string, int) Hashtbl.t; (* label -> instruction index *)
+  addr_to_index : (int, int) Hashtbl.t; (* absolute byte address -> index *)
+  code_len : int;
+}
+
+type t = {
+  space : Space.t;
+  cost : Cost.t;
+  tlb : Tlb.t;
+  dcache : Tlb.t; (* reused set-associative structure; 64-byte lines *)
+  code_base : int;
+  fsgsbase_available : bool;
+  regs : int64 array;
+  vregs : Bytes.t array;
+  mutable fs_base : int;
+  mutable gs_base : int;
+  mutable pkru : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable of_ : bool;
+  mutable pc : int;
+  mutable loaded : loaded option;
+  mutable space_generation : int;
+  mutable fetch_accum : int;
+  counters : counters;
+  mutable hostcall : t -> int -> unit;
+}
+
+let default_code_base = 8 * 1024 * 1024 * 1024 (* 8 GiB: 4 GiB-aligned, above null *)
+
+let fresh_counters () =
+  {
+    instructions = 0;
+    cycles = 0;
+    loads = 0;
+    stores = 0;
+    code_bytes = 0;
+    seg_base_writes = 0;
+    pkru_writes = 0;
+  }
+
+let default_dcache_config =
+  (* 512 lines x 8 ways x 64 B = 32 KiB, a typical L1D. *)
+  { Tlb.entries = 512; ways = 8; page_walk_levels = 0; walk_cycles_per_level = 0 }
+
+let create ?(cost = Cost.default) ?(tlb = Tlb.default_config) ?(code_base = default_code_base)
+    ?(fsgsbase_available = true) space =
+  {
+    space;
+    cost;
+    tlb = Tlb.create tlb;
+    dcache = Tlb.create default_dcache_config;
+    code_base;
+    fsgsbase_available;
+    regs = Array.make 16 0L;
+    vregs = Array.init 16 (fun _ -> Bytes.make 16 '\000');
+    fs_base = 0;
+    gs_base = 0;
+    pkru = Mpk.allow_all;
+    zf = false;
+    sf = false;
+    cf = false;
+    of_ = false;
+    pc = 0;
+    loaded = None;
+    space_generation = Space.generation space;
+    fetch_accum = 0;
+    counters = fresh_counters ();
+    hostcall = (fun _ n -> invalid_arg (Printf.sprintf "no hostcall handler (hostcall %d)" n));
+  }
+
+let space t = t.space
+let cost_model t = t.cost
+
+let load_program t program =
+  let offsets = Encode.layout program in
+  let labels = Hashtbl.create 64 in
+  let addr_to_index = Hashtbl.create (Array.length program) in
+  Array.iteri
+    (fun idx i ->
+      (match i with
+      | Label l ->
+          if Hashtbl.mem labels l then invalid_arg ("Machine.load_program: duplicate label " ^ l);
+          Hashtbl.replace labels l idx
+      | _ -> ());
+      (* First instruction at a given byte address wins (labels share the
+         address of the instruction that follows them). *)
+      let addr = t.code_base + offsets.(idx) in
+      if not (Hashtbl.mem addr_to_index addr) then Hashtbl.replace addr_to_index addr idx)
+    program;
+  let code_len = Encode.program_length program in
+  t.loaded <- Some { program; offsets; labels; addr_to_index; code_len };
+  t.pc <- 0
+
+let get_loaded t =
+  match t.loaded with Some l -> l | None -> invalid_arg "Machine: no program loaded"
+
+let label_index t name =
+  let l = get_loaded t in
+  match Hashtbl.find_opt l.labels name with
+  | Some idx -> idx
+  | None -> raise Not_found
+
+let label_address t name =
+  let l = get_loaded t in
+  t.code_base + l.offsets.(label_index t name)
+
+let code_bounds t =
+  let l = get_loaded t in
+  (t.code_base, l.code_len)
+
+(* --- Register access --- *)
+
+let get_reg t r = t.regs.(gpr_index r)
+let set_reg t r v = t.regs.(gpr_index r) <- v
+
+let read_reg_w t w r =
+  let v = t.regs.(gpr_index r) in
+  match w with
+  | W64 -> v
+  | W32 -> Int64.logand v 0xFFFFFFFFL
+  | W16 -> Int64.logand v 0xFFFFL
+  | W8 -> Int64.logand v 0xFFL
+
+(* x86 semantics: 32-bit writes zero-extend; 8/16-bit writes preserve the
+   upper bits of the destination. *)
+let write_reg_w t w r v =
+  let i = gpr_index r in
+  match w with
+  | W64 -> t.regs.(i) <- v
+  | W32 -> t.regs.(i) <- Int64.logand v 0xFFFFFFFFL
+  | W16 -> t.regs.(i) <- Int64.logor (Int64.logand t.regs.(i) (Int64.lognot 0xFFFFL)) (Int64.logand v 0xFFFFL)
+  | W8 -> t.regs.(i) <- Int64.logor (Int64.logand t.regs.(i) (Int64.lognot 0xFFL)) (Int64.logand v 0xFFL)
+
+let get_seg_base t = function FS -> t.fs_base | GS -> t.gs_base
+let set_seg_base t seg v = match seg with FS -> t.fs_base <- v | GS -> t.gs_base <- v
+let get_pkru t = t.pkru
+let set_pkru t v = t.pkru <- v
+let set_hostcall_handler t f = t.hostcall <- f
+
+(* --- Effective addresses --- *)
+
+let addr_mask_47 = (1 lsl 47) - 1
+
+let effective_address t (m : mem) =
+  let base = match m.base with Some r -> t.regs.(gpr_index r) | None -> 0L in
+  let index =
+    match m.index with
+    | Some (r, s) -> Int64.mul t.regs.(gpr_index r) (Int64.of_int (scale_factor s))
+    | None -> 0L
+  in
+  let sum = Int64.add (Int64.add base index) (Int64.of_int m.disp) in
+  let sum = if m.addr32 && not m.native_base then Int64.logand sum 0xFFFFFFFFL else sum in
+  let seg =
+    if m.native_base then t.gs_base
+    else match m.seg with Some s -> get_seg_base t s | None -> 0
+  in
+  Int64.to_int (Int64.add (Int64.of_int seg) sum) land addr_mask_47
+
+(* Lea computes the address expression but never adds the segment base and
+   never touches memory. *)
+let lea_value t (m : mem) =
+  let base = match m.base with Some r -> t.regs.(gpr_index r) | None -> 0L in
+  let index =
+    match m.index with
+    | Some (r, s) -> Int64.mul t.regs.(gpr_index r) (Int64.of_int (scale_factor s))
+    | None -> 0L
+  in
+  let sum = Int64.add (Int64.add base index) (Int64.of_int m.disp) in
+  if m.addr32 then Int64.logand sum 0xFFFFFFFFL else sum
+
+(* --- Memory access with TLB and MPK --- *)
+
+(* TLB payload: bits 0-1 = read/write permission, bits 3+ = pkey. *)
+let payload_of prot key =
+  (if (prot : Sfi_vmem.Prot.t).read then 1 else 0)
+  lor (if prot.Sfi_vmem.Prot.write then 2 else 0)
+  lor (key lsl 3)
+
+let check_tlb_generation t =
+  let g = Space.generation t.space in
+  if g <> t.space_generation then begin
+    Tlb.flush t.tlb;
+    t.space_generation <- g
+  end
+
+let check_page t ~page ~write =
+  match Tlb.lookup t.tlb ~page with
+  | Some payload ->
+      let key = payload lsr 3 in
+      let ok_prot = if write then payload land 2 <> 0 else payload land 1 <> 0 in
+      if not ok_prot then raise (Trap_exn Trap_out_of_bounds);
+      if not (Mpk.allows t.pkru ~key ~write) then raise (Trap_exn Trap_out_of_bounds)
+  | None -> (
+      t.counters.cycles <- t.counters.cycles + Tlb.walk_cost t.tlb;
+      match Space.page_info t.space ~addr:(page * Space.page_size) with
+      | None -> raise (Trap_exn Trap_out_of_bounds)
+      | Some (prot, key) ->
+          Tlb.fill t.tlb ~page ~payload:(payload_of prot key);
+          let ok_prot = if write then prot.Sfi_vmem.Prot.write else prot.Sfi_vmem.Prot.read in
+          if not ok_prot then raise (Trap_exn Trap_out_of_bounds);
+          if not (Mpk.allows t.pkru ~key ~write) then raise (Trap_exn Trap_out_of_bounds))
+
+let touch_dcache t addr =
+  let line = addr lsr 6 in
+  match Tlb.lookup t.dcache ~page:line with
+  | Some _ -> ()
+  | None ->
+      t.counters.cycles <- t.counters.cycles + t.cost.Cost.dcache_miss_cycles;
+      Tlb.fill t.dcache ~page:line ~payload:0
+
+let check_access t ~addr ~len ~write =
+  check_tlb_generation t;
+  let first = addr lsr 12 and last = (addr + len - 1) lsr 12 in
+  check_page t ~page:first ~write;
+  if last <> first then check_page t ~page:last ~write;
+  touch_dcache t addr;
+  if (addr + len - 1) lsr 6 <> addr lsr 6 then touch_dcache t (addr + len - 1)
+
+let load_mem t w addr =
+  check_access t ~addr ~len:(width_bytes w) ~write:false;
+  t.counters.loads <- t.counters.loads + 1;
+  t.counters.cycles <- t.counters.cycles + t.cost.Cost.load_cycles;
+  match w with
+  | W8 -> Int64.of_int (Space.read8 t.space addr)
+  | W16 -> Int64.of_int (Space.read16 t.space addr)
+  | W32 -> Int64.logand (Int64.of_int32 (Space.read32 t.space addr)) 0xFFFFFFFFL
+  | W64 -> Space.read64 t.space addr
+
+let store_mem t w addr v =
+  check_access t ~addr ~len:(width_bytes w) ~write:true;
+  t.counters.stores <- t.counters.stores + 1;
+  t.counters.cycles <- t.counters.cycles + t.cost.Cost.store_cycles;
+  match w with
+  | W8 -> Space.write8 t.space addr (Int64.to_int (Int64.logand v 0xFFL))
+  | W16 -> Space.write16 t.space addr (Int64.to_int (Int64.logand v 0xFFFFL))
+  | W32 -> Space.write32 t.space addr (Int64.to_int32 v)
+  | W64 -> Space.write64 t.space addr v
+
+(* --- Operand evaluation --- *)
+
+let read_operand t w = function
+  | Reg r -> read_reg_w t w r
+  | Imm i -> (
+      match w with
+      | W64 -> i
+      | W32 -> Int64.logand i 0xFFFFFFFFL
+      | W16 -> Int64.logand i 0xFFFFL
+      | W8 -> Int64.logand i 0xFFL)
+  | Mem m -> load_mem t w (effective_address t m)
+
+let write_operand t w op v =
+  match op with
+  | Reg r -> write_reg_w t w r v
+  | Mem m -> store_mem t w (effective_address t m) v
+  | Imm _ -> invalid_arg "Machine: immediate as destination"
+
+(* --- Flags --- *)
+
+let width_bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+
+let mask_of_width = function
+  | W8 -> 0xFFL
+  | W16 -> 0xFFFFL
+  | W32 -> 0xFFFFFFFFL
+  | W64 -> -1L
+
+let sign_bit w v = Int64.logand v (Int64.shift_left 1L (width_bits w - 1)) <> 0L
+
+let set_logic_flags t w r =
+  t.zf <- Int64.logand r (mask_of_width w) = 0L;
+  t.sf <- sign_bit w r;
+  t.cf <- false;
+  t.of_ <- false
+
+let set_add_flags t w a b r =
+  t.zf <- Int64.logand r (mask_of_width w) = 0L;
+  t.sf <- sign_bit w r;
+  (if w = W64 then t.cf <- Int64.unsigned_compare r a < 0
+   else
+     let ua = Int64.logand a (mask_of_width w) and ub = Int64.logand b (mask_of_width w) in
+     t.cf <- Int64.unsigned_compare (Int64.add ua ub) (mask_of_width w) > 0);
+  t.of_ <- sign_bit w a = sign_bit w b && sign_bit w r <> sign_bit w a
+
+let set_sub_flags t w a b r =
+  t.zf <- Int64.logand r (mask_of_width w) = 0L;
+  t.sf <- sign_bit w r;
+  (let ua = Int64.logand a (mask_of_width w) and ub = Int64.logand b (mask_of_width w) in
+   t.cf <- Int64.unsigned_compare ua ub < 0);
+  t.of_ <- sign_bit w a <> sign_bit w b && sign_bit w r <> sign_bit w a
+
+let eval_cond t = function
+  | E -> t.zf
+  | NE -> not t.zf
+  | L -> t.sf <> t.of_
+  | GE -> t.sf = t.of_
+  | LE -> t.zf || t.sf <> t.of_
+  | G -> (not t.zf) && t.sf = t.of_
+  | B -> t.cf
+  | AE -> not t.cf
+  | BE -> t.cf || t.zf
+  | A -> (not t.cf) && not t.zf
+  | S -> t.sf
+  | NS -> not t.sf
+
+(* --- Sign extension helper for Movsx / division --- *)
+
+let sext w v =
+  match w with
+  | W64 -> v
+  | _ ->
+      let bits = 64 - width_bits w in
+      Int64.shift_right (Int64.shift_left v bits) bits
+
+(* --- Execution --- *)
+
+let charge t cycles = t.counters.cycles <- t.counters.cycles + cycles
+
+let charge_frontend t len =
+  t.counters.code_bytes <- t.counters.code_bytes + len;
+  let bpc = t.cost.Cost.frontend_bytes_per_cycle in
+  if bpc > 0 then begin
+    let total = t.fetch_accum + len in
+    charge t (total / bpc);
+    t.fetch_accum <- total mod bpc
+  end
+
+let push64 t v =
+  let rsp = Int64.to_int (get_reg t RSP) - 8 in
+  set_reg t RSP (Int64.of_int rsp);
+  check_access t ~addr:rsp ~len:8 ~write:true;
+  t.counters.stores <- t.counters.stores + 1;
+  Space.write64 t.space rsp v
+
+let pop64 t =
+  let rsp = Int64.to_int (get_reg t RSP) in
+  check_access t ~addr:rsp ~len:8 ~write:false;
+  t.counters.loads <- t.counters.loads + 1;
+  let v = Space.read64 t.space rsp in
+  set_reg t RSP (Int64.of_int (rsp + 8));
+  v
+
+let halt_sentinel = 0L
+
+let jump_to_address t addr =
+  let l = get_loaded t in
+  match Hashtbl.find_opt l.addr_to_index addr with
+  | Some idx -> t.pc <- idx
+  | None -> raise (Trap_exn Trap_out_of_bounds)
+
+let return_address t =
+  (* Byte address of the instruction after the current one. *)
+  let l = get_loaded t in
+  let next = t.pc + 1 in
+  if next < Array.length l.program then Int64.of_int (t.code_base + l.offsets.(next))
+  else Int64.of_int (t.code_base + l.code_len)
+
+let div_by_zero = Trap_exn Trap_integer_divide_by_zero
+let div_overflow = Trap_exn Trap_integer_overflow
+
+let exec_div t w signed src =
+  charge t t.cost.Cost.div_cycles;
+  let divisor = read_operand t w src in
+  if signed then begin
+    let a = sext w (read_reg_w t w RAX) in
+    let b = sext w divisor in
+    if b = 0L then raise div_by_zero;
+    let min_w = Int64.shift_left 1L (width_bits w - 1) |> sext w in
+    if a = min_w && b = -1L then raise div_overflow;
+    write_reg_w t w RAX (Int64.div a b);
+    write_reg_w t w RDX (Int64.rem a b)
+  end
+  else begin
+    let a = read_reg_w t w RAX in
+    let b = divisor in
+    if b = 0L then raise div_by_zero;
+    write_reg_w t w RAX (Int64.unsigned_div a b);
+    write_reg_w t w RDX (Int64.unsigned_rem a b)
+  end
+
+let vreg_index (XMM n) =
+  if n < 0 || n > 15 then invalid_arg "Machine: bad xmm register";
+  n
+
+let step t =
+  let l = get_loaded t in
+  if t.pc < 0 || t.pc >= Array.length l.program then raise (Trap_exn Trap_out_of_bounds);
+  let instr = l.program.(t.pc) in
+  t.counters.instructions <- t.counters.instructions + 1;
+  charge_frontend t (Encode.instr_length instr);
+  let cost = t.cost in
+  let next_pc = ref (t.pc + 1) in
+  (match instr with
+  | Label _ -> t.counters.instructions <- t.counters.instructions - 1
+  | Nop -> charge t cost.Cost.alu_cycles
+  | Mov (w, dst, src) ->
+      charge t cost.Cost.alu_cycles;
+      write_operand t w dst (read_operand t w src)
+  | Movzx (dw, sw, dst, src) ->
+      charge t cost.Cost.alu_cycles;
+      write_reg_w t dw dst (read_operand t sw src)
+  | Movsx (dw, sw, dst, src) ->
+      charge t cost.Cost.alu_cycles;
+      write_reg_w t dw dst (sext sw (read_operand t sw src))
+  | Lea (w, dst, m) ->
+      charge t cost.Cost.lea_cycles;
+      write_reg_w t w dst (lea_value t m)
+  | Alu (op, w, dst, src) ->
+      charge t cost.Cost.alu_cycles;
+      let a = read_operand t w dst and b = read_operand t w src in
+      let r =
+        match op with
+        | Add -> Int64.add a b
+        | Sub -> Int64.sub a b
+        | And -> Int64.logand a b
+        | Or -> Int64.logor a b
+        | Xor -> Int64.logxor a b
+      in
+      (match op with
+      | Add -> set_add_flags t w a b r
+      | Sub -> set_sub_flags t w a b r
+      | And | Or | Xor -> set_logic_flags t w r);
+      write_operand t w dst r
+  | Shift (op, w, dst, count) ->
+      charge t cost.Cost.alu_cycles;
+      let n =
+        match count with
+        | Count_imm n -> n
+        | Count_cl -> Int64.to_int (Int64.logand (get_reg t RCX) 0x3FL)
+      in
+      let n = n land (width_bits w - 1) in
+      let a = read_operand t w dst in
+      let bits = width_bits w in
+      let masked = Int64.logand a (mask_of_width w) in
+      let r =
+        match op with
+        | Shl -> Int64.shift_left a n
+        | Shr -> Int64.shift_right_logical masked n
+        | Sar -> Int64.shift_right (sext w a) n
+        | Rol ->
+            if n = 0 then a
+            else
+              Int64.logor (Int64.shift_left masked n)
+                (Int64.shift_right_logical masked (bits - n))
+        | Ror ->
+            if n = 0 then a
+            else
+              Int64.logor
+                (Int64.shift_right_logical masked n)
+                (Int64.shift_left masked (bits - n))
+      in
+      set_logic_flags t w r;
+      write_operand t w dst r
+  | Imul (w, dst, src) ->
+      charge t cost.Cost.mul_cycles;
+      let r = Int64.mul (read_reg_w t w dst) (read_operand t w src) in
+      write_reg_w t w dst r
+  | Bitcnt (k, w, dst, src) ->
+      charge t cost.Cost.alu_cycles;
+      let v = Int64.logand (read_operand t w src) (mask_of_width w) in
+      let bits = width_bits w in
+      let count =
+        match k with
+        | Popcnt ->
+            let n = ref 0 and x = ref v in
+            for _ = 1 to 64 do
+              if Int64.logand !x 1L = 1L then incr n;
+              x := Int64.shift_right_logical !x 1
+            done;
+            !n
+        | Tzcnt ->
+            if v = 0L then bits
+            else begin
+              let n = ref 0 and x = ref v in
+              while Int64.logand !x 1L = 0L do
+                incr n;
+                x := Int64.shift_right_logical !x 1
+              done;
+              !n
+            end
+        | Lzcnt ->
+            if v = 0L then bits
+            else begin
+              let n = ref 0 in
+              let top = Int64.shift_left 1L (bits - 1) in
+              let x = ref v in
+              while Int64.logand !x top = 0L do
+                incr n;
+                x := Int64.shift_left !x 1
+              done;
+              !n
+            end
+      in
+      write_reg_w t w dst (Int64.of_int count)
+  | Div (w, signed, src) -> exec_div t w signed src
+  | Cqo w ->
+      charge t cost.Cost.alu_cycles;
+      let a = sext w (read_reg_w t w RAX) in
+      write_reg_w t w RDX (if Int64.compare a 0L < 0 then -1L else 0L)
+  | Neg (w, op) ->
+      charge t cost.Cost.alu_cycles;
+      let a = read_operand t w op in
+      let r = Int64.neg a in
+      set_sub_flags t w 0L a r;
+      write_operand t w op r
+  | Not (w, op) ->
+      charge t cost.Cost.alu_cycles;
+      write_operand t w op (Int64.lognot (read_operand t w op))
+  | Cmp (w, a, b) ->
+      charge t cost.Cost.alu_cycles;
+      let va = read_operand t w a and vb = read_operand t w b in
+      set_sub_flags t w va vb (Int64.sub va vb)
+  | Test (w, a, b) ->
+      charge t cost.Cost.alu_cycles;
+      let va = read_operand t w a and vb = read_operand t w b in
+      set_logic_flags t w (Int64.logand va vb)
+  | Setcc (c, r) ->
+      charge t cost.Cost.alu_cycles;
+      set_reg t r (if eval_cond t c then 1L else 0L)
+  | Cmovcc (c, w, dst, src) ->
+      charge t cost.Cost.alu_cycles;
+      if eval_cond t c then write_reg_w t w dst (read_operand t w src)
+      else if w = W32 then
+        (* Hardware quirk: cmov with a 32-bit destination zero-extends even
+           when the move does not happen. *)
+        write_reg_w t w dst (read_reg_w t w dst)
+  | Jmp lbl ->
+      charge t (cost.Cost.branch_cycles + cost.Cost.taken_branch_cycles);
+      next_pc := label_index t lbl
+  | Jcc (c, lbl) ->
+      charge t cost.Cost.branch_cycles;
+      if eval_cond t c then begin
+        charge t cost.Cost.taken_branch_cycles;
+        next_pc := label_index t lbl
+      end
+  | Jmp_reg r ->
+      charge t cost.Cost.indirect_branch_cycles;
+      jump_to_address t (Int64.to_int (get_reg t r) land addr_mask_47);
+      next_pc := t.pc
+  | Call lbl ->
+      charge t cost.Cost.call_ret_cycles;
+      push64 t (return_address t);
+      next_pc := label_index t lbl
+  | Call_reg r ->
+      charge t (cost.Cost.call_ret_cycles + cost.Cost.indirect_branch_cycles);
+      push64 t (return_address t);
+      jump_to_address t (Int64.to_int (get_reg t r) land addr_mask_47);
+      next_pc := t.pc
+  | Ret ->
+      charge t cost.Cost.call_ret_cycles;
+      let addr = pop64 t in
+      if addr = halt_sentinel then raise Halt_exn;
+      jump_to_address t (Int64.to_int addr land addr_mask_47);
+      next_pc := t.pc
+  | Push op ->
+      charge t cost.Cost.store_cycles;
+      push64 t (read_operand t W64 op)
+  | Pop r ->
+      charge t cost.Cost.load_cycles;
+      set_reg t r (pop64 t)
+  | Wrfsbase r | Wrgsbase r ->
+      charge t
+        (if t.fsgsbase_available then cost.Cost.wrsegbase_cycles
+         else cost.Cost.wrsegbase_syscall_cycles);
+      t.counters.seg_base_writes <- t.counters.seg_base_writes + 1;
+      let v = Int64.to_int (get_reg t r) land addr_mask_47 in
+      (match instr with Wrfsbase _ -> t.fs_base <- v | _ -> t.gs_base <- v)
+  | Rdfsbase r ->
+      charge t cost.Cost.alu_cycles;
+      set_reg t r (Int64.of_int t.fs_base)
+  | Rdgsbase r ->
+      charge t cost.Cost.alu_cycles;
+      set_reg t r (Int64.of_int t.gs_base)
+  | Wrpkru ->
+      charge t cost.Cost.wrpkru_cycles;
+      t.counters.pkru_writes <- t.counters.pkru_writes + 1;
+      t.pkru <- Int64.to_int (Int64.logand (get_reg t RAX) 0xFFFFFFFFL)
+  | Rdpkru ->
+      charge t cost.Cost.alu_cycles;
+      set_reg t RAX (Int64.of_int t.pkru);
+      set_reg t RDX 0L
+  | Vload (v, m) ->
+      charge t cost.Cost.vector_cycles;
+      let addr = effective_address t m in
+      check_access t ~addr ~len:16 ~write:false;
+      t.counters.loads <- t.counters.loads + 1;
+      let data = Space.read_bytes t.space ~addr ~len:16 in
+      Bytes.blit data 0 t.vregs.(vreg_index v) 0 16
+  | Vstore (m, v) ->
+      charge t cost.Cost.vector_cycles;
+      let addr = effective_address t m in
+      check_access t ~addr ~len:16 ~write:true;
+      t.counters.stores <- t.counters.stores + 1;
+      Space.write_bytes t.space ~addr (Bytes.copy t.vregs.(vreg_index v))
+  | Vzero v ->
+      charge t cost.Cost.vector_cycles;
+      Bytes.fill t.vregs.(vreg_index v) 0 16 '\000'
+  | Vdup8 (v, b) ->
+      charge t cost.Cost.vector_cycles;
+      Bytes.fill t.vregs.(vreg_index v) 0 16 (Char.chr (b land 0xFF))
+  | Hostcall n ->
+      charge t cost.Cost.hostcall_cycles;
+      t.hostcall t n
+  | Trap k -> raise (Trap_exn k));
+  t.pc <- !next_pc
+
+let start t ~entry =
+  t.pc <- label_index t entry;
+  push64 t halt_sentinel
+
+let run t ~fuel =
+  let budget = ref fuel in
+  let result = ref None in
+  (try
+     while !result = None do
+       if !budget <= 0 then result := Some Yielded
+       else begin
+         decr budget;
+         step t
+       end
+     done
+   with
+  | Halt_exn -> result := Some Halted
+  | Hostcall_exit _ -> result := Some Halted
+  | Trap_exn k -> result := Some (Trapped k));
+  match !result with Some s -> s | None -> assert false
+
+let execute t ~entry ?(fuel = 1 lsl 30) () =
+  start t ~entry;
+  run t ~fuel
+
+let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.instructions <- 0;
+  c.cycles <- 0;
+  c.loads <- 0;
+  c.stores <- 0;
+  c.code_bytes <- 0;
+  c.seg_base_writes <- 0;
+  c.pkru_writes <- 0;
+  t.fetch_accum <- 0;
+  Tlb.reset_counters t.tlb;
+  Tlb.reset_counters t.dcache
+
+type context = {
+  c_regs : int64 array;
+  c_vregs : Bytes.t array;
+  c_fs : int;
+  c_gs : int;
+  c_pkru : int;
+  c_zf : bool;
+  c_sf : bool;
+  c_cf : bool;
+  c_of : bool;
+  c_pc : int;
+  c_fetch : int;
+}
+
+let save_context t =
+  {
+    c_regs = Array.copy t.regs;
+    c_vregs = Array.map Bytes.copy t.vregs;
+    c_fs = t.fs_base;
+    c_gs = t.gs_base;
+    c_pkru = t.pkru;
+    c_zf = t.zf;
+    c_sf = t.sf;
+    c_cf = t.cf;
+    c_of = t.of_;
+    c_pc = t.pc;
+    c_fetch = t.fetch_accum;
+  }
+
+let restore_context t c =
+  Array.blit c.c_regs 0 t.regs 0 16;
+  Array.iteri (fun i b -> Bytes.blit c.c_vregs.(i) 0 b 0 16) t.vregs;
+  t.fs_base <- c.c_fs;
+  t.gs_base <- c.c_gs;
+  t.pkru <- c.c_pkru;
+  t.zf <- c.c_zf;
+  t.sf <- c.c_sf;
+  t.cf <- c.c_cf;
+  t.of_ <- c.c_of;
+  t.pc <- c.c_pc;
+  t.fetch_accum <- c.c_fetch
+
+let dtlb_misses t = Tlb.misses t.tlb
+let dtlb_hits t = Tlb.hits t.tlb
+let elapsed_ns t = Cost.ns_of_cycles t.cost t.counters.cycles
+let flush_tlb t =
+  Tlb.flush t.tlb;
+  Tlb.flush t.dcache
+
+let dcache_misses t = Tlb.misses t.dcache

@@ -1,0 +1,126 @@
+(** The simulated x86-64 CPU.
+
+    Executes {!Sfi_x86.Ast} programs against a {!Sfi_vmem.Space}, modeling
+    exactly the architectural state the paper's optimizations manipulate:
+    the 16 GPRs (32-bit writes zero-extend), FS/GS segment bases, PKRU, and
+    a dTLB. Costs follow {!Cost}; performance counters expose cycles,
+    instructions, code bytes fetched, and dTLB misses — the metrics behind
+    Figures 3-7.
+
+    Programs are loaded at a code base address; every instruction gets a
+    byte address from {!Sfi_x86.Encode.layout}, so indirect control flow
+    (and LFI's truncate-and-add-base sandboxing of it) runs over realistic
+    addresses. *)
+
+type t
+
+type counters = {
+  mutable instructions : int;
+  mutable cycles : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable code_bytes : int;  (** bytes fetched/decoded *)
+  mutable seg_base_writes : int;  (** wrfsbase/wrgsbase executed *)
+  mutable pkru_writes : int;  (** wrpkru executed *)
+}
+
+type status =
+  | Halted  (** the entry function returned *)
+  | Trapped of Sfi_x86.Ast.trap_kind
+  | Yielded  (** fuel exhausted; {!run} may be called again to continue *)
+
+exception Hostcall_exit of int
+(** A hostcall handler may raise this to terminate the program (WASI
+    [proc_exit]-style); {!run} returns [Halted]. *)
+
+val create :
+  ?cost:Cost.t ->
+  ?tlb:Sfi_vmem.Tlb.config ->
+  ?code_base:int ->
+  ?fsgsbase_available:bool ->
+  Sfi_vmem.Space.t ->
+  t
+(** [fsgsbase_available] (default true) selects between the user-level
+    segment-base write cost and the [arch_prctl] syscall fallback cost —
+    the old-CPU path Firefox must support (§4.1). *)
+
+val space : t -> Sfi_vmem.Space.t
+val cost_model : t -> Cost.t
+
+(** {1 Program loading} *)
+
+val load_program : t -> Sfi_x86.Ast.program -> unit
+(** Replaces any previously loaded program. Raises [Invalid_argument] on
+    duplicate labels. *)
+
+val label_address : t -> string -> int
+(** Code byte address of a label (code_base + offset). Raises [Not_found]
+    for unknown labels. Used to seed indirect-call tables. *)
+
+val code_bounds : t -> int * int
+(** [(base, length)] of the loaded program's code image. *)
+
+(** {1 Architectural state} *)
+
+val get_reg : t -> Sfi_x86.Ast.gpr -> int64
+val set_reg : t -> Sfi_x86.Ast.gpr -> int64 -> unit
+val get_seg_base : t -> Sfi_x86.Ast.seg -> int
+val set_seg_base : t -> Sfi_x86.Ast.seg -> int -> unit
+(** Host-side base write (no cycle charge; the in-program [Wrgsbase]
+    instruction is the one that pays). *)
+
+val get_pkru : t -> Sfi_vmem.Mpk.pkru
+val set_pkru : t -> Sfi_vmem.Mpk.pkru -> unit
+
+val set_hostcall_handler : t -> (t -> int -> unit) -> unit
+(** Handler invoked by the [Hostcall n] instruction. Arguments/results are
+    passed in registers by convention (the runtime defines it). *)
+
+(** {1 Execution} *)
+
+val start : t -> entry:string -> unit
+(** Position the program counter at [entry] and push the halt sentinel
+    return address. The caller must have set up RSP to a mapped stack. *)
+
+val run : t -> fuel:int -> status
+(** Execute at most [fuel] instructions; returns [Yielded] if the budget
+    ran out (epoch-style preemption, §6.4.3), [Halted] on return from the
+    entry, or [Trapped]. *)
+
+val execute : t -> entry:string -> ?fuel:int -> unit -> status
+(** [start] + [run] with a large default budget (2^30 instructions). *)
+
+(** {1 Counters} *)
+
+val counters : t -> counters
+val reset_counters : t -> unit
+(** Also resets TLB hit/miss counters. *)
+
+val dtlb_misses : t -> int
+val dtlb_hits : t -> int
+
+val dcache_misses : t -> int
+(** L1D misses under the flat one-level data-cache model. Working-set
+    effects surface here: 32-bit Wasm indices halve pointer footprints,
+    which is how Wasm occasionally beats native (sections 6.1 and 6.2). *)
+
+val elapsed_ns : t -> float
+(** Simulated nanoseconds: cycles / frequency. *)
+
+val flush_tlb : t -> unit
+(** Simulate the TLB flush of an OS-level context switch (multiprocess
+    scaling, Figure 7). *)
+
+(** {1 Execution contexts}
+
+    A snapshot of the architectural state (registers, vector registers,
+    flags, segment bases, PKRU, program counter). The runtime uses these to
+    multiplex many paused Wasm activations over one machine — the
+    user-level context switching that makes single-address-space scaling
+    attractive (§2). Saving/restoring charges no cycles by itself; the
+    scheduler models switch costs explicitly. *)
+
+type context
+
+val save_context : t -> context
+val restore_context : t -> context -> unit

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Bytes Hashtbl Int32 Int64 List Sfi_core Sfi_machine Sfi_util Sfi_vmem Sfi_wasm Sfi_x86

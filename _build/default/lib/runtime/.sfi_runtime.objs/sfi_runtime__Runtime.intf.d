@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Sfi_core Sfi_machine Sfi_vmem Sfi_x86

@@ -1,0 +1,403 @@
+module X = Sfi_x86.Ast
+module W = Sfi_wasm.Ast
+module Space = Sfi_vmem.Space
+module Mpk = Sfi_vmem.Mpk
+module Prot = Sfi_vmem.Prot
+module Machine = Sfi_machine.Machine
+module Cost = Sfi_machine.Cost
+module Codegen = Sfi_core.Codegen
+module Pool = Sfi_core.Pool
+module Strategy = Sfi_core.Strategy
+
+type trap = X.trap_kind
+
+type allocator = Simple of { reservation : int } | Pool of Pool.layout
+
+(* Fixed address-space plan (within the 47-bit user space):
+   - tables at the codegen config addresses (~0x3000_0000);
+   - per-instance host blocks (vmctx + host stack) from 1 GiB;
+   - code at 8 GiB (the machine's default);
+   - linear-memory slab from 32 GiB. *)
+let host_area_base = 0x4000_0000
+let host_block_stride = 0x10_0000 (* 1 MiB *)
+let host_stack_offset = 0x1_0000
+let host_stack_bytes = 0x4_0000 (* 256 KiB *)
+let slab_base = 0x8_0000_0000
+let hostcall_halt = 0xFFFF
+
+let wasm_page = W.page_size
+
+type engine = {
+  machine : Machine.t;
+  space : Space.t;
+  compiled : Codegen.compiled;
+  allocator : allocator;
+  max_slots : int;
+  mutable free_slots : int list;
+  mutable next_slot : int;
+  slot_mapped_pages : (int, int) Hashtbl.t; (* slot -> pages ever mapped *)
+  imports : (string, instance -> int64 array -> int64) Hashtbl.t;
+  mutable current : instance option;
+  transition_overhead_cycles : int;
+  mutable transitions : int;
+}
+
+and instance = {
+  engine : engine;
+  id : int;
+  vmctx : int;
+  heap : int;
+  stack_top : int;
+  inst_color : int;
+  mutable pages : int;
+  max_pages : int;
+  mutable live : bool;
+}
+
+let machine e = e.machine
+let space e = e.space
+let compiled e = e.compiled
+let instance_id i = i.id
+let heap_base i = i.heap
+let color i = i.inst_color
+let memory_pages i = i.pages
+
+let ok_exn what = function Ok () -> () | Error msg -> failwith (what ^ ": " ^ msg)
+
+let strategy e = e.compiled.Codegen.config.Codegen.strategy
+
+(* --- vmctx accessors --- *)
+
+let write_vmctx64 e inst off v = Space.write64 e.space (inst.vmctx + off) v
+
+let set_memory_bound e inst =
+  write_vmctx64 e inst Codegen.vmctx_memory_bytes (Int64.of_int (inst.pages * wasm_page))
+
+(* --- memory growth --- *)
+
+let slot_capacity_pages e =
+  match e.allocator with
+  | Simple { reservation } -> reservation / wasm_page
+  | Pool layout -> layout.Pool.params.Pool.max_memory_bytes / wasm_page
+
+let map_heap_range e inst ~from_page ~to_page =
+  if to_page > from_page then begin
+    let addr = inst.heap + (from_page * wasm_page) in
+    let len = (to_page - from_page) * wasm_page in
+    ok_exn "map heap" (Space.map e.space ~addr ~len ~prot:Prot.rw);
+    if inst.inst_color <> 0 then
+      ok_exn "color heap" (Space.pkey_protect e.space ~addr ~len ~prot:Prot.rw ~key:inst.inst_color)
+  end
+
+let set_accessible e inst ~pages =
+  let mapped = try Hashtbl.find e.slot_mapped_pages inst.id with Not_found -> 0 in
+  if pages > mapped then begin
+    (* Make the already-mapped prefix accessible again, then extend. *)
+    if mapped > 0 then
+      ok_exn "reprotect heap"
+        (Space.pkey_protect e.space ~addr:inst.heap ~len:(mapped * wasm_page) ~prot:Prot.rw
+           ~key:inst.inst_color);
+    map_heap_range e inst ~from_page:mapped ~to_page:pages;
+    Hashtbl.replace e.slot_mapped_pages inst.id pages
+  end
+  else begin
+    if pages > 0 then
+      ok_exn "reprotect heap"
+        (Space.pkey_protect e.space ~addr:inst.heap ~len:(pages * wasm_page) ~prot:Prot.rw
+           ~key:inst.inst_color);
+    if mapped > pages then
+      ok_exn "fence heap"
+        (Space.pkey_protect e.space
+           ~addr:(inst.heap + (pages * wasm_page))
+           ~len:((mapped - pages) * wasm_page)
+           ~prot:Prot.none ~key:inst.inst_color)
+  end
+
+let grow_memory e inst delta =
+  if delta < 0 then -1
+  else if delta = 0 then inst.pages
+  else begin
+    let new_pages = inst.pages + delta in
+    if new_pages > inst.max_pages || new_pages > slot_capacity_pages e then -1
+    else begin
+      let old = inst.pages in
+      set_accessible e inst ~pages:new_pages;
+      inst.pages <- new_pages;
+      set_memory_bound e inst;
+      old
+    end
+  end
+
+(* --- hostcalls --- *)
+
+let hostcall_handler e m id =
+  let inst =
+    match e.current with Some i -> i | None -> failwith "hostcall outside an invocation"
+  in
+  if id = hostcall_halt then raise (Machine.Hostcall_exit 0)
+  else if id = Codegen.hostcall_memory_grow then begin
+    let delta = Int64.to_int (Machine.get_reg m X.RDI) in
+    Machine.set_reg m X.RAX (Int64.of_int (grow_memory e inst delta))
+  end
+  else begin
+    let imports = e.compiled.Codegen.source.W.imports in
+    if id < 0 || id >= Array.length imports then failwith "unknown hostcall id";
+    let { W.iname; itype } = imports.(id) in
+    let ft = e.compiled.Codegen.source.W.types.(itype) in
+    let nargs = List.length ft.W.params in
+    let args =
+      Array.init nargs (fun k ->
+          Machine.get_reg m (match k with 0 -> X.RDI | 1 -> X.RSI | _ -> X.RDX))
+    in
+    match Hashtbl.find_opt e.imports iname with
+    | Some f ->
+        (* A hostcall is a transition pair: out of and back into the
+           sandbox. Under ColorGuard each direction pays a pkru switch. *)
+        e.transitions <- e.transitions + 2;
+        if e.compiled.Codegen.config.Codegen.colorguard then begin
+          let c = Machine.counters m in
+          c.Machine.cycles <- c.Machine.cycles + (2 * (Machine.cost_model m).Cost.wrpkru_cycles)
+        end;
+        let result = f inst args in
+        Machine.set_reg m X.RAX result
+    | None -> failwith ("unresolved import: " ^ iname)
+  end
+
+(* --- engine creation --- *)
+
+let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
+    ?(allocator = Simple { reservation = 4 * Sfi_util.Units.gib })
+    ?(transition_overhead_cycles = 55) ?code_base (compiled : Codegen.compiled) =
+  let space = Space.create ?max_map_count () in
+  let machine = Machine.create ?cost ?tlb ~fsgsbase_available ?code_base space in
+  Machine.load_program machine compiled.Codegen.program;
+  (* Indirect-call tables: code addresses and type ids, host memory. *)
+  let cfg = compiled.Codegen.config in
+  let table_len = Array.length compiled.Codegen.table_entries in
+  let table_area = Sfi_util.Units.align_up (max 4096 (8 * table_len)) 4096 in
+  ok_exn "map table"
+    (Space.map space ~addr:cfg.Codegen.table_base ~len:table_area ~prot:Prot.r);
+  ok_exn "map table types"
+    (Space.map space ~addr:cfg.Codegen.table_types_base ~len:table_area ~prot:Prot.r);
+  Array.iteri
+    (fun i (label, tyid) ->
+      Space.write64 space
+        (cfg.Codegen.table_base + (8 * i))
+        (Int64.of_int (Machine.label_address machine label));
+      Space.write32 space (cfg.Codegen.table_types_base + (4 * i)) (Int32.of_int tyid))
+    compiled.Codegen.table_entries;
+  let max_slots =
+    match allocator with
+    | Simple _ -> 4096
+    | Pool layout -> layout.Pool.params.Pool.num_slots
+  in
+  let e =
+    {
+      machine;
+      space;
+      compiled;
+      allocator;
+      max_slots;
+      free_slots = [];
+      next_slot = 0;
+      slot_mapped_pages = Hashtbl.create 64;
+      imports = Hashtbl.create 8;
+      current = None;
+      transition_overhead_cycles;
+      transitions = 0;
+    }
+  in
+  Machine.set_hostcall_handler machine (fun m id -> hostcall_handler e m id);
+  e
+
+let register_import e name f = Hashtbl.replace e.imports name f
+
+(* --- instances --- *)
+
+let slot_heap_base e slot =
+  match e.allocator with
+  | Simple { reservation } ->
+      (* Keep a 4 GiB guard window after each reservation. *)
+      slab_base + (slot * (reservation + (4 * Sfi_util.Units.gib)))
+  | Pool layout -> slab_base + Pool.slot_base layout slot
+
+let slot_color e slot =
+  match e.allocator with Simple _ -> 0 | Pool layout -> Pool.color_of_slot layout slot
+
+let instantiate e =
+  let slot =
+    match e.free_slots with
+    | s :: rest ->
+        e.free_slots <- rest;
+        s
+    | [] ->
+        if e.next_slot >= e.max_slots then failwith "Runtime.instantiate: pool exhausted";
+        let s = e.next_slot in
+        e.next_slot <- s + 1;
+        s
+  in
+  let m = e.compiled.Codegen.source in
+  let min_pages, max_pages =
+    match m.W.memory with
+    | Some { W.min_pages; max_pages } ->
+        (min_pages, match max_pages with Some mx -> mx | None -> 65536)
+    | None -> (0, 0)
+  in
+  let host_block = host_area_base + (slot * host_block_stride) in
+  let inst =
+    {
+      engine = e;
+      id = slot;
+      vmctx = host_block;
+      heap = slot_heap_base e slot;
+      stack_top = host_block + host_stack_offset + host_stack_bytes;
+      inst_color = slot_color e slot;
+      pages = min_pages;
+      max_pages = min max_pages (slot_capacity_pages e);
+      live = true;
+    }
+  in
+  (* Host block: vmctx page + host stack (default pkey 0). First use of the
+     slot maps it; recycled slots keep their mapping. *)
+  if not (Hashtbl.mem e.slot_mapped_pages slot) then begin
+    ok_exn "map vmctx" (Space.map e.space ~addr:host_block ~len:4096 ~prot:Prot.rw);
+    ok_exn "map stack"
+      (Space.map e.space ~addr:(host_block + host_stack_offset) ~len:host_stack_bytes
+         ~prot:Prot.rw);
+    Hashtbl.replace e.slot_mapped_pages slot 0
+  end;
+  set_accessible e inst ~pages:min_pages;
+  (* Zero recycled memory the way Wasmtime does. *)
+  if min_pages > 0 then
+    ok_exn "madvise heap"
+      (Space.madvise_dontneed e.space ~addr:inst.heap ~len:(min_pages * wasm_page));
+  (* vmctx: bound, heap base, pkru images, globals. *)
+  set_memory_bound e inst;
+  write_vmctx64 e inst Codegen.vmctx_heap_base (Int64.of_int inst.heap);
+  let sandbox_pkru =
+    if inst.inst_color = 0 then Mpk.allow_all
+    else Mpk.allow_only [ Mpk.default_key; inst.inst_color ]
+  in
+  write_vmctx64 e inst Codegen.vmctx_pkru_sandbox (Int64.of_int sandbox_pkru);
+  write_vmctx64 e inst Codegen.vmctx_pkru_host (Int64.of_int Mpk.allow_all);
+  (* Stack exhaustion limit: leave a page of headroom above the guard. *)
+  write_vmctx64 e inst Codegen.vmctx_stack_limit
+    (Int64.of_int (host_block + host_stack_offset + 4096));
+  Array.iteri
+    (fun i (g : W.global) ->
+      let bits =
+        match g.W.ginit with
+        | W.V_i32 v -> Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
+        | W.V_i64 v -> v
+      in
+      write_vmctx64 e inst (Codegen.vmctx_globals + (8 * i)) bits)
+    m.W.globals;
+  List.iter
+    (fun { W.doffset; dbytes } ->
+      Space.write_bytes e.space ~addr:(inst.heap + doffset) (Bytes.of_string dbytes))
+    m.W.data;
+  inst
+
+let release inst =
+  let e = inst.engine in
+  if inst.live then begin
+    inst.live <- false;
+    if inst.pages > 0 then
+      ok_exn "madvise release"
+        (Space.madvise_dontneed e.space ~addr:inst.heap ~len:(inst.pages * wasm_page));
+    e.free_slots <- inst.id :: e.free_slots
+  end
+
+let read_memory inst ~addr ~len =
+  Bytes.to_string (Space.read_bytes inst.engine.space ~addr:(inst.heap + addr) ~len)
+
+let write_memory inst ~addr s =
+  Space.write_bytes inst.engine.space ~addr:(inst.heap + addr) (Bytes.of_string s)
+
+(* --- transitions and calls --- *)
+
+let charge_transition e =
+  e.transitions <- e.transitions + 1;
+  let c = Machine.counters e.machine in
+  c.Machine.cycles <- c.Machine.cycles + e.transition_overhead_cycles
+
+let charge_exit e =
+  charge_transition e;
+  if e.compiled.Codegen.config.Codegen.colorguard then begin
+    (* Restore the host PKRU on the way out: the second wrpkru. *)
+    Machine.set_pkru e.machine Mpk.allow_all;
+    let c = Machine.counters e.machine in
+    c.Machine.cycles <- c.Machine.cycles + (Machine.cost_model e.machine).Cost.wrpkru_cycles
+  end
+
+let prepare_call inst name args =
+  let e = inst.engine in
+  let m = e.machine in
+  e.current <- Some inst;
+  Machine.set_seg_base m X.FS inst.vmctx;
+  (* The native baseline's "absolute pointers": the base is implicit. *)
+  if (strategy e).Strategy.addressing = Strategy.Direct then
+    Machine.set_seg_base m X.GS inst.heap;
+  Machine.set_pkru m Mpk.allow_all;
+  (* Caller-side argument pushes. *)
+  let rsp = ref inst.stack_top in
+  List.iter
+    (fun a ->
+      rsp := !rsp - 8;
+      Space.write64 e.space !rsp a)
+    args;
+  Machine.set_reg m X.RSP (Int64.of_int !rsp);
+  charge_transition e;
+  Machine.start m ~entry:(Codegen.entry_label e.compiled name)
+
+let finish e status =
+  match status with
+  | Machine.Halted ->
+      charge_exit e;
+      `Done (Machine.get_reg e.machine X.RAX)
+  | Machine.Trapped k ->
+      charge_exit e;
+      `Trapped k
+  | Machine.Yielded -> `More
+
+let invoke ?(fuel = 1 lsl 30) inst name args =
+  prepare_call inst name args;
+  match finish inst.engine (Machine.run inst.engine.machine ~fuel) with
+  | `Done v -> Ok v
+  | `Trapped k -> Error k
+  | `More -> failwith "Runtime.invoke: fuel exhausted"
+
+type activation = {
+  act_inst : instance;
+  mutable ctx : Machine.context option;
+  mutable done_ : bool;
+}
+
+let start_call inst name args =
+  prepare_call inst name args;
+  let ctx = Machine.save_context inst.engine.machine in
+  { act_inst = inst; ctx = Some ctx; done_ = false }
+
+let step act ~fuel =
+  if act.done_ then invalid_arg "Runtime.step: activation already finished";
+  let e = act.act_inst.engine in
+  let m = e.machine in
+  (match act.ctx with Some c -> Machine.restore_context m c | None -> ());
+  e.current <- Some act.act_inst;
+  match finish e (Machine.run m ~fuel) with
+  | `Done v ->
+      act.done_ <- true;
+      `Done v
+  | `Trapped k ->
+      act.done_ <- true;
+      `Trapped k
+  | `More ->
+      act.ctx <- Some (Machine.save_context m);
+      `More
+
+let transitions e = e.transitions
+let elapsed_ns e = Machine.elapsed_ns e.machine
+
+let reset_metrics e =
+  Machine.reset_counters e.machine;
+  e.transitions <- 0

@@ -1,0 +1,106 @@
+(** The Wasm engine: instances, memory management, transitions.
+
+    Ties the pieces together the way a production runtime does (§4, §5):
+    compiled code from {!Sfi_core.Codegen} is loaded into a
+    {!Sfi_machine.Machine}; each instance gets an instance context (vmctx,
+    addressed through [%fs]), a host stack, and a linear-memory slot —
+    either a private 4 GiB + guard reservation ([`Simple]) or a slot in a
+    ColorGuard-striped pool ([`Pool]).
+
+    Transitions into and out of an instance model §6.4.1: entering executes
+    the compiled entry sequence (segment-base write, and under ColorGuard
+    the [wrpkru] domain switch) plus a fixed overhead for the stack switch
+    and exception-handler bookkeeping; leaving restores the host PKRU
+    (charging the second [wrpkru]) and the same fixed overhead. *)
+
+type engine
+type instance
+
+type trap = Sfi_x86.Ast.trap_kind
+
+type allocator =
+  | Simple of { reservation : int }
+      (** one private reservation per instance (base stride
+          [reservation + 4 GiB] guard), the classic layout of §2 *)
+  | Pool of Sfi_core.Pool.layout
+      (** Wasmtime-style pooling, optionally ColorGuard-striped *)
+
+val slab_base : int
+(** Base address of the linear-memory slab (32 GiB). Slot 0's heap starts
+    here; the LFI backend overlays its code region on it so one register
+    can base both code and data. *)
+
+val hostcall_halt : int
+(** Hostcall id that terminates execution (used by LFI's halt
+    trampoline). *)
+
+val create_engine :
+  ?cost:Sfi_machine.Cost.t ->
+  ?tlb:Sfi_vmem.Tlb.config ->
+  ?fsgsbase_available:bool ->
+  ?max_map_count:int ->
+  ?allocator:allocator ->
+  ?transition_overhead_cycles:int ->
+  ?code_base:int ->
+  Sfi_core.Codegen.compiled ->
+  engine
+(** Loads the program, maps the indirect-call tables, and prepares the
+    allocator. [allocator] defaults to [Simple] with a 4 GiB reservation;
+    [transition_overhead_cycles] (default 55 per direction, calibrated to
+    the paper's 30.34 ns baseline at 2.2 GHz) models the stack-switch,
+    exception-handler and ABI work of a transition besides the instructions
+    the entry sequence itself executes (sec 6.4.1). *)
+
+val machine : engine -> Sfi_machine.Machine.t
+val space : engine -> Sfi_vmem.Space.t
+val compiled : engine -> Sfi_core.Codegen.compiled
+
+val register_import : engine -> string -> (instance -> int64 array -> int64) -> unit
+(** Provide a host (WASI-style) function for a module import; arity comes
+    from the import's type. Calls transition out of the sandbox (the
+    machine charges hostcall cost). *)
+
+(** {1 Instances} *)
+
+val instantiate : engine -> instance
+(** Allocate the next free slot, map the initial linear memory (colored
+    under a striped pool), write the vmctx, copy data segments, and run the
+    start function if any. Raises [Failure] when the pool is exhausted or
+    mapping fails. *)
+
+val release : instance -> unit
+(** Recycle the instance's slot: [madvise(MADV_DONTNEED)] the memory (MPK
+    colors survive in the PTEs — the §7 contrast with MTE) and return it to
+    the allocator's free list. *)
+
+val instance_id : instance -> int
+val heap_base : instance -> int
+val color : instance -> int
+val memory_pages : instance -> int
+
+val read_memory : instance -> addr:int -> len:int -> string
+val write_memory : instance -> addr:int -> string -> unit
+
+(** {1 Calls} *)
+
+val invoke : ?fuel:int -> instance -> string -> int64 list -> (int64, trap) result
+(** Call an export; the result is the raw 64-bit return register (0 for
+    void functions). Raises [Not_found] for unknown exports. *)
+
+(** {2 Epoch-style preemptible calls (§6.4.3)} *)
+
+type activation
+
+val start_call : instance -> string -> int64 list -> activation
+val step : activation -> fuel:int -> [ `Done of int64 | `Trapped of trap | `More ]
+(** Run up to [fuel] instructions of the activation, saving/restoring the
+    machine context around it — the user-level context switch. [`More]
+    means the epoch expired; call {!step} again later. *)
+
+(** {1 Metrics} *)
+
+val transitions : engine -> int
+(** One-way transitions performed (in + out). *)
+
+val elapsed_ns : engine -> float
+val reset_metrics : engine -> unit

@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+let copy t = { state = t.state }
+
+(* SplitMix64: a single 64-bit state advanced by the golden-gamma constant,
+   finalized by two xor-shift multiplies. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  raw mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform bits scaled into [0, bound). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let poisson t ~mean =
+  if mean <= 0.0 then 0
+  else if mean < 60.0 then begin
+    (* Knuth: multiply uniforms until below e^-mean. *)
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. float t 1.0 in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Normal approximation, adequate for large means. *)
+    let u1 = float t 1.0 and u2 = float t 1.0 in
+    let u1 = if u1 <= 0.0 then 1e-12 else u1 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    let v = mean +. (sqrt mean *. z) in
+    if v < 0.0 then 0 else int_of_float (Float.round v)
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,51 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let xs = require_nonempty "Stats.geomean" xs in
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive input";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  let xs = sorted (require_nonempty "Stats.median" xs) in
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let stddev xs =
+  let m = mean xs in
+  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sqrt (sq /. float_of_int (List.length xs))
+
+let percent_overhead ~baseline ~measured = (measured -. baseline) /. baseline *. 100.0
+
+let overhead_eliminated ~baseline ~unopt ~opt =
+  let before = unopt -. baseline in
+  if before <= 0.0 then 0.0 else (unopt -. opt) /. before *. 100.0
+
+let percentile xs p =
+  let xs = sorted (require_nonempty "Stats.percentile" xs) in
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end

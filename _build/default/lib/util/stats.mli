@@ -1,0 +1,33 @@
+(** Small statistics helpers used by the benchmark harness.
+
+    The paper reports geometric means over normalized runtimes, medians over
+    repeated measurements, and standard deviations; these are the
+    corresponding computations. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean. All inputs must be positive; raises [Invalid_argument]
+    otherwise. This is how SPEC-style normalized runtimes are aggregated. *)
+
+val median : float list -> float
+(** Median (average of the two central elements for even lengths). Raises
+    [Invalid_argument] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val percent_overhead : baseline:float -> measured:float -> float
+(** [percent_overhead ~baseline ~measured] is
+    [(measured - baseline) / baseline * 100.]: the paper's
+    "overhead vs native" metric. *)
+
+val overhead_eliminated : baseline:float -> unopt:float -> opt:float -> float
+(** [overhead_eliminated ~baseline ~unopt ~opt] is the share (in percent) of
+    the overhead over [baseline] that the optimization removed — e.g. the
+    paper's "Segue eliminates 44.7% of Wasm's overheads". Returns 0 if the
+    unoptimized configuration had no overhead to begin with. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation. *)

@@ -1,0 +1,48 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  let width = List.length t.headers in
+  let len = List.length row in
+  if len > width then invalid_arg "Table.add_row: row wider than header";
+  let padded = row @ List.init (width - len) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let record_widths row =
+    List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row
+  in
+  List.iter record_widths all;
+  let buf = Buffer.create 1024 in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let right_trim s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+    String.sub s 0 !n
+  in
+  let emit_row row =
+    let cells = List.mapi (fun i cell -> pad cell widths.(i)) row in
+    Buffer.add_string buf (right_trim (String.concat " | " cells));
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let parts = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    Buffer.add_string buf (String.concat "-+-" parts);
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  rule ();
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct ?(decimals = 1) x =
+  if x >= 0.0 then Printf.sprintf "+%.*f%%" decimals x else Printf.sprintf "%.*f%%" decimals x

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every experiment in [bench/main.ml] prints the rows/series the paper's
+    corresponding table or figure reports; this module keeps that output
+    aligned and uniform. *)
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append one row. Rows shorter than the header are right-padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Render with ASCII column separators, columns sized to content. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout, followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell (default 2 decimals). *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Format a percentage cell with a [%] suffix and explicit sign. *)

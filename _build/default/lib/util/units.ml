@@ -1,0 +1,31 @@
+let kib = 1024
+let mib = 1024 * kib
+let gib = 1024 * mib
+let wasm_page_size = 64 * kib
+let os_page_size = 4 * kib
+let user_address_space_bits = 47
+let user_address_space_bytes = 1 lsl user_address_space_bits
+
+let is_aligned x a =
+  if a <= 0 then invalid_arg "Units.is_aligned: non-positive alignment";
+  x mod a = 0
+
+let align_up x a =
+  if a <= 0 then invalid_arg "Units.align_up: non-positive alignment";
+  (x + a - 1) / a * a
+
+let align_down x a =
+  if a <= 0 then invalid_arg "Units.align_down: non-positive alignment";
+  x / a * a
+
+let pp_bytes ppf n =
+  let render unit_bytes name =
+    if n mod unit_bytes = 0 then Format.fprintf ppf "%d %s" (n / unit_bytes) name
+    else Format.fprintf ppf "%.2f %s" (float_of_int n /. float_of_int unit_bytes) name
+  in
+  if n >= gib then render gib "GiB"
+  else if n >= mib then render mib "MiB"
+  else if n >= kib then render kib "KiB"
+  else Format.fprintf ppf "%d B" n
+
+let to_string n = Format.asprintf "%a" pp_bytes n

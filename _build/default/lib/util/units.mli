@@ -1,0 +1,38 @@
+(** Byte-size constants and human-readable formatting.
+
+    Address-space arithmetic in the pool allocator and ColorGuard is done in
+    plain [int]s: OCaml's native ints are 63-bit on 64-bit platforms, which
+    comfortably covers the 47-bit user address space the paper targets. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val wasm_page_size : int
+(** 64 KiB — the Wasm page granularity (Table 1, invariants 7 and 8). *)
+
+val os_page_size : int
+(** 4 KiB — the OS page granularity (Table 1, invariant 9). *)
+
+val user_address_space_bits : int
+(** 47 — user-space virtual address bits on x86-64 (the paper's scaling
+    arithmetic: at most 2^47 / 2^33 = 16K conventional Wasm instances). *)
+
+val user_address_space_bytes : int
+(** [2 ^ user_address_space_bits]. *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned x a] is true iff [x] is a multiple of [a]. Raises
+    [Invalid_argument] if [a <= 0]. *)
+
+val align_up : int -> int -> int
+(** [align_up x a] rounds [x] up to the next multiple of [a]. *)
+
+val align_down : int -> int -> int
+(** [align_down x a] rounds [x] down to a multiple of [a]. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Render a byte count with a binary suffix, e.g. "408 MiB", "8 GiB". *)
+
+val to_string : int -> string
+(** [to_string n] is [Format.asprintf "%a" pp_bytes n]. *)

@@ -1,0 +1,35 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.data) in
+  let data = Array.make cap t.data.(0) in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then
+    if t.len = 0 then t.data <- Array.make 16 x else grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let append_array t a = Array.iter (fun x -> ignore (push t x)) a
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done

@@ -1,0 +1,18 @@
+(** A minimal growable array (OCaml 5.1's stdlib has none).
+
+    Used by the SFI compiler to accumulate instructions while retaining
+    random access for back-patching (frame sizes are known only after a
+    function body is lowered). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> int
+(** Appends and returns the element's index. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val append_array : 'a t -> 'a array -> unit
+val to_array : 'a t -> 'a array
+val iter : ('a -> unit) -> 'a t -> unit

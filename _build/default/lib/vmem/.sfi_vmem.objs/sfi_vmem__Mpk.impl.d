@@ -1,0 +1,1 @@
+lib/vmem/mpk.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/vmem/mpk.mli: Format

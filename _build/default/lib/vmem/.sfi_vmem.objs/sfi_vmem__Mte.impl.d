@@ -1,0 +1,1 @@
+lib/vmem/mte.ml: Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/vmem/prot.ml: Format

@@ -1,0 +1,1 @@
+lib/vmem/space.ml: Bytes Char Hashtbl Int Int32 Int64 Map Mpk Prot

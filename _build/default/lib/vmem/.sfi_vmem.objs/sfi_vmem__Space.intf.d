@@ -1,0 +1,1 @@
+lib/vmem/space.mli: Mpk Prot

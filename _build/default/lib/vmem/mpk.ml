@@ -1,0 +1,32 @@
+type pkru = int
+
+let num_keys = 16
+let max_usable_keys = 15
+let default_key = 0
+let allow_all = 0
+
+let check_key k =
+  if k < 0 || k >= num_keys then invalid_arg (Printf.sprintf "Mpk: key %d out of range" k)
+
+let allow_only keys =
+  List.iter check_key keys;
+  (* Start fully restricted (AD set on every key), then clear the bits for
+     the permitted keys. *)
+  let restrict_all = ref 0 in
+  for k = 0 to num_keys - 1 do
+    restrict_all := !restrict_all lor (0b11 lsl (2 * k))
+  done;
+  List.fold_left (fun pkru k -> pkru land lnot (0b11 lsl (2 * k))) !restrict_all keys
+
+let allows pkru ~key ~write =
+  check_key key;
+  let ad = pkru land (1 lsl (2 * key)) <> 0 in
+  let wd = pkru land (1 lsl ((2 * key) + 1)) <> 0 in
+  (not ad) && not (write && wd)
+
+let pp ppf pkru =
+  let allowed = ref [] in
+  for k = num_keys - 1 downto 0 do
+    if allows pkru ~key:k ~write:false then allowed := k :: !allowed
+  done;
+  Format.fprintf ppf "pkru{allow=%s}" (String.concat "," (List.map string_of_int !allowed))

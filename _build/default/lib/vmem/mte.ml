@@ -1,0 +1,69 @@
+let granule_size = 16
+
+type t = {
+  tags : (int, int) Hashtbl.t; (* granule index -> tag; absent = 0 *)
+  mutable user_instrs : int;
+}
+
+let create () = { tags = Hashtbl.create 1024; user_instrs = 0 }
+
+let granule_of addr = addr / granule_size
+
+let tag_of t ~addr =
+  match Hashtbl.find_opt t.tags (granule_of addr) with Some tag -> tag | None -> 0
+
+let set_granule t g tag = if tag = 0 then Hashtbl.remove t.tags g else Hashtbl.replace t.tags g tag
+
+let check_tag_value tag =
+  if tag < 0 || tag > 15 then invalid_arg (Printf.sprintf "Mte: tag %d out of range" tag)
+
+let st2g t ~addr ~tag =
+  check_tag_value tag;
+  let g = granule_of addr in
+  set_granule t g tag;
+  set_granule t (g + 1) tag;
+  t.user_instrs <- t.user_instrs + 1
+
+let tag_range_user t ~addr ~len ~tag =
+  check_tag_value tag;
+  if len <= 0 then 0
+  else begin
+    let first = granule_of addr and last = granule_of (addr + len - 1) in
+    let before = t.user_instrs in
+    let g = ref first in
+    while !g <= last do
+      st2g t ~addr:(!g * granule_size) ~tag;
+      g := !g + 2
+    done;
+    t.user_instrs - before
+  end
+
+let check t ~addr ~ptr_tag = tag_of t ~addr = ptr_tag
+
+let discard_range t ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let first = granule_of addr and last = granule_of (addr + len - 1) in
+    for g = first to last do
+      Hashtbl.remove t.tags g
+    done;
+    (* Even untagged granules cost the kernel a visit; report the full
+       granule count so time models scale with the range, not occupancy. *)
+    last - first + 1
+  end
+
+let count_mismatched t ~addr ~len ~tag =
+  check_tag_value tag;
+  if len <= 0 then 0
+  else begin
+    let first = granule_of addr and last = granule_of (addr + len - 1) in
+    let n = ref 0 in
+    for g = first to last do
+      let current = match Hashtbl.find_opt t.tags g with Some v -> v | None -> 0 in
+      if current <> tag then incr n
+    done;
+    !n
+  end
+
+let user_tag_instructions t = t.user_instrs
+let reset_counters t = t.user_instrs <- 0

@@ -1,0 +1,20 @@
+type t = { read : bool; write : bool; exec : bool }
+
+let none = { read = false; write = false; exec = false }
+let rw = { read = true; write = true; exec = false }
+let r = { read = true; write = false; exec = false }
+let rx = { read = true; write = false; exec = true }
+
+let pp ppf t =
+  Format.fprintf ppf "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.exec then 'x' else '-')
+
+type fault = Unmapped | Prot_violation | Pkey_violation | Mte_tag_mismatch
+
+let fault_name = function
+  | Unmapped -> "unmapped"
+  | Prot_violation -> "protection violation"
+  | Pkey_violation -> "pkey violation"
+  | Mte_tag_mismatch -> "mte tag mismatch"

@@ -1,0 +1,25 @@
+(** Page protections and memory faults. *)
+
+type t = { read : bool; write : bool; exec : bool }
+
+val none : t
+(** PROT_NONE — how guard regions are mapped. *)
+
+val rw : t
+val r : t
+val rx : t
+
+val pp : Format.formatter -> t -> unit
+(** e.g. "rw-", "---". *)
+
+(** Why a memory access failed. The machine converts these into SFI traps;
+    the distinction matters to the tests: ColorGuard turns would-be
+    guard-region hits ([Unmapped]/[Prot_violation]) into [Pkey_violation]s
+    with identical trapping behaviour (§3.2). *)
+type fault =
+  | Unmapped               (** no VMA covers the address *)
+  | Prot_violation         (** VMA present but permission (r/w) missing *)
+  | Pkey_violation         (** MPK color not enabled in PKRU *)
+  | Mte_tag_mismatch       (** MTE pointer/memory tag disagreement *)
+
+val fault_name : fault -> string

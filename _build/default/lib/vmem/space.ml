@@ -1,0 +1,282 @@
+module Imap = Map.Make (Int)
+
+let page_size = 4096
+let page_shift = 12
+let page_of_addr addr = addr lsr page_shift
+
+type vma = { start : int; len : int; prot : Prot.t; pkey : int }
+
+type t = {
+  mutable vmas : vma Imap.t; (* keyed by start address *)
+  pages : (int, Bytes.t) Hashtbl.t;
+  max_map_count : int;
+  mutable generation : int; (* bumped whenever the VMA layout changes *)
+}
+
+let create ?(max_map_count = 65530) () =
+  { vmas = Imap.empty; pages = Hashtbl.create 4096; max_map_count; generation = 0 }
+
+let generation t = t.generation
+
+let vma_count t = Imap.cardinal t.vmas
+let max_map_count t = t.max_map_count
+
+let vma_end v = v.start + v.len
+
+let find_vma t addr =
+  match Imap.find_last_opt (fun s -> s <= addr) t.vmas with
+  | Some (_, v) when addr < vma_end v -> Some v
+  | Some _ | None -> None
+
+let page_info t ~addr =
+  match find_vma t addr with Some v -> Some (v.prot, v.pkey) | None -> None
+
+let aligned addr len =
+  addr >= 0 && len > 0 && addr mod page_size = 0 && len mod page_size = 0
+
+(* Any existing VMA overlapping [addr, addr+len)? *)
+let overlapping t addr len =
+  let finish = addr + len in
+  (* The VMA starting before addr may extend into the range... *)
+  let before =
+    match Imap.find_last_opt (fun s -> s < addr) t.vmas with
+    | Some (_, v) when vma_end v > addr -> [ v ]
+    | Some _ | None -> []
+  in
+  (* ...and any VMA starting inside the range overlaps. *)
+  let inside =
+    Imap.fold
+      (fun s v acc -> if s >= addr && s < finish then v :: acc else acc)
+      t.vmas []
+  in
+  before @ inside
+
+let map t ~addr ~len ~prot =
+  if not (aligned addr len) then Error "map: unaligned or empty range"
+  else if overlapping t addr len <> [] then Error "map: overlaps existing mapping"
+  else if vma_count t >= t.max_map_count then Error "map: vm.max_map_count exceeded"
+  else begin
+    t.vmas <- Imap.add addr { start = addr; len; prot; pkey = Mpk.default_key } t.vmas;
+    t.generation <- t.generation + 1;
+    Ok ()
+  end
+
+(* Split the VMA containing [addr] (if any) so that a VMA boundary falls
+   exactly at [addr]. *)
+let split_at t addr =
+  match find_vma t addr with
+  | Some v when v.start < addr ->
+      let left = { v with len = addr - v.start } in
+      let right = { v with start = addr; len = vma_end v - addr } in
+      t.vmas <- Imap.add addr right (Imap.add v.start left t.vmas)
+  | Some _ | None -> ()
+
+(* Merge VMAs with identical attributes that became adjacent after an
+   update, as the kernel does — keeps vma_count honest for the
+   max_map_count experiments. *)
+let merge_range t addr len =
+  let finish = addr + len in
+  let rec merge_from pos =
+    if pos > finish then ()
+    else
+      match Imap.find_last_opt (fun s -> s <= pos) t.vmas with
+      | None -> ()
+      | Some (_, v) -> (
+          match Imap.find_opt (vma_end v) t.vmas with
+          | Some next when next.prot = v.prot && next.pkey = v.pkey ->
+              t.vmas <- Imap.remove next.start t.vmas;
+              t.vmas <- Imap.add v.start { v with len = v.len + next.len } t.vmas;
+              merge_from pos
+          | Some next -> merge_from (vma_end next)
+          | None -> ())
+  in
+  (* Start just before the range so a merge across the left edge happens. *)
+  merge_from (max 0 (addr - 1))
+
+(* Apply [f] to every VMA fully inside [addr, addr+len), after splitting at
+   the edges. The range must be fully mapped. *)
+let update_range t addr len f =
+  if not (aligned addr len) then Error "unaligned or empty range"
+  else begin
+    let finish = addr + len in
+    (* Verify full coverage before mutating. *)
+    let rec covered pos =
+      if pos >= finish then true
+      else
+        match find_vma t pos with
+        | Some v -> covered (vma_end v)
+        | None -> false
+    in
+    if not (covered addr) then Error "range not fully mapped"
+    else begin
+      split_at t addr;
+      split_at t finish;
+      let updated =
+        Imap.map (fun v -> if v.start >= addr && vma_end v <= finish then f v else v) t.vmas
+      in
+      t.vmas <- updated;
+      if vma_count t > t.max_map_count then Error "vm.max_map_count exceeded"
+      else begin
+        merge_range t addr len;
+        t.generation <- t.generation + 1;
+        Ok ()
+      end
+    end
+  end
+
+let protect t ~addr ~len ~prot = update_range t addr len (fun v -> { v with prot })
+
+let pkey_protect t ~addr ~len ~prot ~key =
+  if key < 0 || key >= Mpk.num_keys then Error "pkey_protect: invalid key"
+  else update_range t addr len (fun v -> { v with prot; pkey = key })
+
+let unmap t ~addr ~len =
+  if not (aligned addr len) then Error "unmap: unaligned or empty range"
+  else begin
+    split_at t addr;
+    split_at t (addr + len);
+    let finish = addr + len in
+    t.vmas <- Imap.filter (fun s v -> not (s >= addr && vma_end v <= finish)) t.vmas;
+    (* Drop page contents. *)
+    for p = page_of_addr addr to page_of_addr (finish - 1) do
+      Hashtbl.remove t.pages p
+    done;
+    t.generation <- t.generation + 1;
+    Ok ()
+  end
+
+let madvise_dontneed t ~addr ~len =
+  if not (aligned addr len) then Error "madvise: unaligned or empty range"
+  else begin
+    for p = page_of_addr addr to page_of_addr (addr + len - 1) do
+      Hashtbl.remove t.pages p
+    done;
+    Ok ()
+  end
+
+let check_access t ~pkru ~addr ~len ~write =
+  if len <= 0 then Ok ()
+  else begin
+    let first = page_of_addr addr and last = page_of_addr (addr + len - 1) in
+    let rec check page =
+      if page > last then Ok ()
+      else
+        match find_vma t (page lsl page_shift) with
+        | None -> Error Prot.Unmapped
+        | Some v ->
+            if (write && not v.prot.Prot.write) || ((not write) && not v.prot.Prot.read) then
+              Error Prot.Prot_violation
+            else if not (Mpk.allows pkru ~key:v.pkey ~write) then Error Prot.Pkey_violation
+            else check (page + 1)
+    in
+    check first
+  end
+
+(* --- Sparse data store --- *)
+
+let zero_page = Bytes.make page_size '\000'
+
+let get_page_ro t p = match Hashtbl.find_opt t.pages p with Some b -> b | None -> zero_page
+
+let get_page_rw t p =
+  match Hashtbl.find_opt t.pages p with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make page_size '\000' in
+      Hashtbl.replace t.pages p b;
+      b
+
+let read8 t addr = Char.code (Bytes.get (get_page_ro t (page_of_addr addr)) (addr land (page_size - 1)))
+
+let write8 t addr v =
+  Bytes.set (get_page_rw t (page_of_addr addr)) (addr land (page_size - 1)) (Char.chr (v land 0xFF))
+
+let within_page addr len = addr land (page_size - 1) <= page_size - len
+
+let read16 t addr =
+  if within_page addr 2 then
+    Bytes.get_uint16_le (get_page_ro t (page_of_addr addr)) (addr land (page_size - 1))
+  else read8 t addr lor (read8 t (addr + 1) lsl 8)
+
+let write16 t addr v =
+  if within_page addr 2 then
+    Bytes.set_uint16_le (get_page_rw t (page_of_addr addr)) (addr land (page_size - 1)) (v land 0xFFFF)
+  else begin
+    write8 t addr v;
+    write8 t (addr + 1) (v lsr 8)
+  end
+
+let read32 t addr =
+  if within_page addr 4 then
+    Bytes.get_int32_le (get_page_ro t (page_of_addr addr)) (addr land (page_size - 1))
+  else
+    let lo = read16 t addr and hi = read16 t (addr + 2) in
+    Int32.logor (Int32.of_int lo) (Int32.shift_left (Int32.of_int hi) 16)
+
+let write32 t addr v =
+  if within_page addr 4 then
+    Bytes.set_int32_le (get_page_rw t (page_of_addr addr)) (addr land (page_size - 1)) v
+  else begin
+    write16 t addr (Int32.to_int v land 0xFFFF);
+    write16 t (addr + 2) (Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF)
+  end
+
+let read64 t addr =
+  if within_page addr 8 then
+    Bytes.get_int64_le (get_page_ro t (page_of_addr addr)) (addr land (page_size - 1))
+  else
+    let lo = read32 t addr and hi = read32 t (addr + 4) in
+    Int64.logor
+      (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+      (Int64.shift_left (Int64.of_int32 hi) 32)
+
+let write64 t addr v =
+  if within_page addr 8 then
+    Bytes.set_int64_le (get_page_rw t (page_of_addr addr)) (addr land (page_size - 1)) v
+  else begin
+    write32 t addr (Int64.to_int32 v);
+    write32 t (addr + 4) (Int64.to_int32 (Int64.shift_right_logical v 32))
+  end
+
+let read_bytes t ~addr ~len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let in_page = a land (page_size - 1) in
+    let chunk = min (len - !pos) (page_size - in_page) in
+    Bytes.blit (get_page_ro t (page_of_addr a)) in_page out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
+
+let write_bytes t ~addr b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let in_page = a land (page_size - 1) in
+    let chunk = min (len - !pos) (page_size - in_page) in
+    Bytes.blit b !pos (get_page_rw t (page_of_addr a)) in_page chunk;
+    pos := !pos + chunk
+  done
+
+let fill t ~addr ~len ~byte =
+  let c = Char.chr (byte land 0xFF) in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let in_page = a land (page_size - 1) in
+    let chunk = min (len - !pos) (page_size - in_page) in
+    Bytes.fill (get_page_rw t (page_of_addr a)) in_page chunk c;
+    pos := !pos + chunk
+  done
+
+let copy t ~src ~dst ~len =
+  if len > 0 then begin
+    (* Read-then-write gives memmove semantics for overlapping ranges. *)
+    let data = read_bytes t ~addr:src ~len in
+    write_bytes t ~addr:dst data
+  end
+
+let resident_pages t = Hashtbl.length t.pages

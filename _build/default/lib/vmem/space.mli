@@ -1,0 +1,94 @@
+(** A simulated user virtual address space.
+
+    Backs the guard-region SFI story: Wasm engines allocate a 4 GiB linear
+    memory followed by a 4 GiB unmapped guard region per sandbox, so that
+    any "base + 33-bit offset" access either hits linear memory or traps
+    (§2). ColorGuard replaces most guard space with MPK-colored slots (§3.2).
+
+    The space tracks VMAs (start, length, protection, MPK key) like a kernel
+    would, lazily materializes 4 KiB pages in a sparse store, and enforces
+    a configurable [vm.max_map_count] — the Linux limit ColorGuard
+    deployments must raise because each colored stripe is its own VMA
+    (§5.1, "Other deployment considerations"). *)
+
+type t
+
+type vma = { start : int; len : int; prot : Prot.t; pkey : int }
+
+val create : ?max_map_count:int -> unit -> t
+(** Fresh empty space. [max_map_count] defaults to 65530 (Linux's default),
+    the limit the paper notes must be raised to fully use ColorGuard. *)
+
+val page_size : int
+val page_of_addr : int -> int
+
+(** {1 Mapping system calls} *)
+
+val map : t -> addr:int -> len:int -> prot:Prot.t -> (unit, string) result
+(** [mmap(MAP_FIXED)]-style: map [\[addr, addr+len)] with [prot] and the
+    default pkey. Page-aligned arguments required. Fails on overlap with an
+    existing mapping or when the VMA budget is exhausted. *)
+
+val unmap : t -> addr:int -> len:int -> (unit, string) result
+
+val protect : t -> addr:int -> len:int -> prot:Prot.t -> (unit, string) result
+(** [mprotect]. The range must be fully mapped. *)
+
+val pkey_protect : t -> addr:int -> len:int -> prot:Prot.t -> key:int -> (unit, string) result
+(** [pkey_mprotect] — assign an MPK color to a mapped range (§5.1, step 2 of
+    ColorGuard). Splitting a VMA can exceed the map-count budget, which this
+    reports as an error. *)
+
+val madvise_dontneed : t -> addr:int -> len:int -> (unit, string) result
+(** Zero the range's contents but keep mapping, protection and pkey — how
+    Wasmtime recycles an instance slot. Notably MPK colors survive this call
+    while MTE tags do not (§7, Observation 2); MTE tag discarding is modeled
+    in {!Mte}. *)
+
+(** {1 Inspection} *)
+
+val find_vma : t -> int -> vma option
+val vma_count : t -> int
+val max_map_count : t -> int
+
+val generation : t -> int
+(** Incremented on every layout change ([map], [unmap], [protect],
+    [pkey_protect]). The machine's TLB model uses this to invalidate cached
+    translations, exactly as a kernel shoots down TLBs after mapping
+    changes. *)
+
+val page_info : t -> addr:int -> (Prot.t * int) option
+(** Protection and pkey covering this address, if mapped. *)
+
+(** {1 Access checking}
+
+    The machine consults this on every load/store, after its TLB model. *)
+
+val check_access :
+  t -> pkru:Mpk.pkru -> addr:int -> len:int -> write:bool -> (unit, Prot.fault) result
+
+(** {1 Data access}
+
+    Little-endian. These do {e not} re-check permissions — callers go
+    through {!check_access} first (the machine does). Reading unmapped
+    memory returns zeros, mirroring a fresh anonymous mapping. *)
+
+val read8 : t -> int -> int
+val read16 : t -> int -> int
+val read32 : t -> int -> int32
+val read64 : t -> int -> int64
+val write8 : t -> int -> int -> unit
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> int32 -> unit
+val write64 : t -> int -> int64 -> unit
+
+val read_bytes : t -> addr:int -> len:int -> bytes
+val write_bytes : t -> addr:int -> bytes -> unit
+val fill : t -> addr:int -> len:int -> byte:int -> unit
+val copy : t -> src:int -> dst:int -> len:int -> unit
+(** Overlap-safe (memmove semantics). *)
+
+val resident_pages : t -> int
+(** Number of materialized pages — a proxy for RSS, used to show that Wasm
+    FaaS instances "rarely exceed a few hundred megabytes" of the 8 GiB
+    reservation (§2). *)

@@ -1,0 +1,76 @@
+type config = {
+  entries : int;
+  ways : int;
+  page_walk_levels : int;
+  walk_cycles_per_level : int;
+}
+
+let default_config = { entries = 64; ways = 4; page_walk_levels = 4; walk_cycles_per_level = 5 }
+
+type t = {
+  config : config;
+  sets : int;
+  tags : int array; (* tags.(set * ways + way) = page number, -1 = invalid *)
+  payloads : int array;
+  stamps : int array; (* LRU stamps; larger = more recent *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create config =
+  if config.entries <= 0 || config.ways <= 0 || config.entries mod config.ways <> 0 then
+    invalid_arg "Tlb.create: entries must be a positive multiple of ways";
+  let sets = config.entries / config.ways in
+  {
+    config;
+    sets;
+    tags = Array.make config.entries (-1);
+    payloads = Array.make config.entries 0;
+    stamps = Array.make config.entries 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let walk_cost t = t.config.page_walk_levels * t.config.walk_cycles_per_level
+
+let lookup t ~page =
+  let set = page mod t.sets in
+  let base = set * t.config.ways in
+  t.clock <- t.clock + 1;
+  let rec find way =
+    if way >= t.config.ways then None
+    else if t.tags.(base + way) = page then Some way
+    else find (way + 1)
+  in
+  match find 0 with
+  | Some way ->
+      t.hits <- t.hits + 1;
+      t.stamps.(base + way) <- t.clock;
+      Some t.payloads.(base + way)
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let fill t ~page ~payload =
+  let set = page mod t.sets in
+  let base = set * t.config.ways in
+  let victim = ref 0 in
+  for way = 1 to t.config.ways - 1 do
+    if t.stamps.(base + way) < t.stamps.(base + !victim) then victim := way
+  done;
+  t.tags.(base + !victim) <- page;
+  t.payloads.(base + !victim) <- payload;
+  t.stamps.(base + !victim) <- t.clock
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+let misses t = t.misses
+let hits t = t.hits
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

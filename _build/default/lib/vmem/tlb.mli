@@ -1,0 +1,46 @@
+(** A small data-TLB model.
+
+    Figure 7b explains multiprocess scaling's throughput loss partly through
+    dTLB misses: every OS process switch flushes the TLB, while ColorGuard's
+    in-process transitions keep it warm. We model a set-associative TLB with
+    LRU replacement; a miss costs a page walk whose latency depends on the
+    paging depth (4-level vs 5-level — §8's 57-bit address-space
+    discussion).
+
+    Entries carry an integer payload. The machine stores each page's
+    protection bits and MPK key there, mirroring hardware: permissions and
+    the key are cached in the TLB entry, while the PKRU check happens on
+    every access against the cached key. *)
+
+type t
+
+type config = {
+  entries : int;  (** total entries, e.g. 64 *)
+  ways : int;  (** associativity, e.g. 4 *)
+  page_walk_levels : int;  (** 4 (48-bit VA) or 5 (57-bit VA) *)
+  walk_cycles_per_level : int;  (** cycles per level, e.g. 5 *)
+}
+
+val default_config : config
+(** 64-entry, 4-way, 4-level walk. *)
+
+val create : config -> t
+
+val lookup : t -> page:int -> int option
+(** [lookup t ~page] returns the cached payload on a hit (updating recency)
+    or [None] on a miss. The caller walks the page table, charges
+    {!walk_cost}, and {!fill}s. *)
+
+val fill : t -> page:int -> payload:int -> unit
+(** Insert a translation, evicting the set's LRU entry if needed. *)
+
+val walk_cost : t -> int
+(** Cycles for one page walk under this configuration. *)
+
+val flush : t -> unit
+(** Full flush — what a CR3 write (process context switch) does.
+    ColorGuard transitions never call this. *)
+
+val misses : t -> int
+val hits : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+lib/wasm/ast.ml: Array Format Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/wasm/ast.mli: Format

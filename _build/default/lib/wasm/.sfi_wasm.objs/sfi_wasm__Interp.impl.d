@@ -1,0 +1,1 @@
+lib/wasm/interp.ml: Array Ast Bytes Char Hashtbl Int32 Int64 List Printf String Validate

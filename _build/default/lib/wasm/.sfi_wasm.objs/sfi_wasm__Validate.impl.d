@@ -1,0 +1,1 @@
+lib/wasm/validate.ml: Array Ast Format List String

@@ -1,0 +1,238 @@
+open Ast
+
+type fn = { index : int; name : string; sig_params : valty list; sig_results : valty list }
+
+type pending_func = {
+  pf_name : string;
+  pf_export : bool;
+  pf_type : int;
+  mutable pf_locals : valty list;
+  mutable pf_body : instr list option;
+}
+
+type t = {
+  mutable types : functype list; (* reversed *)
+  mutable n_types : int;
+  mutable imports : import list; (* reversed *)
+  mutable n_imports : int;
+  mutable funcs : pending_func list; (* reversed *)
+  mutable n_funcs : int;
+  mutable globals : global list; (* reversed *)
+  mutable n_globals : int;
+  mutable data : data_segment list;
+  mutable elems : int list; (* reversed *)
+  memory : memory option;
+}
+
+let create ?memory_pages ?max_memory_pages () =
+  let memory =
+    match memory_pages with
+    | Some min_pages -> Some { min_pages; max_pages = max_memory_pages }
+    | None -> None
+  in
+  {
+    types = [];
+    n_types = 0;
+    imports = [];
+    n_imports = 0;
+    funcs = [];
+    n_funcs = 0;
+    globals = [];
+    n_globals = 0;
+    data = [];
+    elems = [];
+    memory;
+  }
+
+(* Intern a function type, returning its index. *)
+let type_index t params results =
+  let ft = { params; results } in
+  let rec find i = function
+    | [] -> None
+    | x :: _ when x = ft -> Some (t.n_types - 1 - i)
+    | _ :: rest -> find (i + 1) rest
+  in
+  match find 0 t.types with
+  | Some idx -> idx
+  | None ->
+      t.types <- ft :: t.types;
+      t.n_types <- t.n_types + 1;
+      t.n_types - 1
+
+let import t name ~params ~results =
+  if t.n_funcs > 0 then
+    invalid_arg "Builder.import: imports must be declared before functions";
+  let itype = type_index t params results in
+  t.imports <- { iname = name; itype } :: t.imports;
+  t.n_imports <- t.n_imports + 1;
+  { index = t.n_imports - 1; name; sig_params = params; sig_results = results }
+
+let declare t name ?(export = true) ~params ~results () =
+  let pf_type = type_index t params results in
+  let pf = { pf_name = name; pf_export = export; pf_type; pf_locals = []; pf_body = None } in
+  t.funcs <- pf :: t.funcs;
+  t.n_funcs <- t.n_funcs + 1;
+  { index = t.n_imports + t.n_funcs - 1; name; sig_params = params; sig_results = results }
+
+let pending_of t (f : fn) =
+  if f.index < t.n_imports then
+    invalid_arg (Printf.sprintf "Builder.define: %s is an import" f.name);
+  let pos_from_end = f.index - t.n_imports in
+  List.nth t.funcs (t.n_funcs - 1 - pos_from_end)
+
+let define t f ?(locals = []) body =
+  let pf = pending_of t f in
+  if pf.pf_body <> None then invalid_arg ("Builder.define: " ^ f.name ^ " already defined");
+  pf.pf_locals <- locals;
+  pf.pf_body <- Some body
+
+let global t gtype ?(mutable_ = true) init =
+  if value_ty init <> gtype then invalid_arg "Builder.global: initializer type mismatch";
+  t.globals <- { gtype; gmutable = mutable_; ginit = init } :: t.globals;
+  t.n_globals <- t.n_globals + 1;
+  t.n_globals - 1
+
+let data t ~offset bytes = t.data <- { doffset = offset; dbytes = bytes } :: t.data
+
+let elem t fns = List.iter (fun (f : fn) -> t.elems <- f.index :: t.elems) fns
+
+let fn_index (f : fn) = f.index
+
+let build t =
+  let funcs =
+    List.rev_map
+      (fun pf ->
+        match pf.pf_body with
+        | Some body -> { ftype = pf.pf_type; locals = pf.pf_locals; body; fname = pf.pf_name }
+        | None -> invalid_arg ("Builder.build: undefined function " ^ pf.pf_name))
+      t.funcs
+  in
+  let exports =
+    List.rev t.funcs
+    |> List.mapi (fun i pf -> (pf, t.n_imports + i))
+    |> List.filter_map (fun (pf, idx) -> if pf.pf_export then Some (pf.pf_name, idx) else None)
+  in
+  let m =
+    {
+      types = Array.of_list (List.rev t.types);
+      imports = Array.of_list (List.rev t.imports);
+      funcs = Array.of_list funcs;
+      memory = t.memory;
+      globals = Array.of_list (List.rev t.globals);
+      table = Array.of_list (List.rev t.elems);
+      data = List.rev t.data;
+      exports;
+      start = None;
+    }
+  in
+  Validate.validate_exn m;
+  m
+
+(* --- Instruction shorthands --- *)
+
+let i32 n = Const (V_i32 (Int32.of_int n))
+let i32' n = Const (V_i32 n)
+let i64 n = Const (V_i64 (Int64.of_int n))
+let i64' n = Const (V_i64 n)
+
+let get n = Local_get n
+let set n = Local_set n
+let tee n = Local_tee n
+let gget n = Global_get n
+let gset n = Global_set n
+
+let add = Binop (I32, Add)
+let sub = Binop (I32, Sub)
+let mul = Binop (I32, Mul)
+let div_s = Binop (I32, Div_s)
+let div_u = Binop (I32, Div_u)
+let rem_s = Binop (I32, Rem_s)
+let rem_u = Binop (I32, Rem_u)
+let band = Binop (I32, And)
+let bor = Binop (I32, Or)
+let bxor = Binop (I32, Xor)
+let shl = Binop (I32, Shl)
+let shr_s = Binop (I32, Shr_s)
+let shr_u = Binop (I32, Shr_u)
+let rotl = Binop (I32, Rotl)
+
+let add64 = Binop (I64, Add)
+let sub64 = Binop (I64, Sub)
+let mul64 = Binop (I64, Mul)
+let band64 = Binop (I64, And)
+let bor64 = Binop (I64, Or)
+let bxor64 = Binop (I64, Xor)
+let shl64 = Binop (I64, Shl)
+let shr_u64 = Binop (I64, Shr_u)
+let shr_s64 = Binop (I64, Shr_s)
+
+let eq = Relop (I32, Eq)
+let ne = Relop (I32, Ne)
+let lt_s = Relop (I32, Lt_s)
+let lt_u = Relop (I32, Lt_u)
+let gt_s = Relop (I32, Gt_s)
+let gt_u = Relop (I32, Gt_u)
+let le_s = Relop (I32, Le_s)
+let le_u = Relop (I32, Le_u)
+let ge_s = Relop (I32, Ge_s)
+let ge_u = Relop (I32, Ge_u)
+let eqz = Eqz I32
+
+let eq64 = Relop (I64, Eq)
+let ne64 = Relop (I64, Ne)
+let lt_u64 = Relop (I64, Lt_u)
+let lt_s64 = Relop (I64, Lt_s)
+let gt_u64 = Relop (I64, Gt_u)
+let eqz64 = Eqz I64
+
+let wrap = Cvt I32_wrap_i64
+let extend_u = Cvt I64_extend_i32_u
+let extend_s = Cvt I64_extend_i32_s
+
+let load32 ?(offset = 0) () = Load (I32, None, { offset })
+let load64 ?(offset = 0) () = Load (I64, None, { offset })
+let load8_u ?(offset = 0) () = Load (I32, Some (P8, Unsigned), { offset })
+let load8_s ?(offset = 0) () = Load (I32, Some (P8, Signed), { offset })
+let load16_u ?(offset = 0) () = Load (I32, Some (P16, Unsigned), { offset })
+let store32 ?(offset = 0) () = Store (I32, None, { offset })
+let store64 ?(offset = 0) () = Store (I64, None, { offset })
+let store8 ?(offset = 0) () = Store (I32, Some P8, { offset })
+let store16 ?(offset = 0) () = Store (I32, Some P16, { offset })
+
+let call (f : fn) = Call f.index
+
+let call_indirect t ~params ~results = Call_indirect (type_index t params results)
+
+let block ?ty body = Block (ty, body)
+let loop ?ty body = Loop (ty, body)
+let if_ ?ty then_body else_body = If (ty, then_body, else_body)
+let br n = Br n
+let br_if n = Br_if n
+let ret = Return
+let drop = Drop
+let select = Select
+let unreachable = Unreachable
+let nop = Nop
+let memory_copy = Memory_copy
+let memory_fill = Memory_fill
+let memory_size = Memory_size
+let memory_grow = Memory_grow
+
+let for_loop ~i ~start ~stop ?(step = 1) body =
+  start
+  @ [
+      set i;
+      block
+        [
+          loop
+            ([ get i ] @ stop @ [ ge_u; br_if 1 ]
+            @ body
+            @ [ get i; i32 step; add; set i; br 0 ]);
+        ];
+    ]
+
+let while_loop cond body =
+  [
+    block
+      [ loop (cond @ [ eqz; br_if 1 ] @ body @ [ br 0 ]) ];
+  ]

@@ -1,0 +1,156 @@
+(** A small embedded DSL for constructing mini-Wasm modules.
+
+    The benchmark kernels (SPEC-like, Sightglass-like, Firefox library
+    workloads — {!Sfi_workloads}) are written against this interface. It
+    keeps index bookkeeping out of kernel code: functions are declared
+    first (yielding handles usable in [call] even recursively), then
+    defined; the module is assembled by {!build}, which validates it.
+
+    Imports must be declared before any function, mirroring Wasm's index
+    space where imports come first. *)
+
+type t
+(** Module under construction. *)
+
+type fn
+(** Handle to a declared (or imported) function. *)
+
+val create : ?memory_pages:int -> ?max_memory_pages:int -> unit -> t
+(** [memory_pages] (64 KiB each) sets the initial linear memory; omit for a
+    memory-less module. *)
+
+val import : t -> string -> params:Ast.valty list -> results:Ast.valty list -> fn
+(** Declare a host (WASI-style) import. Must precede all {!declare} calls. *)
+
+val declare :
+  t -> string -> ?export:bool -> params:Ast.valty list -> results:Ast.valty list -> unit -> fn
+(** Declare a function; [export] defaults to true. Its body is supplied
+    later by {!define}, allowing (mutual) recursion. *)
+
+val define : t -> fn -> ?locals:Ast.valty list -> Ast.instr list -> unit
+(** Attach a body. Raises [Invalid_argument] if already defined or if [fn]
+    is an import. *)
+
+val global : t -> Ast.valty -> ?mutable_:bool -> Ast.value -> int
+(** Add a global; returns its index. [mutable_] defaults to true. *)
+
+val data : t -> offset:int -> string -> unit
+(** Add a data segment. *)
+
+val elem : t -> fn list -> unit
+(** Populate the function table (for [call_indirect]); appends entries and
+    returns nothing — element indices are allocation order. *)
+
+val fn_index : fn -> int
+(** The function's index in the final module (valid immediately: imports
+    are numbered first, then functions in declaration order). *)
+
+val build : t -> Ast.module_
+(** Assemble and validate. Raises [Invalid_argument] on undefined functions
+    or validation errors. *)
+
+(** {1 Instruction shorthands}
+
+    Thin wrappers over {!Ast.instr}; arguments are OCaml ints where the
+    intent is obvious. *)
+
+val i32 : int -> Ast.instr
+val i32' : int32 -> Ast.instr
+val i64 : int -> Ast.instr
+val i64' : int64 -> Ast.instr
+
+val get : int -> Ast.instr
+val set : int -> Ast.instr
+val tee : int -> Ast.instr
+val gget : int -> Ast.instr
+val gset : int -> Ast.instr
+
+val add : Ast.instr
+val sub : Ast.instr
+val mul : Ast.instr
+val div_s : Ast.instr
+val div_u : Ast.instr
+val rem_s : Ast.instr
+val rem_u : Ast.instr
+val band : Ast.instr
+val bor : Ast.instr
+val bxor : Ast.instr
+val shl : Ast.instr
+val shr_s : Ast.instr
+val shr_u : Ast.instr
+val rotl : Ast.instr
+
+val add64 : Ast.instr
+val sub64 : Ast.instr
+val mul64 : Ast.instr
+val band64 : Ast.instr
+val bor64 : Ast.instr
+val bxor64 : Ast.instr
+val shl64 : Ast.instr
+val shr_u64 : Ast.instr
+val shr_s64 : Ast.instr
+
+val eq : Ast.instr
+val ne : Ast.instr
+val lt_s : Ast.instr
+val lt_u : Ast.instr
+val gt_s : Ast.instr
+val gt_u : Ast.instr
+val le_s : Ast.instr
+val le_u : Ast.instr
+val ge_s : Ast.instr
+val ge_u : Ast.instr
+val eqz : Ast.instr
+
+val eq64 : Ast.instr
+val ne64 : Ast.instr
+val lt_u64 : Ast.instr
+val lt_s64 : Ast.instr
+val gt_u64 : Ast.instr
+val eqz64 : Ast.instr
+
+val wrap : Ast.instr
+val extend_u : Ast.instr
+val extend_s : Ast.instr
+
+val load32 : ?offset:int -> unit -> Ast.instr
+val load64 : ?offset:int -> unit -> Ast.instr
+val load8_u : ?offset:int -> unit -> Ast.instr
+val load8_s : ?offset:int -> unit -> Ast.instr
+val load16_u : ?offset:int -> unit -> Ast.instr
+val store32 : ?offset:int -> unit -> Ast.instr
+val store64 : ?offset:int -> unit -> Ast.instr
+val store8 : ?offset:int -> unit -> Ast.instr
+val store16 : ?offset:int -> unit -> Ast.instr
+
+val call : fn -> Ast.instr
+val call_indirect : t -> params:Ast.valty list -> results:Ast.valty list -> Ast.instr
+(** Emits [Call_indirect] with the type index for the given signature
+    (interned in the module's type table). *)
+
+val block : ?ty:Ast.valty -> Ast.instr list -> Ast.instr
+val loop : ?ty:Ast.valty -> Ast.instr list -> Ast.instr
+val if_ : ?ty:Ast.valty -> Ast.instr list -> Ast.instr list -> Ast.instr
+val br : int -> Ast.instr
+val br_if : int -> Ast.instr
+val ret : Ast.instr
+val drop : Ast.instr
+val select : Ast.instr
+val unreachable : Ast.instr
+val nop : Ast.instr
+val memory_copy : Ast.instr
+val memory_fill : Ast.instr
+val memory_size : Ast.instr
+val memory_grow : Ast.instr
+
+val for_loop :
+  i:int -> start:Ast.instr list -> stop:Ast.instr list -> ?step:int -> Ast.instr list -> Ast.instr list
+(** [for_loop ~i ~start ~stop body]: a canonical counted loop —
+    [for (i = start; i <u stop; i += step) body]. [i] is a local index;
+    [stop] is re-evaluated each iteration (hoist it into a local first if
+    it is expensive). Inside [body], [br 1] continues and [br 2] breaks
+    relative to the generated structure. *)
+
+val while_loop : Ast.instr list -> Ast.instr list -> Ast.instr list
+(** [while_loop cond body]: loop while [cond] (an i32 expression) is
+    non-zero. *)

@@ -1,0 +1,492 @@
+open Ast
+
+type trap =
+  | Unreachable
+  | Out_of_bounds
+  | Divide_by_zero
+  | Integer_overflow
+  | Indirect_call_type
+  | Undefined_element
+
+let trap_name = function
+  | Unreachable -> "unreachable"
+  | Out_of_bounds -> "out of bounds memory access"
+  | Divide_by_zero -> "integer divide by zero"
+  | Integer_overflow -> "integer overflow"
+  | Indirect_call_type -> "indirect call type mismatch"
+  | Undefined_element -> "undefined table element"
+
+exception Out_of_fuel
+exception Trap_exn of trap
+exception Br_exn of int * value list
+exception Return_exn of value option
+
+type instance = {
+  m : module_;
+  mutable memory : Bytes.t;
+  mutable pages : int;
+  max_pages : int;
+  globals : value array;
+  table : int array;
+  host : (string, host_func) Hashtbl.t;
+  mutable fuel : int;
+  mutable executed : int;
+}
+
+and host_func = instance -> value list -> value list
+
+let module_of t = t.m
+
+let rec instantiate ?(host = []) m =
+  Validate.validate_exn m;
+  let pages, max_pages =
+    match m.memory with
+    | Some { min_pages; max_pages } ->
+        (min_pages, match max_pages with Some mx -> mx | None -> 65536)
+    | None -> (0, 0)
+  in
+  let t =
+    {
+      m;
+      memory = Bytes.make (pages * page_size) '\000';
+      pages;
+      max_pages;
+      globals = Array.map (fun g -> g.ginit) m.globals;
+      table = Array.copy m.table;
+      host = Hashtbl.create 8;
+      fuel = max_int;
+      executed = 0;
+    }
+  in
+  List.iter (fun (name, f) -> Hashtbl.replace t.host name f) host;
+  List.iter
+    (fun d -> Bytes.blit_string d.dbytes 0 t.memory d.doffset (String.length d.dbytes))
+    m.data;
+  (match m.start with
+  | Some idx ->
+      let run = invoke_index t idx [] in
+      ignore run
+  | None -> ());
+  t
+
+(* --- Numeric helpers --- *)
+
+and u32 v = Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
+
+and i32_binop op a b =
+  match op with
+  | Add -> Int32.add a b
+  | Sub -> Int32.sub a b
+  | Mul -> Int32.mul a b
+  | Div_s ->
+      if b = 0l then raise (Trap_exn Divide_by_zero)
+      else if a = Int32.min_int && b = -1l then raise (Trap_exn Integer_overflow)
+      else Int32.div a b
+  | Div_u ->
+      if b = 0l then raise (Trap_exn Divide_by_zero) else Int32.unsigned_div a b
+  | Rem_s ->
+      if b = 0l then raise (Trap_exn Divide_by_zero)
+      else if a = Int32.min_int && b = -1l then 0l
+      else Int32.rem a b
+  | Rem_u ->
+      if b = 0l then raise (Trap_exn Divide_by_zero) else Int32.unsigned_rem a b
+  | And -> Int32.logand a b
+  | Or -> Int32.logor a b
+  | Xor -> Int32.logxor a b
+  | Shl -> Int32.shift_left a (Int32.to_int b land 31)
+  | Shr_s -> Int32.shift_right a (Int32.to_int b land 31)
+  | Shr_u -> Int32.shift_right_logical a (Int32.to_int b land 31)
+  | Rotl ->
+      let n = Int32.to_int b land 31 in
+      if n = 0 then a
+      else Int32.logor (Int32.shift_left a n) (Int32.shift_right_logical a (32 - n))
+  | Rotr ->
+      let n = Int32.to_int b land 31 in
+      if n = 0 then a
+      else Int32.logor (Int32.shift_right_logical a n) (Int32.shift_left a (32 - n))
+
+and i64_binop op a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div_s ->
+      if b = 0L then raise (Trap_exn Divide_by_zero)
+      else if a = Int64.min_int && b = -1L then raise (Trap_exn Integer_overflow)
+      else Int64.div a b
+  | Div_u ->
+      if b = 0L then raise (Trap_exn Divide_by_zero) else Int64.unsigned_div a b
+  | Rem_s ->
+      if b = 0L then raise (Trap_exn Divide_by_zero)
+      else if a = Int64.min_int && b = -1L then 0L
+      else Int64.rem a b
+  | Rem_u ->
+      if b = 0L then raise (Trap_exn Divide_by_zero) else Int64.unsigned_rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Shr_s -> Int64.shift_right a (Int64.to_int b land 63)
+  | Shr_u -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Rotl ->
+      let n = Int64.to_int b land 63 in
+      if n = 0 then a
+      else Int64.logor (Int64.shift_left a n) (Int64.shift_right_logical a (64 - n))
+  | Rotr ->
+      let n = Int64.to_int b land 63 in
+      if n = 0 then a
+      else Int64.logor (Int64.shift_right_logical a n) (Int64.shift_left a (64 - n))
+
+and i32_relop op a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt_s -> Int32.compare a b < 0
+    | Lt_u -> Int32.unsigned_compare a b < 0
+    | Gt_s -> Int32.compare a b > 0
+    | Gt_u -> Int32.unsigned_compare a b > 0
+    | Le_s -> Int32.compare a b <= 0
+    | Le_u -> Int32.unsigned_compare a b <= 0
+    | Ge_s -> Int32.compare a b >= 0
+    | Ge_u -> Int32.unsigned_compare a b >= 0
+  in
+  if r then 1l else 0l
+
+and i64_relop op a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt_s -> Int64.compare a b < 0
+    | Lt_u -> Int64.unsigned_compare a b < 0
+    | Gt_s -> Int64.compare a b > 0
+    | Gt_u -> Int64.unsigned_compare a b > 0
+    | Le_s -> Int64.compare a b <= 0
+    | Le_u -> Int64.unsigned_compare a b <= 0
+    | Ge_s -> Int64.compare a b >= 0
+    | Ge_u -> Int64.unsigned_compare a b >= 0
+  in
+  if r then 1l else 0l
+
+and bit_count ~bits ~kind v =
+  match kind with
+  | `Popcnt ->
+      let n = ref 0 in
+      for i = 0 to bits - 1 do
+        if Int64.logand (Int64.shift_right_logical v i) 1L = 1L then incr n
+      done;
+      !n
+  | `Ctz ->
+      if Int64.logand v (if bits = 64 then -1L else Int64.sub (Int64.shift_left 1L bits) 1L) = 0L
+      then bits
+      else begin
+        let n = ref 0 in
+        while Int64.logand (Int64.shift_right_logical v !n) 1L = 0L do
+          incr n
+        done;
+        !n
+      end
+  | `Clz ->
+      let masked =
+        if bits = 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L bits) 1L)
+      in
+      if masked = 0L then bits
+      else begin
+        let n = ref 0 in
+        while Int64.logand (Int64.shift_right_logical masked (bits - 1 - !n)) 1L = 0L do
+          incr n
+        done;
+        !n
+      end
+
+(* --- Memory access --- *)
+
+and effective_addr t (addr : int32) offset size =
+  let ea = Int64.add (u32 addr) (Int64.of_int offset) in
+  let limit = Int64.of_int (Bytes.length t.memory - size) in
+  if Int64.compare ea limit > 0 || Int64.compare ea 0L < 0 then
+    raise (Trap_exn Out_of_bounds);
+  Int64.to_int ea
+
+and load_value t ty packing { offset } addr =
+  match (ty, packing) with
+  | I32, None ->
+      let a = effective_addr t addr offset 4 in
+      V_i32 (Bytes.get_int32_le t.memory a)
+  | I64, None ->
+      let a = effective_addr t addr offset 8 in
+      V_i64 (Bytes.get_int64_le t.memory a)
+  | _, Some (P8, sx) ->
+      let a = effective_addr t addr offset 1 in
+      let b = Bytes.get_uint8 t.memory a in
+      let v = match sx with Unsigned -> b | Signed -> (b lxor 0x80) - 0x80 in
+      if ty = I32 then V_i32 (Int32.of_int v) else V_i64 (Int64.of_int v)
+  | _, Some (P16, sx) ->
+      let a = effective_addr t addr offset 2 in
+      let b = Bytes.get_uint16_le t.memory a in
+      let v = match sx with Unsigned -> b | Signed -> (b lxor 0x8000) - 0x8000 in
+      if ty = I32 then V_i32 (Int32.of_int v) else V_i64 (Int64.of_int v)
+  | I64, Some (P32, sx) ->
+      let a = effective_addr t addr offset 4 in
+      let b = Bytes.get_int32_le t.memory a in
+      let v =
+        match sx with Unsigned -> u32 b | Signed -> Int64.of_int32 b
+      in
+      V_i64 v
+  | I32, Some (P32, _) -> assert false (* rejected by validation *)
+
+and store_value t ty packing { offset } addr v =
+  match (ty, packing, v) with
+  | I32, None, V_i32 x ->
+      let a = effective_addr t addr offset 4 in
+      Bytes.set_int32_le t.memory a x
+  | I64, None, V_i64 x ->
+      let a = effective_addr t addr offset 8 in
+      Bytes.set_int64_le t.memory a x
+  | _, Some P8, _ ->
+      let a = effective_addr t addr offset 1 in
+      let x = match v with V_i32 x -> Int32.to_int x | V_i64 x -> Int64.to_int x in
+      Bytes.set_uint8 t.memory a (x land 0xFF)
+  | _, Some P16, _ ->
+      let a = effective_addr t addr offset 2 in
+      let x = match v with V_i32 x -> Int32.to_int x | V_i64 x -> Int64.to_int x in
+      Bytes.set_uint16_le t.memory a (x land 0xFFFF)
+  | I64, Some P32, V_i64 x ->
+      let a = effective_addr t addr offset 4 in
+      Bytes.set_int32_le t.memory a (Int64.to_int32 x)
+  | _ -> assert false (* rejected by validation *)
+
+(* --- Evaluation --- *)
+
+and as_i32 = function V_i32 v -> v | V_i64 _ -> assert false
+and as_i64 = function V_i64 v -> v | V_i32 _ -> assert false
+
+and eval_body t locals (stack : value list ref) body =
+  List.iter (eval_instr t locals stack) body
+
+and push stack v = stack := v :: !stack
+
+and pop stack =
+  match !stack with
+  | v :: rest ->
+      stack := rest;
+      v
+  | [] -> assert false (* rejected by validation *)
+
+and eval_block t locals stack bt body ~is_loop =
+  (* Evaluate the body on a fresh operand stack; on normal exit propagate
+     the block result. A branch carries the raiser's operand stack, whose
+     top holds the values the target label expects (validation ensures
+     this). *)
+  let rec attempt () =
+    let inner = ref [] in
+    match eval_body t locals inner body with
+    | () -> (
+        match bt with
+        | Some _ -> push stack (List.hd !inner)
+        | None -> ())
+    | exception Br_exn (0, carried) ->
+        if is_loop then attempt ()
+        else (
+          match bt with
+          | Some _ -> push stack (List.hd carried)
+          | None -> ())
+    | exception Br_exn (n, carried) -> raise (Br_exn (n - 1, carried))
+  in
+  attempt ()
+
+and eval_instr t locals stack (i : instr) =
+  if t.fuel <= 0 then raise Out_of_fuel;
+  t.fuel <- t.fuel - 1;
+  t.executed <- t.executed + 1;
+  match i with
+  | Unreachable -> raise (Trap_exn Unreachable)
+  | Nop -> ()
+  | Const v -> push stack v
+  | Binop (I32, op) ->
+      let b = as_i32 (pop stack) in
+      let a = as_i32 (pop stack) in
+      push stack (V_i32 (i32_binop op a b))
+  | Binop (I64, op) ->
+      let b = as_i64 (pop stack) in
+      let a = as_i64 (pop stack) in
+      push stack (V_i64 (i64_binop op a b))
+  | Relop (I32, op) ->
+      let b = as_i32 (pop stack) in
+      let a = as_i32 (pop stack) in
+      push stack (V_i32 (i32_relop op a b))
+  | Relop (I64, op) ->
+      let b = as_i64 (pop stack) in
+      let a = as_i64 (pop stack) in
+      push stack (V_i32 (i64_relop op a b))
+  | Eqz I32 -> push stack (V_i32 (if as_i32 (pop stack) = 0l then 1l else 0l))
+  | Eqz I64 -> push stack (V_i32 (if as_i64 (pop stack) = 0L then 1l else 0l))
+  | Cvt I32_wrap_i64 -> push stack (V_i32 (Int64.to_int32 (as_i64 (pop stack))))
+  | Cvt I64_extend_i32_s -> push stack (V_i64 (Int64.of_int32 (as_i32 (pop stack))))
+  | Cvt I64_extend_i32_u -> push stack (V_i64 (u32 (as_i32 (pop stack))))
+  | Clz I32 ->
+      let v = u32 (as_i32 (pop stack)) in
+      push stack (V_i32 (Int32.of_int (bit_count ~bits:32 ~kind:`Clz v)))
+  | Clz I64 ->
+      let v = as_i64 (pop stack) in
+      push stack (V_i64 (Int64.of_int (bit_count ~bits:64 ~kind:`Clz v)))
+  | Ctz I32 ->
+      let v = u32 (as_i32 (pop stack)) in
+      push stack (V_i32 (Int32.of_int (bit_count ~bits:32 ~kind:`Ctz v)))
+  | Ctz I64 ->
+      let v = as_i64 (pop stack) in
+      push stack (V_i64 (Int64.of_int (bit_count ~bits:64 ~kind:`Ctz v)))
+  | Popcnt I32 ->
+      let v = u32 (as_i32 (pop stack)) in
+      push stack (V_i32 (Int32.of_int (bit_count ~bits:32 ~kind:`Popcnt v)))
+  | Popcnt I64 ->
+      let v = as_i64 (pop stack) in
+      push stack (V_i64 (Int64.of_int (bit_count ~bits:64 ~kind:`Popcnt v)))
+  | Drop -> ignore (pop stack)
+  | Select ->
+      let c = as_i32 (pop stack) in
+      let b = pop stack in
+      let a = pop stack in
+      push stack (if c <> 0l then a else b)
+  | Local_get n -> push stack locals.(n)
+  | Local_set n -> locals.(n) <- pop stack
+  | Local_tee n -> (
+      match !stack with v :: _ -> locals.(n) <- v | [] -> assert false)
+  | Global_get n -> push stack t.globals.(n)
+  | Global_set n -> t.globals.(n) <- pop stack
+  | Load (ty, packing, memarg) ->
+      let addr = as_i32 (pop stack) in
+      push stack (load_value t ty packing memarg addr)
+  | Store (ty, packing, memarg) ->
+      let v = pop stack in
+      let addr = as_i32 (pop stack) in
+      store_value t ty packing memarg addr v
+  | Memory_size -> push stack (V_i32 (Int32.of_int t.pages))
+  | Memory_grow ->
+      let delta = Int32.to_int (as_i32 (pop stack)) in
+      let new_pages = t.pages + delta in
+      if delta < 0 || new_pages > t.max_pages then push stack (V_i32 (-1l))
+      else begin
+        let old = t.pages in
+        let bigger = Bytes.make (new_pages * page_size) '\000' in
+        Bytes.blit t.memory 0 bigger 0 (Bytes.length t.memory);
+        t.memory <- bigger;
+        t.pages <- new_pages;
+        push stack (V_i32 (Int32.of_int old))
+      end
+  | Memory_copy ->
+      let len = Int64.to_int (u32 (as_i32 (pop stack))) in
+      let src = Int64.to_int (u32 (as_i32 (pop stack))) in
+      let dst = Int64.to_int (u32 (as_i32 (pop stack))) in
+      let size = Bytes.length t.memory in
+      if src + len > size || dst + len > size then raise (Trap_exn Out_of_bounds);
+      Bytes.blit t.memory src t.memory dst len
+  | Memory_fill ->
+      let len = Int64.to_int (u32 (as_i32 (pop stack))) in
+      let byte = Int32.to_int (as_i32 (pop stack)) land 0xFF in
+      let dst = Int64.to_int (u32 (as_i32 (pop stack))) in
+      if dst + len > Bytes.length t.memory then raise (Trap_exn Out_of_bounds);
+      Bytes.fill t.memory dst len (Char.chr byte)
+  | Block (bt, body) -> eval_block t locals stack bt body ~is_loop:false
+  | Loop (bt, body) -> eval_block t locals stack bt body ~is_loop:true
+  | If (bt, then_body, else_body) ->
+      let c = as_i32 (pop stack) in
+      let body = if c <> 0l then then_body else else_body in
+      eval_block t locals stack bt body ~is_loop:false
+  | Br n -> raise (Br_exn (n, !stack))
+  | Br_if n -> if as_i32 (pop stack) <> 0l then raise (Br_exn (n, !stack))
+  | Br_table (targets, default) ->
+      let idx = Int64.to_int (u32 (as_i32 (pop stack))) in
+      let n = if idx < List.length targets then List.nth targets idx else default in
+      raise (Br_exn (n, !stack))
+  | Return -> (
+      match !stack with
+      | v :: _ -> raise (Return_exn (Some v))
+      | [] -> raise (Return_exn None))
+  | Call idx ->
+      let results = invoke_index_from_stack t idx stack in
+      List.iter (push stack) results
+  | Call_indirect tyidx ->
+      let elem = Int64.to_int (u32 (as_i32 (pop stack))) in
+      if elem < 0 || elem >= Array.length t.table then raise (Trap_exn Undefined_element);
+      let fidx = t.table.(elem) in
+      let actual = type_of_func t.m fidx in
+      if actual <> t.m.types.(tyidx) then raise (Trap_exn Indirect_call_type);
+      let results = invoke_index_from_stack t fidx stack in
+      List.iter (push stack) results
+
+and invoke_index_from_stack t idx stack =
+  let ft = type_of_func t.m idx in
+  let nargs = List.length ft.params in
+  let rec take n acc =
+    if n = 0 then acc
+    else
+      match !stack with
+      | v :: rest ->
+          stack := rest;
+          take (n - 1) (v :: acc)
+      | [] -> assert false
+  in
+  let args = take nargs [] in
+  invoke_index t idx args
+
+and invoke_index t idx args =
+  let nimports = Array.length t.m.imports in
+  if idx < nimports then begin
+    let { iname; itype } = t.m.imports.(idx) in
+    match Hashtbl.find_opt t.host iname with
+    | Some f ->
+        let results = f t args in
+        let ft = t.m.types.(itype) in
+        if List.map value_ty results <> ft.results then
+          invalid_arg (Printf.sprintf "host %s returned wrong types" iname);
+        results
+    | None -> invalid_arg (Printf.sprintf "unresolved import: %s" iname)
+  end
+  else begin
+    let f = t.m.funcs.(idx - nimports) in
+    let ft = t.m.types.(f.ftype) in
+    let locals =
+      Array.of_list
+        (args @ List.map (function I32 -> V_i32 0l | I64 -> V_i64 0L) f.locals)
+    in
+    let stack = ref [] in
+    let result =
+      match eval_body t locals stack f.body with
+      | () -> (
+          match (ft.results, !stack) with
+          | [], _ -> []
+          | [ _ ], v :: _ -> [ v ]
+          | _ -> assert false)
+      | exception Return_exn (Some v) when ft.results <> [] -> [ v ]
+      | exception Return_exn _ -> []
+      | exception Br_exn _ -> assert false (* validation bounds br depths *)
+    in
+    result
+  end
+
+let memory_size_bytes t = Bytes.length t.memory
+
+let read_memory t ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.memory then
+    invalid_arg "Interp.read_memory: out of range";
+  Bytes.sub_string t.memory addr len
+
+let write_memory t ~addr s =
+  if addr < 0 || addr + String.length s > Bytes.length t.memory then
+    invalid_arg "Interp.write_memory: out of range";
+  Bytes.blit_string s 0 t.memory addr (String.length s)
+
+let global_value t n = t.globals.(n)
+let instructions_executed t = t.executed
+
+let invoke t name ?(fuel = 200_000_000) args =
+  let idx = func_index_of_export t.m name in
+  let ft = type_of_func t.m idx in
+  if List.map value_ty args <> ft.params then
+    invalid_arg "Interp.invoke: argument type mismatch";
+  t.fuel <- fuel;
+  match invoke_index t idx args with
+  | results -> Ok results
+  | exception Trap_exn trap -> Error trap

@@ -1,0 +1,52 @@
+(** Reference interpreter for mini-Wasm.
+
+    This is the semantic oracle: the SFI compilers in {!Sfi_core} are tested
+    differentially against it (same module, same entry point, same inputs —
+    results, traps, and final memory contents must agree for every
+    compilation strategy). It implements the standard Wasm semantics
+    directly over an OCaml [Bytes.t] linear memory with explicit bounds
+    checks — the "pure software" enforcement that production engines avoid
+    via guard regions. *)
+
+type trap =
+  | Unreachable
+  | Out_of_bounds
+  | Divide_by_zero
+  | Integer_overflow
+  | Indirect_call_type
+  | Undefined_element
+
+val trap_name : trap -> string
+
+exception Out_of_fuel
+(** Raised by {!invoke} when the instruction budget is exhausted. *)
+
+type instance
+
+type host_func = instance -> Ast.value list -> Ast.value list
+(** Implementation of an imported function; receives the instance so it can
+    touch linear memory (WASI-style). *)
+
+val instantiate : ?host:(string * host_func) list -> Ast.module_ -> instance
+(** Validates the module (raising [Invalid_argument] on type errors),
+    allocates memory/globals/table, copies data segments, and runs the start
+    function if present. Missing host implementations only fail when
+    called. *)
+
+val module_of : instance -> Ast.module_
+
+val invoke :
+  instance -> string -> ?fuel:int -> Ast.value list -> (Ast.value list, trap) result
+(** Call an exported function. [fuel] (default 200 million) bounds the
+    number of executed instructions. Raises [Not_found] for unknown exports
+    and [Invalid_argument] on an argument arity/type mismatch. *)
+
+val memory_size_bytes : instance -> int
+val read_memory : instance -> addr:int -> len:int -> string
+(** Raises [Invalid_argument] when out of range. *)
+
+val write_memory : instance -> addr:int -> string -> unit
+val global_value : instance -> int -> Ast.value
+val instructions_executed : instance -> int
+(** Cumulative count across invocations — used to compare interpreter and
+    compiled instruction streams in tests. *)

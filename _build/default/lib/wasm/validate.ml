@@ -1,0 +1,305 @@
+open Ast
+
+exception Invalid of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+(* Abstract operand: a known type or the polymorphic "unknown" that appears
+   after unreachable code. *)
+type abstract = Known of valty | Unknown
+
+type frame = {
+  label_types : valty list; (* what a br to this frame expects *)
+  end_types : valty list; (* what falls out of the frame *)
+  height : int; (* operand stack height at frame entry *)
+  mutable unreachable : bool;
+}
+
+type ctx = {
+  m : module_;
+  return_types : valty list;
+  locals : valty array;
+  mutable stack : abstract list;
+  mutable frames : frame list; (* innermost first *)
+}
+
+let push ctx ty = ctx.stack <- Known ty :: ctx.stack
+
+let push_unknown ctx = ctx.stack <- Unknown :: ctx.stack
+
+let current_frame ctx =
+  match ctx.frames with f :: _ -> f | [] -> fail "validator: no control frame"
+
+let pop_any ctx =
+  let f = current_frame ctx in
+  if List.length ctx.stack = f.height then
+    if f.unreachable then Unknown else fail "stack underflow"
+  else
+    match ctx.stack with
+    | v :: rest ->
+        ctx.stack <- rest;
+        v
+    | [] -> fail "stack underflow"
+
+let pop ctx ty =
+  match pop_any ctx with
+  | Known t when t = ty -> ()
+  | Known t -> fail "type mismatch: expected %s, found %s" (valty_name ty) (valty_name t)
+  | Unknown -> ()
+
+let pop_list ctx tys = List.iter (pop ctx) (List.rev tys)
+
+let push_list ctx tys = List.iter (push ctx) tys
+
+let push_frame ctx ~label_types ~end_types =
+  ctx.frames <-
+    { label_types; end_types; height = List.length ctx.stack; unreachable = false }
+    :: ctx.frames
+
+let pop_frame ctx =
+  let f = current_frame ctx in
+  pop_list ctx f.end_types;
+  if List.length ctx.stack <> f.height then fail "values left on stack at end of block";
+  ctx.frames <- List.tl ctx.frames;
+  f
+
+let mark_unreachable ctx =
+  let f = current_frame ctx in
+  (* Drop the stack back to the frame height: subsequent pops are satisfied
+     polymorphically. *)
+  let rec drop stack =
+    if List.length stack > f.height then drop (List.tl stack) else stack
+  in
+  ctx.stack <- drop ctx.stack;
+  f.unreachable <- true
+
+let label_types_at ctx depth =
+  let rec nth fs n =
+    match (fs, n) with
+    | f :: _, 0 -> f.label_types
+    | _ :: rest, n -> nth rest (n - 1)
+    | [], _ -> fail "br depth %d out of range" depth
+  in
+  nth ctx.frames depth
+
+let blockty_types = function Some ty -> [ ty ] | None -> []
+
+let require_memory ctx what =
+  if ctx.m.memory = None then fail "%s requires a memory" what
+
+let check_pack ty pack =
+  match (ty, pack) with
+  | _, P8 | _, P16 -> ()
+  | I64, P32 -> ()
+  | I32, P32 -> fail "i32 load/store with 32-bit pack is not a packed access"
+
+let rec check_instr ctx (i : instr) =
+  match i with
+  | Unreachable -> mark_unreachable ctx
+  | Nop -> ()
+  | Const v -> push ctx (value_ty v)
+  | Binop (ty, _) ->
+      pop ctx ty;
+      pop ctx ty;
+      push ctx ty
+  | Relop (ty, _) ->
+      pop ctx ty;
+      pop ctx ty;
+      push ctx I32
+  | Eqz ty ->
+      pop ctx ty;
+      push ctx I32
+  | Cvt I32_wrap_i64 ->
+      pop ctx I64;
+      push ctx I32
+  | Cvt (I64_extend_i32_s | I64_extend_i32_u) ->
+      pop ctx I32;
+      push ctx I64
+  | Clz ty | Ctz ty | Popcnt ty ->
+      pop ctx ty;
+      push ctx ty
+  | Drop -> ignore (pop_any ctx)
+  | Select -> (
+      pop ctx I32;
+      let a = pop_any ctx in
+      let b = pop_any ctx in
+      match (a, b) with
+      | Known x, Known y when x = y -> push ctx x
+      | Known x, Unknown | Unknown, Known x -> push ctx x
+      | Unknown, Unknown -> push_unknown ctx
+      | Known x, Known y ->
+          fail "select arms disagree: %s vs %s" (valty_name x) (valty_name y))
+  | Local_get n ->
+      if n < 0 || n >= Array.length ctx.locals then fail "local %d out of range" n;
+      push ctx ctx.locals.(n)
+  | Local_set n ->
+      if n < 0 || n >= Array.length ctx.locals then fail "local %d out of range" n;
+      pop ctx ctx.locals.(n)
+  | Local_tee n ->
+      if n < 0 || n >= Array.length ctx.locals then fail "local %d out of range" n;
+      pop ctx ctx.locals.(n);
+      push ctx ctx.locals.(n)
+  | Global_get n ->
+      if n < 0 || n >= Array.length ctx.m.globals then fail "global %d out of range" n;
+      push ctx ctx.m.globals.(n).gtype
+  | Global_set n ->
+      if n < 0 || n >= Array.length ctx.m.globals then fail "global %d out of range" n;
+      if not ctx.m.globals.(n).gmutable then fail "global %d is immutable" n;
+      pop ctx ctx.m.globals.(n).gtype
+  | Load (ty, packing, { offset }) ->
+      require_memory ctx "load";
+      if offset < 0 then fail "negative load offset";
+      (match packing with Some (p, _) -> check_pack ty p | None -> ());
+      pop ctx I32;
+      push ctx ty
+  | Store (ty, packing, { offset }) ->
+      require_memory ctx "store";
+      if offset < 0 then fail "negative store offset";
+      (match packing with Some p -> check_pack ty p | None -> ());
+      pop ctx ty;
+      pop ctx I32
+  | Memory_size ->
+      require_memory ctx "memory.size";
+      push ctx I32
+  | Memory_grow ->
+      require_memory ctx "memory.grow";
+      pop ctx I32;
+      push ctx I32
+  | Memory_copy ->
+      require_memory ctx "memory.copy";
+      pop ctx I32;
+      pop ctx I32;
+      pop ctx I32
+  | Memory_fill ->
+      require_memory ctx "memory.fill";
+      pop ctx I32;
+      pop ctx I32;
+      pop ctx I32
+  | Block (bt, body) ->
+      let tys = blockty_types bt in
+      push_frame ctx ~label_types:tys ~end_types:tys;
+      check_body ctx body;
+      let f = pop_frame ctx in
+      push_list ctx f.end_types
+  | Loop (bt, body) ->
+      let tys = blockty_types bt in
+      (* A br to a loop re-enters it, carrying nothing (no block params in
+         the MVP subset). *)
+      push_frame ctx ~label_types:[] ~end_types:tys;
+      check_body ctx body;
+      let f = pop_frame ctx in
+      push_list ctx f.end_types
+  | If (bt, then_body, else_body) ->
+      pop ctx I32;
+      let tys = blockty_types bt in
+      push_frame ctx ~label_types:tys ~end_types:tys;
+      check_body ctx then_body;
+      ignore (pop_frame ctx);
+      (* Re-enter for the else arm at the same height. *)
+      push_frame ctx ~label_types:tys ~end_types:tys;
+      check_body ctx else_body;
+      ignore (pop_frame ctx);
+      push_list ctx tys
+  | Br depth ->
+      pop_list ctx (label_types_at ctx depth);
+      mark_unreachable ctx
+  | Br_if depth ->
+      pop ctx I32;
+      let tys = label_types_at ctx depth in
+      pop_list ctx tys;
+      push_list ctx tys
+  | Br_table (targets, default) ->
+      pop ctx I32;
+      let default_tys = label_types_at ctx default in
+      List.iter
+        (fun depth ->
+          let tys = label_types_at ctx depth in
+          if tys <> default_tys then fail "br_table arms have mismatched label types")
+        targets;
+      pop_list ctx default_tys;
+      mark_unreachable ctx
+  | Return ->
+      pop_list ctx ctx.return_types;
+      mark_unreachable ctx
+  | Call idx ->
+      if idx < 0 || idx >= num_funcs ctx.m then fail "call target %d out of range" idx;
+      let ft = type_of_func ctx.m idx in
+      pop_list ctx ft.params;
+      push_list ctx ft.results
+  | Call_indirect tyidx ->
+      if Array.length ctx.m.table = 0 then fail "call_indirect without a table";
+      if tyidx < 0 || tyidx >= Array.length ctx.m.types then
+        fail "call_indirect type %d out of range" tyidx;
+      pop ctx I32;
+      let ft = ctx.m.types.(tyidx) in
+      pop_list ctx ft.params;
+      push_list ctx ft.results
+
+and check_body ctx body = List.iter (check_instr ctx) body
+
+let check_functype ft =
+  if List.length ft.results > 1 then fail "multi-result functions are not supported"
+
+let check_func m idx (f : func) =
+  if f.ftype < 0 || f.ftype >= Array.length m.types then
+    fail "function %d: type index out of range" idx;
+  let ft = m.types.(f.ftype) in
+  let ctx =
+    {
+      m;
+      return_types = ft.results;
+      locals = Array.of_list (ft.params @ f.locals);
+      stack = [];
+      frames = [];
+    }
+  in
+  push_frame ctx ~label_types:ft.results ~end_types:ft.results;
+  (try check_body ctx f.body
+   with Invalid msg -> fail "function %d (%s): %s" idx f.fname msg);
+  (try ignore (pop_frame ctx)
+   with Invalid msg -> fail "function %d (%s): at end: %s" idx f.fname msg)
+
+let validate m =
+  try
+    Array.iter check_functype m.types;
+    Array.iter
+      (fun (im : import) ->
+        if im.itype < 0 || im.itype >= Array.length m.types then
+          fail "import %s: type index out of range" im.iname)
+      m.imports;
+    Array.iteri (check_func m) m.funcs;
+    Array.iter
+      (fun g ->
+        if value_ty g.ginit <> g.gtype then fail "global initializer type mismatch")
+      m.globals;
+    Array.iter
+      (fun fidx ->
+        if fidx < 0 || fidx >= num_funcs m then fail "table entry %d out of range" fidx)
+      m.table;
+    (match m.memory with
+    | Some { min_pages; max_pages } ->
+        if min_pages < 0 then fail "negative memory size";
+        (match max_pages with
+        | Some max when max < min_pages -> fail "memory max below min"
+        | Some _ | None -> ());
+        List.iter
+          (fun d ->
+            if d.doffset < 0 || d.doffset + String.length d.dbytes > min_pages * page_size
+            then fail "data segment out of bounds of minimum memory")
+          m.data
+    | None -> if m.data <> [] then fail "data segment without memory");
+    List.iter
+      (fun (name, idx) ->
+        if idx < 0 || idx >= num_funcs m then fail "export %s out of range" name)
+      m.exports;
+    (match m.start with
+    | Some idx ->
+        if idx < 0 || idx >= num_funcs m then fail "start function out of range";
+        let ft = type_of_func m idx in
+        if ft.params <> [] || ft.results <> [] then fail "start function must be [] -> []"
+    | None -> ());
+    Ok ()
+  with Invalid msg -> Error msg
+
+let validate_exn m =
+  match validate m with Ok () -> () | Error msg -> invalid_arg ("Validate: " ^ msg)

@@ -1,0 +1,17 @@
+(** Wasm module validation (type checking).
+
+    Implements the standard stack-polymorphic validation algorithm over the
+    mini-Wasm subset: every instruction's operand/result types are checked
+    against an abstract operand stack with control frames, so that the SFI
+    compilers can assume well-typed input — exactly the property production
+    Wasm compilers rely on when they omit dynamic type checks. *)
+
+val validate : Ast.module_ -> (unit, string) result
+(** Check the whole module: function bodies, local/global indices, memory
+    presence for memory instructions, table/type indices for
+    [call_indirect], data segments within the minimum memory size, start
+    function signature, and export indices. The error string pinpoints the
+    function and instruction. *)
+
+val validate_exn : Ast.module_ -> unit
+(** Like {!validate} but raises [Invalid_argument]. *)

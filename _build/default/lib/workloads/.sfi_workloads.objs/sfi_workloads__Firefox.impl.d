@@ -1,0 +1,1 @@
+lib/workloads/firefox.ml: Buffer Char Frag Int64 Printf Sfi_core Sfi_machine Sfi_runtime Sfi_wasm Sfi_x86 String

@@ -1,0 +1,1 @@
+lib/workloads/firefox.mli: Sfi_core Sfi_wasm

@@ -1,0 +1,1 @@
+lib/workloads/frag.ml: Sfi_wasm

@@ -1,0 +1,1 @@
+lib/workloads/frag.mli: Sfi_wasm

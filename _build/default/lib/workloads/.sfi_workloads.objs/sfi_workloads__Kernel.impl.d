@@ -1,0 +1,1 @@
+lib/workloads/kernel.ml: Int64 Lazy Printf Sfi_core Sfi_machine Sfi_runtime Sfi_wasm Sfi_x86

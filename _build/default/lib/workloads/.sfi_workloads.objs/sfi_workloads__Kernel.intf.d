@@ -1,0 +1,1 @@
+lib/workloads/kernel.mli: Lazy Sfi_core Sfi_machine Sfi_wasm

@@ -1,0 +1,1 @@
+lib/workloads/polybench.ml: Frag Int64 Kernel Sfi_wasm

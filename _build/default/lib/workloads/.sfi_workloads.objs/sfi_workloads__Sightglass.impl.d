@@ -1,0 +1,1 @@
+lib/workloads/sightglass.ml: Frag Int64 Kernel List Sfi_wasm

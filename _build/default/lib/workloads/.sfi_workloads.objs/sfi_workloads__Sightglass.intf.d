@@ -1,0 +1,1 @@
+lib/workloads/sightglass.mli: Kernel

@@ -1,0 +1,1 @@
+lib/workloads/spec2017.ml: Frag Int64 Kernel Sfi_wasm Spec2006

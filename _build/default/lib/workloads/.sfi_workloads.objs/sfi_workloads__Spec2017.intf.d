@@ -1,0 +1,1 @@
+lib/workloads/spec2017.mli: Kernel

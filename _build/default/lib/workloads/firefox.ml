@@ -1,0 +1,199 @@
+(* Firefox library-sandboxing workloads (§6.1).
+
+   Firefox compiles third-party C libraries to Wasm (via wasm2c/RLBox) and
+   calls into the sandbox at library-call granularity. Two properties make
+   these benchmarks different from SPEC-style kernels:
+
+   - font rendering (libgraphite) enters the sandbox once per glyph, so
+     the per-invocation transition — including setting the segment base
+     under Segue, and the arch_prctl syscall fallback on pre-FSGSBASE
+     CPUs — is part of the measured cost;
+   - XML parsing (libexpat) makes few calls that each scan a large
+     document, so in-sandbox memory-access instrumentation dominates.
+
+   The font kernel shapes a glyph: it walks the glyph's outline points,
+   applies a fixed-point scale/translate transform, accumulates a bounding
+   box, and rasterizes a coarse coverage bitmap. The XML kernel tokenizes
+   an SVG document (generated to mimic a toolbar-icon sprite sheet, the
+   paper's Google-Docs workload), counting elements, attributes and text
+   spans with a checksum. *)
+
+module W = Sfi_wasm.Ast
+module Strategy = Sfi_core.Strategy
+module Codegen = Sfi_core.Codegen
+module Runtime = Sfi_runtime.Runtime
+module Machine = Sfi_machine.Machine
+open Sfi_wasm.Builder
+
+(* --- font shaping ------------------------------------------------------ *)
+
+(* Memory: glyph outlines at 0 (glyph i: 64 points of (x, y) Q8 pairs),
+   coverage bitmap at 0x80000. *)
+let glyph_count = 512
+let points_per_glyph = 16
+
+let font_module () =
+  let b = create ~memory_pages:16 () in
+  let init = declare b "init" ~params:[] ~results:[] () in
+  let i = 0 and state = 1 in
+  define b init ~locals:[ W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0
+       ~count:[ i32 (glyph_count * points_per_glyph * 2) ]
+       ~i ~state ~seed:0xF0);
+  (* shape(glyph, scale) -> bbox checksum *)
+  let shape = declare b "shape" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+  let p = 2 and x = 3 and y = 4 and minx = 5 and maxx = 6 and miny = 7 and maxy = 8 in
+  let bitmap = 0x80000 in
+  define b shape ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 0x7FFFFFFF; set minx; i32 0x7FFFFFFF; set miny ]
+    @ for_loop ~i:p ~start:[ i32 0 ] ~stop:[ i32 points_per_glyph ]
+        [
+          (* load point, transform: v * scale >> 8 + offset *)
+          get 0; i32 (points_per_glyph * 8); mul;
+          get p; i32 3; shl; add; load32 ();
+          i32 0xFFFF; band; get 1; mul; i32 8; shr_s; i32 64; add; set x;
+          get 0; i32 (points_per_glyph * 8); mul;
+          get p; i32 3; shl; add; load32 ~offset:4 ();
+          i32 0xFFFF; band; get 1; mul; i32 8; shr_s; i32 64; add; set y;
+          (* bbox *)
+          get x; get minx; lt_s; if_ [ get x; set minx ] [];
+          get x; get maxx; gt_s; if_ [ get x; set maxx ] [];
+          get y; get miny; lt_s; if_ [ get y; set miny ] [];
+          get y; get maxy; gt_s; if_ [ get y; set maxy ] [];
+          (* coverage: set a bit in the coarse bitmap *)
+          get x; i32 10; shr_u; i32 255; band;
+          get y; i32 10; shr_u; i32 255; band; i32 8; shl; add;
+          i32 bitmap; add;
+          get x; i32 10; shr_u; i32 255; band;
+          get y; i32 10; shr_u; i32 255; band; i32 8; shl; add;
+          i32 bitmap; add; load8_u ();
+          i32 1; bor; store8 ();
+        ]
+    @ [ get maxx; get minx; sub; get maxy; get miny; sub; add ]);
+  build b
+
+(* --- XML / SVG parsing -------------------------------------------------- *)
+
+(* A deterministic SVG-ish sprite sheet, concatenated like the paper's
+   amplified Google-Docs toolbar document. *)
+let svg_document ~icons ~copies =
+  let buf = Buffer.create (icons * copies * 96) in
+  Buffer.add_string buf "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1024\">";
+  for _ = 1 to copies do
+    for icon = 0 to icons - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<g id=\"icon%d\" class=\"toolbar\"><path d=\"M%d %d L%d %d Z\" fill=\"#%06x\"/><rect x=\"%d\" y=\"%d\" width=\"16\" height=\"16\"/><text>tool %d</text></g>"
+           icon (icon * 7 mod 97) (icon * 13 mod 89) (icon * 31 mod 71) (icon * 3 mod 61)
+           (icon * 0x10450 land 0xFFFFFF) (icon mod 32 * 20) (icon / 32 * 20) icon)
+    done
+  done;
+  Buffer.add_string buf "</svg>";
+  Buffer.contents buf
+
+let xml_module ~document () =
+  let pages = ((String.length document + 0xFFFF) / 0x10000) + 2 in
+  let b = create ~memory_pages:(pages + 4) () in
+  data b ~offset:0 document;
+  (* parse(len) -> checksum: a state-machine tokenizer counting tags,
+     attributes and text, with a rolling hash of names. *)
+  let parse = declare b "parse" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let pos = 1 and c = 2 and tags = 3 and attrs = 4 and h = 5 and acc = 6 and depth = 7 in
+  define b parse ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (while_loop
+       [ get pos; get 0; lt_u ]
+       [
+         get pos; load8_u (); set c;
+         get c; i32 (Char.code '<'); eq;
+         if_
+           [
+             (* tag open or close *)
+             get pos; load8_u ~offset:1 (); i32 (Char.code '/'); eq;
+             if_
+               [ get depth; i32 1; sub; set depth ]
+               [
+                 get tags; i32 1; add; set tags;
+                 get depth; i32 1; add; set depth;
+                 (* hash the tag name *)
+                 i32 0; set h;
+                 get pos; i32 1; add; set pos;
+                 block
+                   (loop
+                      [
+                        get pos; load8_u (); tee c;
+                        i32 (Char.code 'a'); ge_u;
+                        get c; i32 (Char.code 'z'); le_u; band;
+                        eqz; br_if 1;
+                        get h; i32 31; mul; get c; add; set h;
+                        get pos; i32 1; add; set pos;
+                        br 0;
+                      ]
+                   :: []);
+                 get acc; get h; bxor; i32 1; rotl; set acc;
+               ];
+           ]
+           [
+             get c; i32 (Char.code '='); eq;
+             if_
+               [ get attrs; i32 1; add; set attrs ]
+               [
+                 (* text content contributes to the checksum *)
+                 get c; i32 (Char.code '>'); ne; get depth; i32 0; gt_s; band;
+                 if_ [ get acc; get c; add; set acc ] [];
+               ];
+           ];
+         get pos; i32 1; add; set pos;
+       ]
+    @ [ get acc; get tags; i32 16; shl; add; get attrs; add ]);
+  build b
+
+(* --- measurement -------------------------------------------------------- *)
+
+type scenario_result = {
+  invocations : int;
+  total_ns : float;
+  per_call_ns : float;
+  checksum : int64;
+}
+
+let engine_for ?(fsgsbase_available = true) strategy m =
+  let compiled = Codegen.compile (Codegen.default_config ~strategy ()) m in
+  let engine = Runtime.create_engine ~fsgsbase_available compiled in
+  let inst = Runtime.instantiate engine in
+  (engine, inst)
+
+(* Shape [glyphs] glyphs, entering the sandbox once per glyph as Firefox
+   does — the per-invocation segment-base write is part of the cost. *)
+let run_font ?fsgsbase_available ~strategy ~glyphs () =
+  let engine, inst = engine_for ?fsgsbase_available strategy (font_module ()) in
+  (match Runtime.invoke inst "init" [] with
+  | Ok _ -> ()
+  | Error k -> failwith ("font init trapped: " ^ Sfi_x86.Ast.trap_name k));
+  Runtime.reset_metrics engine;
+  let checksum = ref 0L in
+  for g = 0 to glyphs - 1 do
+    match
+      Runtime.invoke inst "shape"
+        [ Int64.of_int (g mod glyph_count); Int64.of_int (200 + (g mod 64)) ]
+    with
+    | Ok v -> checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL)
+    | Error k -> failwith ("font shape trapped: " ^ Sfi_x86.Ast.trap_name k)
+  done;
+  let total_ns = Machine.elapsed_ns (Runtime.machine engine) in
+  { invocations = glyphs; total_ns; per_call_ns = total_ns /. float_of_int glyphs;
+    checksum = !checksum }
+
+(* Parse the document [repeats] times (one sandbox entry per parse). *)
+let run_xml ?fsgsbase_available ~strategy ~repeats () =
+  let document = svg_document ~icons:96 ~copies:10 in
+  let engine, inst = engine_for ?fsgsbase_available strategy (xml_module ~document ()) in
+  Runtime.reset_metrics engine;
+  let checksum = ref 0L in
+  for _ = 1 to repeats do
+    match Runtime.invoke inst "parse" [ Int64.of_int (String.length document) ] with
+    | Ok v -> checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL)
+    | Error k -> failwith ("xml parse trapped: " ^ Sfi_x86.Ast.trap_name k)
+  done;
+  let total_ns = Machine.elapsed_ns (Runtime.machine engine) in
+  { invocations = repeats; total_ns; per_call_ns = total_ns /. float_of_int repeats;
+    checksum = !checksum }

@@ -1,0 +1,40 @@
+(** Firefox library-sandboxing workloads (§6.1): per-glyph font shaping
+    (libgraphite-style, transition-heavy) and SVG/XML parsing
+    (libexpat-style, scan-heavy). Measurements cover whole scenarios —
+    thousands of sandbox entries — so the per-invocation segment-base
+    switch is part of the cost, including the [arch_prctl] fallback on
+    CPUs without FSGSBASE (§4.1). *)
+
+val font_module : unit -> Sfi_wasm.Ast.module_
+(** Exports [init] (builds the glyph outlines) and
+    [shape(glyph, scale) -> bbox checksum]. *)
+
+val svg_document : icons:int -> copies:int -> string
+(** A deterministic SVG sprite sheet, amplified by concatenation like the
+    paper's Google-Docs toolbar benchmark. *)
+
+val xml_module : document:string -> unit -> Sfi_wasm.Ast.module_
+(** Exports [parse(len) -> checksum] over the document placed at offset 0. *)
+
+type scenario_result = {
+  invocations : int;
+  total_ns : float;
+  per_call_ns : float;
+  checksum : int64;  (** strategy-independent; validates the runs *)
+}
+
+val run_font :
+  ?fsgsbase_available:bool ->
+  strategy:Sfi_core.Strategy.t ->
+  glyphs:int ->
+  unit ->
+  scenario_result
+(** Shape [glyphs] glyphs, entering the sandbox once per glyph. *)
+
+val run_xml :
+  ?fsgsbase_available:bool ->
+  strategy:Sfi_core.Strategy.t ->
+  repeats:int ->
+  unit ->
+  scenario_result
+(** Parse the amplified SVG document [repeats] times. *)

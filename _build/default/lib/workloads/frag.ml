@@ -1,0 +1,28 @@
+(* Reusable Wasm code fragments for the benchmark kernels. *)
+
+module W = Sfi_wasm.Ast
+open Sfi_wasm.Builder
+
+(* Park-Miller-ish LCG over a local: state = state * 1103515245 + 12345,
+   leaving (state >> 16) & 0x7FFF on the stack. *)
+let lcg_next ~state =
+  [ get state; i32 1103515245; mul; i32 12345; add; tee state; i32 16; shr_u; i32 0x7FFF; band ]
+
+(* Fill [count] 32-bit slots starting at byte [base] with LCG values.
+   [i] and [state] are scratch locals (i32). *)
+let fill_random_words ~base ~count ~i ~state ~seed =
+  [ i32 seed; set state ]
+  @ for_loop ~i ~start:[ i32 0 ] ~stop:count
+      ([ get i; i32 2; shl; i32 base; add ] @ lcg_next ~state @ [ store32 () ])
+
+(* Fill [count] bytes at [base] with LCG-derived bytes. *)
+let fill_random_bytes ~base ~count ~i ~state ~seed =
+  [ i32 seed; set state ]
+  @ for_loop ~i ~start:[ i32 0 ] ~stop:count
+      ([ get i; i32 base; add ] @ lcg_next ~state @ [ store8 () ])
+
+(* Fold a 32-bit checksum over [count] words at [base] into local [acc]:
+   acc = rotl(acc, 1) ^ word. *)
+let checksum_words ~base ~count ~i ~acc =
+  for_loop ~i ~start:[ i32 0 ] ~stop:count
+    [ get acc; i32 1; rotl; get i; i32 2; shl; i32 base; add; load32 (); bxor; set acc ]

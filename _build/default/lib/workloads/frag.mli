@@ -1,0 +1,22 @@
+(** Reusable Wasm code fragments shared by the benchmark kernels:
+    deterministic pseudo-random data generation and checksumming, so every
+    kernel is self-seeding and self-validating. *)
+
+val lcg_next : state:int -> Sfi_wasm.Ast.instr list
+(** Advance the LCG in local [state] and leave a 15-bit pseudo-random i32
+    on the stack. *)
+
+val fill_random_words :
+  base:int -> count:Sfi_wasm.Ast.instr list -> i:int -> state:int -> seed:int ->
+  Sfi_wasm.Ast.instr list
+(** Fill [count] (an i32 expression) 32-bit words at byte address [base]
+    with LCG values, using locals [i] and [state] as scratch. *)
+
+val fill_random_bytes :
+  base:int -> count:Sfi_wasm.Ast.instr list -> i:int -> state:int -> seed:int ->
+  Sfi_wasm.Ast.instr list
+
+val checksum_words :
+  base:int -> count:Sfi_wasm.Ast.instr list -> i:int -> acc:int -> Sfi_wasm.Ast.instr list
+(** Fold a rotate-xor checksum of [count] words at [base] into local
+    [acc]. *)

@@ -1,0 +1,468 @@
+(* PolybenchC-like kernels and a Dhrystone-like integer benchmark (§6.2,
+   WAMR's benchmark set).
+
+   Polybench kernels are dense linear-algebra loops. The real suite
+   computes on 8-byte doubles; our integer port uses Q12 fixed point, so
+   the Wasm build stores 4-byte elements while the native build keeps the
+   8-byte layout native doubles would have. The halved working set is why
+   WAMR measures Wasm ~6% *faster* than native on this suite, a gap Segue
+   widens to ~10% (§6.2): the kernels are cache-bound, not
+   instruction-bound.
+
+   Each generator is parameterized by [wide] so the two layouts share one
+   definition (and therefore one checksum). *)
+
+module W = Sfi_wasm.Ast
+open Sfi_wasm.Builder
+
+let k name ~args ~description ?native wasm =
+  Kernel.make ~name ~suite:"polybench" ~description ?native ~entry:"run"
+    ~args:[ Int64.of_int args ]
+    wasm
+
+(* Element accessors for 4-byte (wasm) vs 8-byte (native double) layouts.
+   Values are i32 fixed-point in both; the wide layout just spaces them the
+   way doubles would be. *)
+let elt_shift wide = if wide then 3 else 2
+
+let load_elt ~wide ~base idx_code =
+  if wide then idx_code @ [ i32 3; shl; i32 base; add; load64 (); wrap ]
+  else idx_code @ [ i32 2; shl; i32 base; add; load32 () ]
+
+let store_elt ~wide ~base idx_code value_code =
+  if wide then idx_code @ [ i32 3; shl; i32 base; add ] @ value_code @ [ extend_s; store64 () ]
+  else idx_code @ [ i32 2; shl; i32 base; add ] @ value_code @ [ store32 () ]
+
+(* Common array bases, spaced for the wide layout. *)
+let arr k = k * 0x80000
+
+(* --- gemm: C = alpha*A*B + beta*C ------------------------------------- *)
+
+let gemm_module ~wide () =
+  let b = create ~memory_pages:80 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and kk = 5 and s = 6 and acc = 7 in
+  let n = 64 in
+  let am = arr 0 and cm = arr 2 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 4099; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (2 * n * n) ]
+        ([ get i; i32 sh; shl; i32 am; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 2047; band ]
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+           (for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+              ([ i32 0; set s ]
+              @ for_loop ~i:kk ~start:[ i32 0 ] ~stop:[ i32 n ]
+                  (load_elt ~wide ~base:am [ get row; i32 n; mul; get kk; add ]
+                  @ load_elt ~wide ~base:am
+                      [ get kk; i32 n; mul; get col; add; i32 (n * n); add ]
+                  @ [ mul; i32 12; shr_s; get s; add; set s ])
+              @ store_elt ~wide ~base:cm
+                  [ get row; i32 n; mul; get col; add ]
+                  (load_elt ~wide ~base:cm [ get row; i32 n; mul; get col; add ]
+                  @ [ i32 3; mul; i32 2; shr_s; get s; add ]))))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get acc; i32 1; rotl ] @ load_elt ~wide ~base:cm [ get i ] @ [ bxor; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- atax: y = A^T (A x) ----------------------------------------------- *)
+
+let atax_module ~wide () =
+  let b = create ~memory_pages:80 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and s = 5 and acc = 6 in
+  let n = 320 in
+  let am = arr 0 and xv = arr 4 and yv = arr 5 and tmp = arr 6 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 7001; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get i; i32 sh; shl; i32 am; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 1023; band ]
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        (store_elt ~wide ~base:xv [ get i ] [ get i; i32 255; band; i32 1; add ])
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* tmp = A x *)
+         for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+           ([ i32 0; set s ]
+           @ for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+               (load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add ]
+               @ load_elt ~wide ~base:xv [ get col ]
+               @ [ mul; i32 12; shr_s; get s; add; set s ])
+           @ store_elt ~wide ~base:tmp [ get row ] [ get s ])
+        (* y = A^T tmp (column-major access: cache-hostile) *)
+        @ for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+            ([ i32 0; set s ]
+            @ for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+                (load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add ]
+                @ load_elt ~wide ~base:tmp [ get row ]
+                @ [ mul; i32 12; shr_s; get s; add; set s ])
+            @ store_elt ~wide ~base:yv [ get col ] [ get s ]))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        ([ get acc; i32 1; rotl ] @ load_elt ~wide ~base:yv [ get i ] @ [ bxor; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- mvt: two matrix-vector products ----------------------------------- *)
+
+let mvt_module ~wide () =
+  let b = create ~memory_pages:80 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and s = 5 and acc = 6 in
+  let n = 320 in
+  let am = arr 0 and x1 = arr 4 and x2 = arr 5 and y1 = arr 6 and y2 = arr 7 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 31337; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get i; i32 sh; shl; i32 am; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 511; band ]
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        (store_elt ~wide ~base:y1 [ get i ] [ get i; i32 127; band ]
+        @ store_elt ~wide ~base:y2 [ get i ] [ get i; i32 63; band; i32 3; add ])
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+           ([ i32 0; set s ]
+           @ for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+               (load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add ]
+               @ load_elt ~wide ~base:y1 [ get col ]
+               @ [ mul; i32 12; shr_s; get s; add; set s ])
+           @ store_elt ~wide ~base:x1 [ get row ]
+               (load_elt ~wide ~base:x1 [ get row ] @ [ get s; add ]))
+        @ for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+            ([ i32 0; set s ]
+            @ for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+                (load_elt ~wide ~base:am [ get col; i32 n; mul; get row; add ]
+                @ load_elt ~wide ~base:y2 [ get col ]
+                @ [ mul; i32 12; shr_s; get s; add; set s ])
+            @ store_elt ~wide ~base:x2 [ get row ]
+                (load_elt ~wide ~base:x2 [ get row ] @ [ get s; add ])))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        ([ get acc; i32 1; rotl ]
+        @ load_elt ~wide ~base:x1 [ get i ]
+        @ [ bxor ]
+        @ load_elt ~wide ~base:x2 [ get i ]
+        @ [ add; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- jacobi2d: 2D stencil sweeps --------------------------------------- *)
+
+let jacobi2d_module ~wide () =
+  let b = create ~memory_pages:96 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and acc = 5 and t = 6 in
+  let n = 256 in
+  let am = arr 0 and bm = arr 4 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 99; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get i; i32 sh; shl; i32 am; add ]
+        @ Frag.lcg_next ~state
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i:t ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 1 ] ~stop:[ i32 (n - 1) ]
+           (for_loop ~i:col ~start:[ i32 1 ] ~stop:[ i32 (n - 1) ]
+              (store_elt ~wide ~base:bm
+                 [ get row; i32 n; mul; get col; add ]
+                 (load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add ]
+                 @ load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add; i32 1; add ]
+                 @ [ add ]
+                 @ load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add; i32 1; sub ]
+                 @ [ add ]
+                 @ load_elt ~wide ~base:am [ get row; i32 1; add; i32 n; mul; get col; add ]
+                 @ [ add ]
+                 @ load_elt ~wide ~base:am [ get row; i32 1; sub; i32 n; mul; get col; add ]
+                 @ [ add; i32 5; div_s ])))
+        @ for_loop ~i:row ~start:[ i32 1 ] ~stop:[ i32 (n - 1) ]
+            (for_loop ~i:col ~start:[ i32 1 ] ~stop:[ i32 (n - 1) ]
+               (store_elt ~wide ~base:am
+                  [ get row; i32 n; mul; get col; add ]
+                  (load_elt ~wide ~base:bm [ get row; i32 n; mul; get col; add ]))))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        ([ get acc; i32 1; rotl ]
+        @ load_elt ~wide ~base:am [ get i; i32 n; mul; get i; add ]
+        @ [ bxor; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- dhrystone: records, strings, branches, calls ---------------------- *)
+
+let dhrystone_module ~wide () =
+  let b = create ~memory_pages:32 () in
+  (* record: 5 fields; wide layout = 8-byte fields (native pointers/longs) *)
+  let fsz = if wide then 8 else 4 in
+  let rec_size = 5 * fsz in
+  let nrecs = 1024 in
+  let recs = 0 and strings = arr 2 in
+  let load_field base_code field =
+    if wide then base_code @ [ load64 ~offset:(field * 8) (); wrap ]
+    else base_code @ [ load32 ~offset:(field * 4) () ]
+  in
+  let store_field base_code field value_code =
+    if wide then base_code @ value_code @ [ extend_s; Store (W.I64, None, { offset = field * 8 }) ]
+    else base_code @ value_code @ [ Store (W.I32, None, { offset = field * 4 }) ]
+  in
+  (* proc: compare two 30-byte strings, return 0/1 *)
+  let str_cmp = declare b "str_cmp" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+  define b str_cmp ~locals:[ W.I32 ]
+    (while_loop
+       [ get 2; i32 30; lt_u ]
+       [
+         get 0; get 2; add; load8_u (); get 1; get 2; add; load8_u (); ne;
+         if_ [ i32 99; set 2 ] [ get 2; i32 1; add; set 2 ];
+       ]
+    @ [ get 2; i32 99; eq ]);
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and rep = 3 and acc = 4 and r = 5 and next = 6 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* string pool *)
+     Frag.fill_random_bytes ~base:strings ~count:[ i32 8192 ] ~i ~state ~seed:1
+    (* records: next "pointer" chain + payload; the link is stored as a
+       record index and perturbed per-iteration below so the walk covers
+       the whole record array (cache-relevant working set) *)
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 nrecs ]
+        (store_field [ get i; i32 rec_size; mul; i32 recs; add ] 0
+           Frag.(lcg_next ~state @ [ i32 (nrecs - 1); band ])
+        @ store_field [ get i; i32 rec_size; mul; i32 recs; add ] 1 [ get i ]
+        @ store_field [ get i; i32 rec_size; mul; i32 recs; add ] 2 [ get i; i32 31; band ]
+        @ store_field [ get i; i32 rec_size; mul; i32 recs; add ] 3
+            Frag.(lcg_next ~state @ [ i32 8191; band ])
+        @ store_field [ get i; i32 rec_size; mul; i32 recs; add ] 4 [ i32 0 ])
+    @ [ i32 0; set r ]
+    @ for_loop ~i:rep ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* follow the chain: next = (recs[r].link + rep) mod nrecs,
+           as a byte offset *)
+         load_field [ get r; i32 recs; add ] 0
+        @ [ get rep; add; i32 (nrecs - 1); band; i32 rec_size; mul; set next ]
+        (* record assignment: copy payload fields (struct copy) *)
+        @ store_field [ get next; i32 recs; add ] 1 (load_field [ get r; i32 recs; add ] 1)
+        @ store_field [ get next; i32 recs; add ] 2
+            (load_field [ get r; i32 recs; add ] 2 @ [ i32 1; add; i32 31; band ])
+        (* string compare between two pool entries *)
+        @ load_field [ get r; i32 recs; add ] 3
+        @ [ i32 8191; band; i32 strings; add ]
+        @ load_field [ get next; i32 recs; add ] 3
+        @ [ i32 8191; band; i32 strings; add ]
+        @ [ call str_cmp; get acc; add; set acc ]
+        (* branchy arithmetic in the Dhrystone style *)
+        @ load_field [ get r; i32 recs; add ] 2
+        @ [
+            i32 16; lt_u;
+            if_ [ get acc; i32 3; mul; set acc ] [ get acc; i32 5; add; set acc ];
+            get next; set r;
+          ])
+    @ [ get acc; get r; i32 rec_size; div_u; add ]);
+  build b
+
+(* --- bicg: two vector products against A and A^T in one sweep ---------- *)
+
+let bicg_module ~wide () =
+  let b = create ~memory_pages:80 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and s = 5 and acc = 6 in
+  let n = 320 in
+  let am = arr 0 and sv = arr 4 and qv = arr 5 and pv = arr 6 and rv = arr 7 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 191; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get i; i32 sh; shl; i32 am; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 511; band ]
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        (store_elt ~wide ~base:pv [ get i ] [ get i; i32 63; band; i32 1; add ]
+        @ store_elt ~wide ~base:rv [ get i ] [ get i; i32 31; band; i32 2; add ])
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* s = A^T r accumulated column-wise while q = A p row-wise *)
+         for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+           ([ i32 0; set s ]
+           @ for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+               ((* q[row] += A[row][col] * p[col] *)
+                load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add ]
+               @ load_elt ~wide ~base:pv [ get col ]
+               @ [ mul; i32 12; shr_s; get s; add; set s ]
+               (* s[col] += r[row] * A[row][col] *)
+               @ store_elt ~wide ~base:sv [ get col ]
+                   (load_elt ~wide ~base:sv [ get col ]
+                   @ load_elt ~wide ~base:rv [ get row ]
+                   @ load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add ]
+                   @ [ mul; i32 12; shr_s; add ]))
+           @ store_elt ~wide ~base:qv [ get row ] [ get s ]))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        ([ get acc; i32 1; rotl ]
+        @ load_elt ~wide ~base:sv [ get i ]
+        @ [ bxor ]
+        @ load_elt ~wide ~base:qv [ get i ]
+        @ [ add; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- trmm: triangular matrix multiply ----------------------------------- *)
+
+let trmm_module ~wide () =
+  let b = create ~memory_pages:80 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and kk = 5 and s = 6 and acc = 7 in
+  let n = 96 in
+  let am = arr 0 and bm = arr 2 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 737; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (2 * n * n) ]
+        ([ get i; i32 sh; shl; i32 am; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 1023; band ]
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+           (for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+              ((* b[row][col] += sum_{k > row} A[k][row] * b[k][col]:
+                  the triangular access pattern *)
+               [ i32 0; set s ]
+              @ for_loop ~i:kk ~start:[ get row; i32 1; add ] ~stop:[ i32 n ]
+                  (load_elt ~wide ~base:am [ get kk; i32 n; mul; get row; add ]
+                  @ load_elt ~wide ~base:bm
+                      [ get kk; i32 n; mul; get col; add; i32 (n * n); add ]
+                  @ [ mul; i32 12; shr_s; get s; add; set s ])
+              @ store_elt ~wide ~base:bm
+                  [ get row; i32 n; mul; get col; add; i32 (n * n); add ]
+                  (load_elt ~wide ~base:bm
+                     [ get row; i32 n; mul; get col; add; i32 (n * n); add ]
+                  @ [ get s; add ]))))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get acc; i32 1; rotl ]
+        @ load_elt ~wide ~base:bm [ get i; i32 (n * n); add ]
+        @ [ bxor; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- seidel2d: in-place Gauss-Seidel sweeps (loop-carried stencil) ------- *)
+
+let seidel2d_module ~wide () =
+  let b = create ~memory_pages:96 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and acc = 5 in
+  let n = 256 in
+  let am = arr 0 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 515; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get i; i32 sh; shl; i32 am; add ]
+        @ Frag.lcg_next ~state
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 1 ] ~stop:[ i32 (n - 1) ]
+           (for_loop ~i:col ~start:[ i32 1 ] ~stop:[ i32 (n - 1) ]
+              (store_elt ~wide ~base:am
+                 [ get row; i32 n; mul; get col; add ]
+                 ((* in-place: reads mix already-updated neighbours *)
+                  load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add; i32 1; sub ]
+                 @ load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add ]
+                 @ [ add ]
+                 @ load_elt ~wide ~base:am [ get row; i32 n; mul; get col; add; i32 1; add ]
+                 @ [ add ]
+                 @ load_elt ~wide ~base:am [ get row; i32 1; sub; i32 n; mul; get col; add ]
+                 @ [ add ]
+                 @ load_elt ~wide ~base:am [ get row; i32 1; add; i32 n; mul; get col; add ]
+                 @ [ add; i32 5; div_s ]))))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        ([ get acc; i32 1; rotl ]
+        @ load_elt ~wide ~base:am [ get i; i32 n; mul; get i; add ]
+        @ [ bxor; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- covariance: column means then pairwise products --------------------- *)
+
+let covariance_module ~wide () =
+  let b = create ~memory_pages:80 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and s = 5 and acc = 6 and j2 = 7 in
+  let n = 64 (* variables *) and m = 128 (* observations *) in
+  let data = arr 0 and mean = arr 4 and cov = arr 5 in
+  let sh = elt_shift wide in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 1913; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * m) ]
+        ([ get i; i32 sh; shl; i32 data; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 255; band ]
+        @ (if wide then [ extend_s; store64 () ] else [ store32 () ]))
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* column means *)
+         for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+           ([ i32 0; set s ]
+           @ for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 m ]
+               (load_elt ~wide ~base:data [ get row; i32 n; mul; get col; add ]
+               @ [ get s; add; set s ])
+           @ store_elt ~wide ~base:mean [ get col ] [ get s; i32 m; div_s ])
+        (* upper-triangular covariance *)
+        @ for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+            (for_loop ~i:j2 ~start:[ get col ] ~stop:[ i32 n ]
+               ([ i32 0; set s ]
+               @ for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 m ]
+                   (load_elt ~wide ~base:data [ get row; i32 n; mul; get col; add ]
+                   @ load_elt ~wide ~base:mean [ get col ]
+                   @ [ sub ]
+                   @ load_elt ~wide ~base:data [ get row; i32 n; mul; get j2; add ]
+                   @ load_elt ~wide ~base:mean [ get j2 ]
+                   @ [ sub; mul; i32 8; shr_s; get s; add; set s ])
+               @ store_elt ~wide ~base:cov [ get col; i32 n; mul; get j2; add ] [ get s ])))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * n) ]
+        ([ get acc; i32 1; rotl ]
+        @ load_elt ~wide ~base:cov [ get i ]
+        @ [ bxor; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- registry ----------------------------------------------------------- *)
+
+let wide_and_narrow name ~args ~description gen =
+  k name ~args ~description ~native:(lazy (gen ~wide:true ())) (lazy (gen ~wide:false ()))
+
+let gemm = wide_and_narrow "gemm" ~args:3 ~description:"dense matrix multiply" gemm_module
+let atax = wide_and_narrow "atax" ~args:8 ~description:"y = A^T (A x)" atax_module
+let mvt = wide_and_narrow "mvt" ~args:8 ~description:"two matrix-vector products" mvt_module
+
+let jacobi2d =
+  wide_and_narrow "jacobi2d" ~args:10 ~description:"2D Jacobi stencil" jacobi2d_module
+
+let bicg = wide_and_narrow "bicg" ~args:8 ~description:"q = A p and s = A^T r" bicg_module
+let trmm = wide_and_narrow "trmm" ~args:3 ~description:"triangular matrix multiply" trmm_module
+
+let seidel2d =
+  wide_and_narrow "seidel2d" ~args:6 ~description:"in-place Gauss-Seidel stencil" seidel2d_module
+
+let covariance =
+  wide_and_narrow "covariance" ~args:2 ~description:"column means + covariance matrix"
+    covariance_module
+
+let dhrystone =
+  Kernel.make ~name:"dhrystone" ~suite:"dhrystone"
+    ~description:"records, strings, branches, calls; native variant uses 8-byte fields"
+    ~native:(lazy (dhrystone_module ~wide:true ()))
+    ~entry:"run" ~args:[ 400000L ]
+    (lazy (dhrystone_module ~wide:false ()))
+
+let all = [ gemm; atax; bicg; mvt; trmm; jacobi2d; seidel2d; covariance ]

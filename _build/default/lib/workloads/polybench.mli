@@ -1,0 +1,26 @@
+(** PolybenchC-like kernels and a Dhrystone-like benchmark (§6.2).
+
+    The real Polybench computes on 8-byte doubles; these integer ports use
+    4-byte fixed point in the Wasm layout and provide an 8-byte "native
+    double" layout as the native baseline, reproducing the working-set
+    halving that makes Wasm measurably {e faster} than native on this
+    suite. *)
+
+val gemm : Kernel.t
+val atax : Kernel.t
+val bicg : Kernel.t
+val mvt : Kernel.t
+val trmm : Kernel.t
+val jacobi2d : Kernel.t
+val seidel2d : Kernel.t
+val covariance : Kernel.t
+
+val all : Kernel.t list
+(** The eight Polybench kernels (Dhrystone is separate). *)
+
+val dhrystone : Kernel.t
+(** Records, string compares, branches and calls, with a wide-field native
+    layout. *)
+
+val dhrystone_module : wide:bool -> unit -> Sfi_wasm.Ast.module_
+(** Exposed for tests that compare the two layouts directly. *)

@@ -1,0 +1,392 @@
+(* Sightglass-like micro-benchmarks (Figure 4): the Bytecode Alliance suite
+   WAMR's developers use. Most are small compute loops; [memmove] and
+   [sieve] contain hand-written byte loops in exactly the canonical shape
+   WAMR's vectorizer recognizes — the loops whose lost vectorization under
+   full Segue causes the paper's +35.6%/+48.7% regressions. *)
+
+module W = Sfi_wasm.Ast
+open Sfi_wasm.Builder
+
+let k name ?(entry = "run") ~args ~description wasm =
+  Kernel.make ~name ~suite:"sightglass" ~description ~entry ~args:[ Int64.of_int args ] wasm
+
+(* --- base64: encode a buffer ------------------------------------------ *)
+
+let base64_module () =
+  let b = create ~memory_pages:8 () in
+  data b ~offset:0x40000 "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and acc = 3 and w = 4 and out = 5 in
+  let src = 0 and dst = 0x10000 and table = 0x40000 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_bytes ~base:src ~count:[ get 0; i32 3; mul ] ~i ~state ~seed:64
+    @ [ i32 0; set out ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        [
+          (* w = 3 source bytes *)
+          get i; i32 3; mul; i32 src; add; load8_u (); i32 16; shl;
+          get i; i32 3; mul; i32 src; add; load8_u ~offset:1 (); i32 8; shl; bor;
+          get i; i32 3; mul; i32 src; add; load8_u ~offset:2 (); bor; set w;
+          (* 4 output symbols *)
+          get out; i32 dst; add;
+          get w; i32 18; shr_u; i32 63; band; i32 table; add; load8_u (); store8 ();
+          get out; i32 dst; add;
+          get w; i32 12; shr_u; i32 63; band; i32 table; add; load8_u (); store8 ~offset:1 ();
+          get out; i32 dst; add;
+          get w; i32 6; shr_u; i32 63; band; i32 table; add; load8_u (); store8 ~offset:2 ();
+          get out; i32 dst; add;
+          get w; i32 63; band; i32 table; add; load8_u (); store8 ~offset:3 ();
+          get out; i32 4; add; set out;
+        ]
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get out ]
+        [ get acc; i32 5; rotl; get i; i32 dst; add; load8_u (); bxor; set acc ]
+    @ [ get acc ]);
+  build b
+
+(* --- fib2: naive recursion (call-heavy) ------------------------------- *)
+
+let fib2_module () =
+  let b = create ~memory_pages:1 () in
+  let fib = declare b "fib" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b fib
+    [
+      get 0; i32 2; lt_u;
+      if_ ~ty:W.I32 [ get 0 ]
+        [ get 0; i32 1; sub; call fib; get 0; i32 2; sub; call fib; add ];
+    ];
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b run [ get 0; call fib ];
+  build b
+
+(* --- gimli: permutation over 12 words in memory ----------------------- *)
+
+let gimli_module () =
+  let b = create ~memory_pages:1 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let r = 1 and col = 2 and x = 3 and y = 4 and z = 5 and i = 6 and state = 7 and acc = 8 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0 ~count:[ i32 12 ] ~i ~state ~seed:0x67696d
+    @ for_loop ~i:r ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 4 ]
+           [
+             get col; i32 2; shl; load32 (); i32 24; rotl; set x;
+             get col; i32 2; shl; load32 ~offset:16 (); i32 9; rotl; set y;
+             get col; i32 2; shl; load32 ~offset:32 (); set z;
+             (* column mix *)
+             get col; i32 2; shl;
+             get x; get z; i32 1; shl; bxor; get y; get z; band; i32 2; shl; bxor;
+             store32 ~offset:32 ();
+             get col; i32 2; shl;
+             get y; get x; bxor; get x; get z; bor; i32 1; shl; bxor;
+             store32 ~offset:16 ();
+             get col; i32 2; shl;
+             get z; get y; bxor; get x; get y; band; i32 3; shl; bxor;
+             store32 ();
+           ]
+        @ [
+            (* small swap every 4th round *)
+            get r; i32 3; band; eqz;
+            if_
+              [
+                i32 0; load32 (); set x;
+                i32 0; i32 4; load32 (); store32 ();
+                i32 4; get x; store32 ();
+                i32 0; i32 0; load32 (); get r; i32 0x9E377900; bor; bxor; store32 ();
+              ]
+              [];
+          ])
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:0 ~count:[ i32 12 ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- heapsort ---------------------------------------------------------- *)
+
+let heapsort_module () =
+  let b = create ~memory_pages:8 () in
+  (* sift-down on the i32 array at 0 *)
+  let sift = declare b "sift" ~params:[ W.I32; W.I32 ] ~results:[] () in
+  (* params: root, count; locals: 2 child, 3 tmp *)
+  define b sift ~locals:[ W.I32; W.I32 ]
+    (while_loop
+       [ get 0; i32 1; shl; i32 1; add; get 1; lt_u ]
+       [
+         get 0; i32 1; shl; i32 1; add; set 2;
+         (* pick larger child *)
+         get 2; i32 1; add; get 1; lt_u;
+         if_
+           [
+             get 2; i32 1; add; i32 2; shl; load32 ();
+             get 2; i32 2; shl; load32 (); gt_s;
+             if_ [ get 2; i32 1; add; set 2 ] [];
+           ]
+           [];
+         get 2; i32 2; shl; load32 (); get 0; i32 2; shl; load32 (); gt_s;
+         if_
+           [
+             (* swap root and child, descend *)
+             get 0; i32 2; shl; load32 (); set 3;
+             get 0; i32 2; shl; get 2; i32 2; shl; load32 (); store32 ();
+             get 2; i32 2; shl; get 3; store32 ();
+             get 2; set 0;
+           ]
+           [ get 1; set 0 (* terminate: root >= children *) ];
+       ]);
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and acc = 3 and tmp = 4 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0 ~count:[ get 0 ] ~i ~state ~seed:424242
+    (* heapify *)
+    @ [ get 0; i32 2; div_u; set i ]
+    @ while_loop
+        [ get i; i32 0; gt_u ]
+        [ get i; i32 1; sub; set i; get i; get 0; call sift ]
+    (* extract *)
+    @ [ get 0; set i ]
+    @ while_loop
+        [ get i; i32 1; gt_u ]
+        [
+          get i; i32 1; sub; set i;
+          i32 0; load32 (); set tmp;
+          i32 0; get i; i32 2; shl; load32 (); store32 ();
+          get i; i32 2; shl; get tmp; store32 ();
+          i32 0; get i; call sift;
+        ]
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:0 ~count:[ get 0 ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- matrix: dense multiply ------------------------------------------- *)
+
+let matrix_module () =
+  let b = create ~memory_pages:8 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and kx = 5 and acc = 6 and s = 7 in
+  let n = 48 in
+  let am = 0 and bm = n * n * 4 and cm = 2 * n * n * 4 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:am ~count:[ i32 (2 * n * n) ] ~i ~state ~seed:9
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+           (for_loop ~i:col ~start:[ i32 0 ] ~stop:[ i32 n ]
+              ([ i32 0; set s ]
+              @ for_loop ~i:kx ~start:[ i32 0 ] ~stop:[ i32 n ]
+                  [
+                    get row; i32 n; mul; get kx; add; i32 2; shl; i32 am; add; load32 ();
+                    get kx; i32 n; mul; get col; add; i32 2; shl; i32 bm; add; load32 ();
+                    mul; get s; add; set s;
+                  ]
+              @ [
+                  get row; i32 n; mul; get col; add; i32 2; shl; i32 cm; add;
+                  get s; store32 ();
+                ])))
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:cm ~count:[ i32 (n * n) ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- memmove: the vectorizer's canonical byte-copy loop ---------------- *)
+
+let memmove_module () =
+  let b = create ~memory_pages:16 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* locals: 1 i, 2 state, 3 rep, 4 acc, 5 len, 6 dstb, 7 srcb *)
+  let i = 1 and state = 2 and rep = 3 and acc = 4 and len = 5 and dstb = 6 and srcb = 7 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_bytes ~base:0 ~count:[ i32 65536 ] ~i ~state ~seed:7777
+    @ [ i32 32768; set len ]
+    @ for_loop ~i:rep ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ([
+           get rep; i32 1; band; eqz;
+           if_ [ i32 0; set srcb; i32 131072; set dstb ] [ i32 131072; set srcb; i32 0; set dstb ];
+         ]
+        (* THE canonical loop: for (i = 0; i < len; i++) d[i+dst] = s[i+src] *)
+        @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get len ]
+            [ get dstb; get i; add; get srcb; get i; add; load8_u (); store8 () ]
+        (* validation pass over the destination (scalar in all variants,
+           as the real benchmark hashes what it moved) *)
+        @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 49152 ]
+            [ get acc; get dstb; get i; add; i32 65535; band; load8_u (); add; set acc ]
+        @ [ get acc; i32 1; rotl; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- nestedloop{,2,3}: pure loop nests -------------------------------- *)
+
+let nestedloop_module depth =
+  let b = create () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let acc = depth + 1 in
+  let locals = List.init (depth + 1) (fun _ -> W.I32) in
+  let rec nest d body =
+    if d > depth then body
+    else for_loop ~i:d ~start:[ i32 0 ] ~stop:[ get (d - 1) ] (nest (d + 1) body)
+  in
+  (* innermost body mixes the counters *)
+  let body =
+    [ get acc; i32 1; add ]
+    @ List.concat (List.init depth (fun d -> [ get (d + 1); bxor ]))
+    @ [ set acc ]
+  in
+  define b run ~locals (nest 1 body @ [ get acc ]);
+  build b
+
+(* --- random: LCG stream ------------------------------------------------ *)
+
+let random_module () =
+  let b = create () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and acc = 3 in
+  define b run ~locals:[ W.I32; W.I32; W.I32 ]
+    ([ i32 88172645; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (Frag.lcg_next ~state @ [ get acc; bxor; i32 7; rotl; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- seqhash: hash chain over a buffer --------------------------------- *)
+
+let seqhash_module () =
+  let b = create ~memory_pages:4 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and rep = 3 and acc = 4 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0 ~count:[ i32 8192 ] ~i ~state ~seed:5381
+    @ [ i32 2166136261; set acc ]
+    @ for_loop ~i:rep ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 8192 ]
+           [
+             get acc; get i; i32 2; shl; load32 (); bxor;
+             i32 16777619; mul; i32 13; rotl; set acc;
+           ])
+    @ [ get acc ]);
+  build b
+
+(* --- sieve: byte-fill init (vectorizable) + strided marking ------------ *)
+
+let sieve_module () =
+  let b = create ~memory_pages:10 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and p = 2 and rep = 3 and acc = 4 and count = 5 and limit = 6 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 65536; set limit ]
+    @ for_loop ~i:rep ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* init: canonical byte-fill loops (what WAMR vectorizes) — the
+           sieve plus a scratch shadow region the benchmark also clears *)
+         for_loop ~i ~start:[ i32 0 ] ~stop:[ get limit ] [ i32 0; get i; add; i32 1; store8 () ]
+        @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 425984 ]
+            [ i32 131072; get i; add; i32 0; store8 () ]
+        (* strided composite marking *)
+        @ [ i32 2; set p ]
+        @ while_loop
+            [ get p; get p; mul; get limit; lt_u ]
+            ([ get p; get p; mul; set i ]
+            @ while_loop
+                [ get i; get limit; lt_u ]
+                [ get i; i32 0; store8 (); get i; get p; add; set i ]
+            @ [ get p; i32 1; add; set p ])
+        (* count survivors on a slice *)
+        @ [ i32 0; set count ]
+        @ for_loop ~i ~start:[ i32 2 ] ~stop:[ i32 4096 ]
+            [ get count; get i; load8_u (); add; set count ]
+        @ [ get acc; get count; add; i32 1; rotl; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- strchr: byte scan -------------------------------------------------- *)
+
+let strchr_module () =
+  let b = create ~memory_pages:4 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and rep = 3 and acc = 4 and pos = 5 and needle = 6 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_bytes ~base:0 ~count:[ i32 65536 ] ~i ~state ~seed:115
+    @ [ i32 65535; i32 255; store8 () (* sentinel *) ]
+    @ for_loop ~i:rep ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ([ get rep; i32 251; rem_u; i32 1; add; set needle; i32 0; set pos ]
+        @ while_loop
+            [ get pos; load8_u (); get needle; ne ]
+            [ get pos; i32 1; add; i32 65535; band; set pos ]
+        @ [ get acc; get pos; add; i32 3; rotl; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- switch2: dense dispatch in a loop ---------------------------------- *)
+
+let switch2_module () =
+  let b = create () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and acc = 3 and v = 4 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 3; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (Frag.lcg_next ~state
+        @ [ i32 7; band; set v ]
+        @ [
+            block
+              [
+                block
+                  [
+                    block
+                      [
+                        block
+                          [
+                            block
+                              [
+                                block [ get v; W.Br_table ([ 0; 1; 2; 3 ], 4) ];
+                                get acc; i32 13; add; set acc; br 4;
+                              ];
+                            get acc; i32 3; mul; set acc; br 3;
+                          ];
+                        get acc; i32 7; bxor; set acc; br 2;
+                      ];
+                    get acc; i32 11; rotl; set acc; br 1;
+                  ];
+                (* default *) get acc; i32 1; sub; set acc;
+              ];
+          ])
+    @ [ get acc ]);
+  build b
+
+(* --- registry ----------------------------------------------------------- *)
+
+let base64 = k "base64" ~args:9000 ~description:"buffer base64 encode" (lazy (base64_module ()))
+let fib2 = k "fib2" ~args:24 ~description:"naive recursive fib (call-heavy)" (lazy (fib2_module ()))
+let gimli = k "gimli" ~args:16000 ~description:"gimli-like permutation" (lazy (gimli_module ()))
+
+let heapsort =
+  k "heapsort" ~args:60000 ~description:"in-place heapsort of random words"
+    (lazy (heapsort_module ()))
+
+let matrix = k "matrix" ~args:8 ~description:"48x48 integer matmul" (lazy (matrix_module ()))
+
+let memmove =
+  k "memmove" ~args:24 ~description:"canonical byte-copy loop (vectorizer target)"
+    (lazy (memmove_module ()))
+
+let nestedloop =
+  k "nestedloop" ~args:600000 ~description:"1-deep counted loop" (lazy (nestedloop_module 1))
+
+let nestedloop2 =
+  k "nestedloop2" ~args:900 ~description:"2-deep counted loop" (lazy (nestedloop_module 2))
+
+let nestedloop3 =
+  k "nestedloop3" ~args:110 ~description:"3-deep counted loop" (lazy (nestedloop_module 3))
+
+let random = k "random" ~args:500000 ~description:"LCG stream" (lazy (random_module ()))
+let seqhash = k "seqhash" ~args:80 ~description:"FNV-ish hash sweeps" (lazy (seqhash_module ()))
+
+let sieve =
+  k "sieve" ~args:18 ~description:"byte-fill init (vectorizer target) + strided marking"
+    (lazy (sieve_module ()))
+
+let strchr = k "strchr" ~args:7000 ~description:"byte scan with sentinel" (lazy (strchr_module ()))
+let switch2 = k "switch2" ~args:400000 ~description:"dense br_table dispatch" (lazy (switch2_module ()))
+
+let all =
+  [
+    base64; fib2; gimli; heapsort; matrix; memmove; nestedloop; nestedloop2; nestedloop3;
+    random; seqhash; sieve; strchr; switch2;
+  ]

@@ -1,0 +1,23 @@
+(** Sightglass-like micro-benchmarks (Figure 4): WAMR's benchmark suite.
+    [memmove] and [sieve] contain byte loops in the exact canonical shape
+    the WAMR-style vectorizer recognizes, so compiling them with full
+    Segue (which disables the pass, §4.2) reproduces the paper's
+    regressions; every other member is a small compute loop. *)
+
+val base64 : Kernel.t
+val fib2 : Kernel.t
+val gimli : Kernel.t
+val heapsort : Kernel.t
+val matrix : Kernel.t
+val memmove : Kernel.t
+val nestedloop : Kernel.t
+val nestedloop2 : Kernel.t
+val nestedloop3 : Kernel.t
+val random : Kernel.t
+val seqhash : Kernel.t
+val sieve : Kernel.t
+val strchr : Kernel.t
+val switch2 : Kernel.t
+
+val all : Kernel.t list
+(** The fourteen kernels, in Figure 4's order. *)

@@ -1,0 +1,494 @@
+(* SPEC CPU 2006-like kernels (the Wasm-compatible subset of Figure 3 and
+   Table 2). Each kernel reimplements the hot loop structure and memory
+   behaviour of its namesake benchmark — compression with move-to-front
+   scanning (bzip2), pointer-chasing graph relaxation (mcf), lattice QCD
+   arithmetic (milc), molecular-dynamics pair forces (namd), board-game
+   pattern evaluation (gobmk), chess bitboards (sjeng), quantum gate
+   simulation (libquantum), video SAD search (h264ref), a fluid stencil
+   (lbm), and grid pathfinding (astar) — in integer/fixed-point form.
+
+   All kernels take a scale parameter and return a 32-bit checksum so a
+   miscompilation can never look like a speedup. mcf also ships a "native"
+   variant whose node/edge fields are 64-bit pointers-and-longs wide,
+   reproducing the working-set doubling that lets 32-bit Wasm beat native
+   on pointer-heavy code (§6.1's 429_mcf outlier). *)
+
+module W = Sfi_wasm.Ast
+open Sfi_wasm.Builder
+
+let k name ?native ~args ~description wasm =
+  Kernel.make ~name ~suite:"spec2006" ~description ?native ~entry:"run"
+    ~args:[ Int64.of_int args ]
+    wasm
+
+(* --- 401.bzip2: RLE + move-to-front compression ---------------------- *)
+
+let bzip2_module () =
+  let b = create ~memory_pages:8 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* locals: 1 i, 2 state, 3 j, 4 acc, 5 c, 6 runlen, 7 out, 8 tmp *)
+  let i = 1 and state = 2 and j = 3 and acc = 4 and c = 5 and runlen = 6 and out = 7 and tmp = 8 in
+  let input = 0 and mtf = 0x20000 and output = 0x30000 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* biased random input: low entropy to create runs *)
+     [ i32 12345; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ([ get i; i32 input; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 10; shr_u; i32 7; band; store8 () ])
+    (* mtf table: identity permutation over 64 symbols *)
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 64 ] [ get i; i32 mtf; add; get i; store8 () ]
+    @ [ i32 0; set out; i32 0; set runlen ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ([ get i; i32 input; add; load8_u (); set c ]
+        (* find c's rank in the mtf table *)
+        @ [ i32 0; set j ]
+        @ while_loop
+            [ get j; i32 mtf; add; load8_u (); get c; ne ]
+            [ get j; i32 1; add; set j ]
+        (* move to front: shift table[0..j) up by one *)
+        @ [ get j; set tmp ]
+        @ while_loop
+            [ get tmp; i32 0; gt_u ]
+            [
+              get tmp; i32 mtf; add;
+              get tmp; i32 1; sub; i32 mtf; add; load8_u ();
+              store8 ();
+              get tmp; i32 1; sub; set tmp;
+            ]
+        @ [ i32 mtf; get c; store8 () ]
+        (* RLE over ranks: rank 0 extends the run, others flush *)
+        @ [
+            get j; eqz;
+            if_
+              [ get runlen; i32 1; add; set runlen ]
+              [
+                get out; i32 output; add; get runlen; store8 ();
+                get out; i32 1; add; i32 output; add; get j; store8 ();
+                get out; i32 2; add; set out;
+                i32 0; set runlen;
+              ];
+          ])
+    (* checksum the output stream *)
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get out ]
+        [ get acc; i32 1; rotl; get i; i32 output; add; load8_u (); bxor; set acc ]
+    @ [ get acc; get out; add ]);
+  build b
+
+(* --- 429.mcf: network simplex-ish relaxation over a node/arc graph --- *)
+
+(* [wide=false]: 32-bit node/arc records (the Wasm layout).
+   [wide=true]: 64-bit fields — native pointers and longs — doubling the
+   working set (the cache effect behind "mcf runs faster in Wasm"). *)
+let mcf_module ~wide () =
+  let b = create ~memory_pages:(if wide then 160 else 96) () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* locals: 1 i, 2 state, 3 round, 4 src, 5 dst, 6 w, 7 acc, 8 e *)
+  let i = 1 and state = 2 and round = 3 and src = 4 and dst = 5 and w = 6 and acc = 7 and e = 8 in
+  let nodes = 65536 in
+  let arc_field_sz = if wide then 8 else 4 in
+  (* arcs: (src, dst, weight) triples *)
+  let arc_base = if wide then nodes * 8 else nodes * 4 in
+  let arc_stride = 3 * arc_field_sz in
+  (* dist array element access helpers *)
+  let dist_addr idx_code =
+    if wide then idx_code @ [ i32 3; shl ] else idx_code @ [ i32 2; shl ]
+  in
+  let load_dist idx_code =
+    if wide then dist_addr idx_code @ [ Load (W.I64, None, { offset = 0 }); wrap ]
+    else dist_addr idx_code @ [ load32 () ]
+  in
+  let store_dist idx_code value_code =
+    if wide then dist_addr idx_code @ value_code @ [ extend_u; store64 () ]
+    else dist_addr idx_code @ value_code @ [ store32 () ]
+  in
+  let arc_addr e_code field =
+    e_code @ [ i32 arc_stride; mul; i32 (arc_base + (field * arc_field_sz)); add ]
+  in
+  let load_arc e_code field =
+    if wide then arc_addr e_code field @ [ Load (W.I64, None, { offset = 0 }); wrap ]
+    else arc_addr e_code field @ [ load32 () ]
+  in
+  let store_arc e_code field value_code =
+    if wide then arc_addr e_code field @ value_code @ [ extend_u; store64 () ]
+    else arc_addr e_code field @ value_code @ [ store32 () ]
+  in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* distances: large sentinel; node 0 = 0 *)
+     for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 nodes ]
+       (store_dist [ get i ] [ i32 0x3FFFFFFF ])
+    @ store_dist [ i32 0 ] [ i32 0 ]
+    (* random arcs, locality-poor to stress the cache *)
+    @ [ i32 777; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (store_arc [ get i ]
+           0
+           (Frag.lcg_next ~state @ [ i32 (nodes - 1); band ])
+        @ store_arc [ get i ] 1 (Frag.lcg_next ~state @ [ i32 (nodes - 1); band ])
+        @ store_arc [ get i ] 2 (Frag.lcg_next ~state @ [ i32 255; band; i32 1; add ]))
+    (* relaxation rounds *)
+    @ for_loop ~i:round ~start:[ i32 0 ] ~stop:[ i32 6 ]
+        (for_loop ~i:e ~start:[ i32 0 ] ~stop:[ get 0 ]
+           (load_arc [ get e ] 0
+           @ [ set src ]
+           @ load_arc [ get e ] 1
+           @ [ set dst ]
+           @ load_arc [ get e ] 2
+           @ [ set w ]
+           @ load_dist [ get src ]
+           @ [ get w; add ]
+           @ load_dist [ get dst ]
+           @ [
+               lt_u;
+               if_
+                 (load_dist [ get src ] @ [ get w; add; set w ]
+                 @ store_dist [ get dst ] [ get w ])
+                 [];
+             ]))
+    (* checksum distances *)
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 nodes ]
+        ([ get acc; i32 1; rotl ] @ load_dist [ get i ] @ [ bxor; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- 433.milc: su(2)-flavoured fixed-point lattice arithmetic -------- *)
+
+let milc_module () =
+  let b = create ~memory_pages:32 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* Complex 2x2 matrices as 8 i32 fixed-point values (Q16). A link field
+     over a 4D lattice flattened into an array; each site multiplies its
+     matrix with its neighbour's and accumulates the trace. *)
+  let i = 1 and state = 2 and site = 3 and acc = 4 and a = 5 and bb = 6 and t = 7 in
+  let sites = 8192 in
+  let matw = 32 (* bytes per 2x2 complex matrix of i32 *) in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0 ~count:[ i32 (sites * 8) ] ~i ~state ~seed:31415
+    @ [ i32 0; set acc ]
+    @ for_loop ~i:site ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ([
+           (* a = base of site's matrix; b = neighbour (site+1 mod sites) *)
+           get site; i32 (sites - 1); band; i32 matw; mul; set a;
+           get site; i32 1; add; i32 (sites - 1); band; i32 matw; mul; set bb;
+         ]
+        (* trace of product: sum over k of a[0k]*b[k0] (complex, Q16) *)
+        @ [
+            (* real part: a00r*b00r - a00i*b00i + a01r*b10r - a01i*b10i *)
+            get a; load32 (); get bb; load32 (); mul; i32 16; shr_s;
+            get a; load32 ~offset:4 (); get bb; load32 ~offset:4 (); mul; i32 16; shr_s; sub;
+            get a; load32 ~offset:8 (); get bb; load32 ~offset:16 (); mul; i32 16; shr_s; add;
+            get a; load32 ~offset:12 (); get bb; load32 ~offset:20 (); mul; i32 16; shr_s; sub;
+            set t;
+            get acc; get t; add; i32 5; rotl; set acc;
+            (* imag part folded in as well *)
+            get a; load32 (); get bb; load32 ~offset:4 (); mul; i32 16; shr_s;
+            get a; load32 ~offset:4 (); get bb; load32 (); mul; i32 16; shr_s; add;
+            get acc; bxor; set acc;
+            (* store the product's first element back (field update) *)
+            get a; get t; store32 ();
+          ])
+    @ [ get acc ]);
+  build b
+
+(* --- 444.namd: pairwise force accumulation --------------------------- *)
+
+let namd_module () =
+  let b = create ~memory_pages:16 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* atoms: x,y,z,f as parallel i32 arrays (Q8 fixed point) *)
+  let i = 1 and state = 2 and jj = 3 and acc = 4 and dx = 5 and dy = 6 and r2 = 7 in
+  let n = 1024 in
+  let xs = 0 and ys = n * 4 and zs = n * 8 and fs = n * 12 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0 ~count:[ i32 (3 * n) ] ~i ~state ~seed:271828
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:jj ~start:[ get i; i32 1; add; i32 (n - 1); band ]
+           ~stop:[ get i; i32 33; add; i32 (n - 1); band ]
+           [
+             (* dx = x[i&mask] - x[j]; dy likewise; r2 = dx^2+dy^2+z term *)
+             get i; i32 (n - 1); band; i32 2; shl; i32 xs; add; load32 ();
+             get jj; i32 2; shl; i32 xs; add; load32 (); sub; i32 8; shr_s; set dx;
+             get i; i32 (n - 1); band; i32 2; shl; i32 ys; add; load32 ();
+             get jj; i32 2; shl; i32 ys; add; load32 (); sub; i32 8; shr_s; set dy;
+             get dx; get dx; mul; get dy; get dy; mul; add;
+             get i; i32 (n - 1); band; i32 2; shl; i32 zs; add; load32 (); i32 16; shr_s; add;
+             i32 1; bor; set r2;
+             (* force ~ 1/r2 (integer approximation), accumulate *)
+             get jj; i32 2; shl; i32 fs; add;
+             get jj; i32 2; shl; i32 fs; add; load32 ();
+             i32 0x10000; get r2; div_s; add;
+             store32 ();
+           ])
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:fs ~count:[ i32 n ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- 445.gobmk: board scanning and liberty counting ------------------ *)
+
+let gobmk_module () =
+  let b = create ~memory_pages:4 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and pos = 3 and acc = 4 and libs = 5 and stone = 6 and g = 7 in
+  let bsize = 21 (* padded 19x19 board *) in
+  let board = 0 in
+  let cells = bsize * bsize in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 999; set state ]
+    @ for_loop ~i:g ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* sprinkle stones *)
+         for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 cells ]
+           ([ get i; i32 board; add ]
+           @ Frag.lcg_next ~state
+           @ [ i32 3; rem_u; store8 () ])
+        (* scan: for each stone, count empty orthogonal neighbours *)
+        @ for_loop ~i:pos ~start:[ i32 bsize ] ~stop:[ i32 (cells - bsize) ]
+            [
+              get pos; i32 board; add; load8_u (); tee stone;
+              if_
+                [
+                  i32 0; set libs;
+                  get pos; i32 1; sub; i32 board; add; load8_u (); eqz;
+                  get libs; add; set libs;
+                  get pos; i32 1; add; i32 board; add; load8_u (); eqz;
+                  get libs; add; set libs;
+                  get pos; i32 bsize; sub; i32 board; add; load8_u (); eqz;
+                  get libs; add; set libs;
+                  get pos; i32 bsize; add; i32 board; add; load8_u (); eqz;
+                  get libs; add; set libs;
+                  (* pattern bonus: diagonal friends *)
+                  get pos; i32 (bsize + 1); add; i32 board; add; load8_u (); get stone; eq;
+                  if_ [ get libs; i32 2; mul; set libs ] [];
+                  get acc; get libs; add; get stone; rotl; set acc;
+                ]
+                [];
+            ])
+    @ [ get acc ]);
+  build b
+
+(* --- 458.sjeng: bitboard move generation ------------------------------ *)
+
+let sjeng_module () =
+  let b = create ~memory_pages:4 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* locals: 1 i, 2 acc(i64), 3 occ(i64), 4 moves(i64), 5 sq *)
+  let i = 1 and acc = 2 and occ = 3 and moves = 4 and sq = 5 in
+  let rotl64 = W.Binop (W.I64, W.Rotl) in
+  define b run ~locals:[ W.I32; W.I64; W.I64; W.I64; W.I32 ]
+    ((* attack table: 64 i64 entries at 0, deterministic bit soup *)
+     for_loop ~i:sq ~start:[ i32 0 ] ~stop:[ i32 64 ]
+       [
+         get sq; i32 3; shl;
+         i64 1; get sq; extend_u; shl64;
+         i64' 0x9E3779B97F4A7C15L; bxor64;
+         get sq; i32 1; add; extend_u; mul64;
+         store64 ();
+       ]
+    @ [ i64' 0xFFFF00000000FFFFL; set occ ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        [
+          get i; i32 63; band; set sq;
+          (* moves = table[sq] & ~occ *)
+          get sq; i32 3; shl; load64 ();
+          get occ; i64' (-1L); bxor64; band64; set moves;
+          (* count mobility, evolve occupancy *)
+          get acc; get moves; W.Popcnt W.I64; add64; set acc;
+          get occ; i64 1; rotl64; get moves; bxor64; set occ;
+          get acc; get occ; W.Ctz W.I64; add64; set acc;
+        ]
+    @ [ get acc; wrap; get occ; wrap; bxor; get occ; i64 32; shr_u64; wrap; bxor ]);
+  build b
+
+(* --- 462.libquantum: gate application over a state vector ------------ *)
+
+let libquantum_module () =
+  let b = create ~memory_pages:16 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and gate = 3 and acc = 4 and target = 5 and partner = 6 and t = 7 in
+  let amps = 16384 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0 ~count:[ i32 amps ] ~i ~state ~seed:161803
+    @ for_loop ~i:gate ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* controlled-not-ish on bit (gate mod 14): swap-add amplitude pairs *)
+         [ get gate; i32 14; rem_u; set target ]
+        @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 amps ]
+            [
+              get i; i32 1; get target; shl; band; eqz;
+              if_
+                [
+                  get i; i32 1; get target; shl; bor; set partner;
+                  (* butterfly: a' = a + b, b' = a - b (Hadamard-ish) *)
+                  get i; i32 2; shl; load32 (); set t;
+                  get i; i32 2; shl;
+                  get t; get partner; i32 2; shl; load32 (); add; i32 1; shr_s;
+                  store32 ();
+                  get partner; i32 2; shl;
+                  get t; get partner; i32 2; shl; load32 (); sub;
+                  store32 ();
+                ]
+                [];
+            ])
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:0 ~count:[ i32 amps ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- 464.h264ref: sum-of-absolute-differences motion search ---------- *)
+
+let h264_module () =
+  let b = create ~memory_pages:16 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and mv = 3 and acc = 4 and x = 5 and y = 6 and sad = 7 and best = 8
+  and d = 9 in
+  let w = 256 in
+  let frame = 0 and refframe = w * w in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_bytes ~base:frame ~count:[ i32 (w * w) ] ~i ~state ~seed:8080
+    @ Frag.fill_random_bytes ~base:refframe ~count:[ i32 (w * w) ] ~i ~state ~seed:8081
+    @ for_loop ~i:mv ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ([ i32 0x7FFFFFFF; set best ]
+        (* search 8 candidate offsets for a 16x16 block *)
+        @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 8 ]
+            ([ i32 0; set sad ]
+            @ for_loop ~i:y ~start:[ i32 0 ] ~stop:[ i32 16 ]
+                (for_loop ~i:x ~start:[ i32 0 ] ~stop:[ i32 16 ]
+                   [
+                     (* d = cur - ref *)
+                     get y; i32 8; shl; get x; add;
+                     get mv; i32 63; band; add;
+                     i32 frame; add; load8_u ();
+                     get y; i32 8; shl; get x; add;
+                     get i; i32 9; mul; add; i32 ((w * w) - 1); band;
+                     i32 refframe; add; load8_u ();
+                     sub; set d;
+                     (* sad += |d| via (d ^ (d >> 31)) - (d >> 31) *)
+                     get sad;
+                     get d; get d; i32 31; shr_s; bxor;
+                     get d; i32 31; shr_s; sub;
+                     add; set sad;
+                   ])
+            @ [ get sad; get best; lt_s; if_ [ get sad; set best ] [] ])
+        @ [ get acc; get best; add; i32 3; rotl; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- 470.lbm: 5-point stencil streaming ------------------------------- *)
+
+let lbm_module () =
+  let b = create ~memory_pages:32 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and step = 3 and acc = 4 and row = 5 and col = 6 and idx = 7 in
+  let w = 256 in
+  let h = 256 in
+  let src = 0 and dst = w * h * 4 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:src ~count:[ i32 (w * h) ] ~i ~state ~seed:55555
+    @ for_loop ~i:step ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* one relaxation sweep src -> dst, then swap via copy of a band *)
+         for_loop ~i:row ~start:[ i32 1 ] ~stop:[ i32 (h - 1) ]
+           (for_loop ~i:col ~start:[ i32 1 ] ~stop:[ i32 (w - 1) ]
+              [
+                get row; i32 8; shl; get col; add; set idx;
+                get idx; i32 2; shl; i32 dst; add;
+                (* center*4 + neighbours, averaged *)
+                get idx; i32 2; shl; load32 (); i32 2; shl;
+                get idx; i32 1; add; i32 2; shl; load32 (); add;
+                get idx; i32 1; sub; i32 2; shl; load32 (); add;
+                get idx; i32 w; add; i32 2; shl; load32 (); add;
+                get idx; i32 w; sub; i32 2; shl; load32 (); add;
+                i32 3; shr_s;
+                store32 ();
+              ])
+        (* stream a band back with bulk copy (the real lbm alternates
+           grids; the copy keeps a single source array) *)
+        @ [ i32 src; i32 dst; i32 (w * h * 4); memory_copy ])
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:src ~count:[ i32 (w * h / 4) ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- 473.astar: grid pathfinding with open-list scans ----------------- *)
+
+let astar_module () =
+  let b = create ~memory_pages:16 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and q = 3 and acc = 4 and cur = 5 and best = 6 and cost = 7 and n = 8 in
+  let w = 128 in
+  let grid = 0 and dist = w * w and open_ = 5 * w * w in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* random obstacle grid *)
+     Frag.fill_random_bytes ~base:grid ~count:[ i32 (w * w) ] ~i ~state ~seed:2718
+    @ for_loop ~i:q ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* reset distances on a strip, then greedy expansion *)
+         for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 1024 ]
+           [ get i; i32 2; shl; i32 dist; add; i32 0x7FFF; store32 () ]
+        @ [
+            get q; i32 1023; band; set cur;
+            get cur; i32 2; shl; i32 dist; add; i32 0; store32 ();
+            i32 0; set n;
+          ]
+        (* tight inner loop: scan the open window, pick min, close it,
+           relax the right neighbour *)
+        @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 48 ]
+            ([ i32 0x7FFFFFFF; set best ]
+            @ for_loop ~i:n ~start:[ i32 0 ] ~stop:[ i32 32 ]
+                [
+                  get cur; get n; add; i32 1023; band; i32 2; shl; i32 dist; add; load32 ();
+                  tee cost; get best; lt_s;
+                  if_ [ get cost; set best; get cur; get n; add; i32 1023; band; set cur ] [];
+                ]
+            @ [
+                (* close the chosen node so it is not re-expanded *)
+                get cur; i32 2; shl; i32 dist; add; i32 0x7FFFF0; store32 ();
+                (* relax right neighbour *)
+                get cur; i32 1; add; i32 1023; band; i32 2; shl; i32 dist; add;
+                get best; get cur; i32 grid; add; load8_u (); i32 7; band; add; i32 1; add;
+                store32 ();
+                get acc; get best; bxor; i32 1; rotl; set acc;
+              ]))
+    @ [ get acc; i32 open_; add ]);
+  build b
+
+(* --- registry --------------------------------------------------------- *)
+
+let bzip2 =
+  k "401_bzip2" ~args:18000 ~description:"RLE + move-to-front byte compression"
+    (lazy (bzip2_module ()))
+
+let mcf =
+  k "429_mcf" ~args:9000
+    ~description:"graph relaxation; native variant uses 64-bit node/arc fields"
+    ~native:(lazy (mcf_module ~wide:true ()))
+    (lazy (mcf_module ~wide:false ()))
+
+let milc =
+  k "433_milc" ~args:30000 ~description:"fixed-point complex matrix lattice"
+    (lazy (milc_module ()))
+
+let namd =
+  k "444_namd" ~args:1400 ~description:"pairwise force accumulation" (lazy (namd_module ()))
+
+let gobmk =
+  k "445_gobmk" ~args:160 ~description:"board scanning with branchy liberty counting"
+    (lazy (gobmk_module ()))
+
+let sjeng =
+  k "458_sjeng" ~args:120000 ~description:"bitboard move generation (i64, popcnt/ctz)"
+    (lazy (sjeng_module ()))
+
+let libquantum =
+  k "462_libquantum" ~args:40 ~description:"gate application over an amplitude vector"
+    (lazy (libquantum_module ()))
+
+let h264ref =
+  k "464_h264ref" ~args:120 ~description:"16x16 SAD motion search" (lazy (h264_module ()))
+
+let lbm = k "470_lbm" ~args:7 ~description:"5-point stencil sweeps" (lazy (lbm_module ()))
+
+let astar =
+  k "473_astar" ~args:220 ~description:"greedy grid pathfinding, tight scan loop"
+    (lazy (astar_module ()))
+
+let all = [ bzip2; mcf; milc; namd; gobmk; sjeng; libquantum; h264ref; lbm; astar ]

@@ -1,0 +1,31 @@
+(** SPEC CPU 2006-like kernels: the Wasm-compatible subset the paper's
+    Figure 3 and Table 2 evaluate. Each kernel mirrors its namesake's hot
+    loops in integer/fixed-point form and returns a checksum; [mcf] also
+    provides the wide (64-bit field) native layout behind the paper's
+    "faster than native" outlier. See the implementation header for the
+    per-kernel algorithms. *)
+
+val bzip2 : Kernel.t
+val mcf : Kernel.t
+val milc : Kernel.t
+val namd : Kernel.t
+val gobmk : Kernel.t
+val sjeng : Kernel.t
+val libquantum : Kernel.t
+val h264ref : Kernel.t
+val lbm : Kernel.t
+val astar : Kernel.t
+
+val all : Kernel.t list
+(** The ten kernels, in the paper's Figure 3 order. *)
+
+(** {1 Generators}
+
+    Exposed for reuse by {!Spec2017} — the real 2006/2017 suites share
+    benchmark lineage (mcf, namd, lbm, h264/x264, sjeng/deepsjeng). *)
+
+val mcf_module : wide:bool -> unit -> Sfi_wasm.Ast.module_
+val namd_module : unit -> Sfi_wasm.Ast.module_
+val lbm_module : unit -> Sfi_wasm.Ast.module_
+val h264_module : unit -> Sfi_wasm.Ast.module_
+val sjeng_module : unit -> Sfi_wasm.Ast.module_

@@ -1,0 +1,396 @@
+(* SPEC CPU 2017-like kernels (Figure 5): the 14 C/C++ SPECrate benchmarks
+   the LFI paper uses. Six reuse this repository's 2006 generators (the
+   real suites share lineage: mcf, namd, lbm, x264/h264, deepsjeng/sjeng,
+   and nab's n-body shape); the other eight are distinct kernels matching
+   their namesakes' hot loops: symbol-table hashing (gcc), sparse matvec
+   (parest), ray-sphere intersection (povray), an event-heap discrete
+   simulator (omnetpp), DOM-ish tree transformation (xalancbmk), 3x3
+   convolution (imagick), union-find territory scoring (leela), and
+   LZ-style match finding (xz).
+
+   These run through the LFI pipeline: lowered natively, then rewritten
+   with SFI instrumentation (with or without Segue). *)
+
+module W = Sfi_wasm.Ast
+open Sfi_wasm.Builder
+
+let k name ~args ~description wasm =
+  Kernel.make ~name ~suite:"spec2017" ~description ~entry:"run"
+    ~args:[ Int64.of_int args ]
+    wasm
+
+(* --- 502.gcc: tokenizing + symbol-table hashing ------------------------ *)
+
+let gcc_module () =
+  let b = create ~memory_pages:16 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and pos = 3 and acc = 4 and h = 5 and slot = 6 and len = 7 in
+  let text = 0 and table = 0x40000 in
+  (* table must stay under ~50% occupancy so open-addressed probing always
+     terminates at full benchmark scale *)
+  let tsize = 65536 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* pseudo source text: identifier characters with separators *)
+     Frag.fill_random_bytes ~base:text ~count:[ i32 65536 ] ~i ~state ~seed:502
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ([ get i; i32 1031; mul; i32 65535; band; set pos; i32 2166136261; set h; i32 0; set len ]
+        (* scan a token: up to 12 bytes until a "separator" (byte < 32) *)
+        @ while_loop
+            [
+              get len; i32 12; lt_u;
+              get pos; get len; add; i32 65535; band; i32 text; add; load8_u ();
+              i32 32; ge_u; band;
+            ]
+            [
+              get h;
+              get pos; get len; add; i32 65535; band; i32 text; add; load8_u ();
+              bxor; i32 16777619; mul; set h;
+              get len; i32 1; add; set len;
+            ]
+        (* open-addressed probe *)
+        @ [ get h; i32 (tsize - 1); band; set slot ]
+        @ while_loop
+            [
+              get slot; i32 2; shl; i32 table; add; load32 (); tee acc;
+              get h; ne; get acc; i32 0; ne; band;
+            ]
+            [ get slot; i32 1; add; i32 (tsize - 1); band; set slot ]
+        @ [ get slot; i32 2; shl; i32 table; add; get h; store32 () ])
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:table ~count:[ i32 tsize ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- 510.parest: CSR sparse matrix-vector products --------------------- *)
+
+let parest_module () =
+  let b = create ~memory_pages:32 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and s = 4 and e = 5 and acc = 6 and sweep = 7 in
+  let n = 4096 and per_row = 9 in
+  let colidx = 0 and vals = 0x40000 and xv = 0x80000 and yv = 0x90000 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* random sparsity pattern and values *)
+     [ i32 510; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (n * per_row) ]
+        ([ get i; i32 2; shl; i32 colidx; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 (n - 1); band; store32 () ])
+    @ Frag.fill_random_words ~base:vals ~count:[ i32 (n * per_row) ] ~i ~state ~seed:511
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+        [ get i; i32 2; shl; i32 xv; add; get i; i32 1023; band; i32 1; add; store32 () ]
+    @ for_loop ~i:sweep ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 0 ] ~stop:[ i32 n ]
+           ([ i32 0; set s ]
+           @ for_loop ~i:e ~start:[ get row; i32 per_row; mul ]
+               ~stop:[ get row; i32 1; add; i32 per_row; mul ]
+               [
+                 (* s += vals[e] * x[colidx[e]] (gather) *)
+                 get e; i32 2; shl; i32 vals; add; load32 (); i32 2047; band;
+                 get e; i32 2; shl; i32 colidx; add; load32 (); i32 2; shl; i32 xv; add;
+                 load32 (); mul; i32 8; shr_s; get s; add; set s;
+               ]
+           @ [ get row; i32 2; shl; i32 yv; add; get s; store32 () ]))
+    @ [ i32 0; set acc ]
+    @ Frag.checksum_words ~base:yv ~count:[ i32 n ] ~i ~acc
+    @ [ get acc ]);
+  build b
+
+(* --- 511.povray: fixed-point ray-sphere intersection -------------------- *)
+
+let povray_module () =
+  let b = create ~memory_pages:8 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and ray = 3 and acc = 4 and bq = 5 and cq = 6 and disc = 7 and sph = 8 in
+  let nspheres = 64 in
+  let spheres = 0 (* cx, cy, cz, r2 as Q8 words *) in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:spheres ~count:[ i32 (4 * nspheres) ] ~i ~state ~seed:511
+    @ for_loop ~i:ray ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:sph ~start:[ i32 0 ] ~stop:[ i32 nspheres ]
+           [
+             (* b = oc . dir (dir derived from ray counter), c = |oc|^2 - r^2 *)
+             get sph; i32 4; shl; load32 (); i32 255; band; get ray; i32 63; band; mul;
+             get sph; i32 4; shl; load32 ~offset:4 (); i32 255; band;
+             get ray; i32 3; shr_u; i32 63; band; mul; add;
+             get sph; i32 4; shl; load32 ~offset:8 (); i32 255; band;
+             get ray; i32 6; shr_u; i32 63; band; mul; add;
+             i32 4; shr_s; set bq;
+             get sph; i32 4; shl; load32 (); i32 255; band;
+             get sph; i32 4; shl; load32 (); i32 255; band; mul;
+             get sph; i32 4; shl; load32 ~offset:4 (); i32 255; band;
+             get sph; i32 4; shl; load32 ~offset:4 (); i32 255; band; mul; add;
+             get sph; i32 4; shl; load32 ~offset:12 (); i32 65535; band; sub;
+             set cq;
+             (* discriminant *)
+             get bq; get bq; mul; get cq; i32 2; shl; sub; set disc;
+             get disc; i32 0; gt_s;
+             if_ [ get acc; get disc; i32 10; shr_s; add; i32 1; rotl; set acc ] [];
+           ])
+    @ [ get acc ]);
+  build b
+
+(* --- 520.omnetpp: binary-heap event queue -------------------------------- *)
+
+let omnetpp_module () =
+  let b = create ~memory_pages:8 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and nheap = 3 and acc = 4 and pos = 5 and child = 6 and t = 7 in
+  let heap = 0 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ([ i32 0; set nheap; i32 520; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        ((* push event with random timestamp: sift-up *)
+         [ get nheap; set pos ]
+        @ [ get pos; i32 2; shl; i32 heap; add ]
+        @ Frag.lcg_next ~state
+        @ [ store32 (); get nheap; i32 1; add; set nheap ]
+        @ while_loop
+            [ get pos; i32 0; gt_u ]
+            [
+              (* child doubles as the parent index during sift-up *)
+              get pos; i32 1; sub; i32 2; div_u; set child;
+              get pos; i32 2; shl; i32 heap; add; load32 ();
+              get child; i32 2; shl; i32 heap; add; load32 (); lt_u;
+              if_
+                [
+                  get pos; i32 2; shl; i32 heap; add; load32 (); set t;
+                  get pos; i32 2; shl; i32 heap; add;
+                  get child; i32 2; shl; i32 heap; add; load32 (); store32 ();
+                  get child; i32 2; shl; i32 heap; add; get t; store32 ();
+                  get child; set pos;
+                ]
+                [ i32 0; set pos ];
+            ]
+        (* every third push, pop the minimum: sift-down *)
+        @ [
+            get i; i32 3; rem_u; eqz;
+            if_
+              ([
+                 get acc; i32 heap; load32 (); add; i32 1; rotl; set acc;
+                 get nheap; i32 1; sub; set nheap;
+                 i32 heap; get nheap; i32 2; shl; i32 heap; add; load32 (); store32 ();
+                 i32 0; set pos;
+               ]
+              @ while_loop
+                  [ get pos; i32 1; shl; i32 1; add; get nheap; lt_u ]
+                  [
+                    get pos; i32 1; shl; i32 1; add; set child;
+                    get child; i32 1; add; get nheap; lt_u;
+                    if_
+                      [
+                        get child; i32 1; add; i32 2; shl; i32 heap; add; load32 ();
+                        get child; i32 2; shl; i32 heap; add; load32 (); lt_u;
+                        if_ [ get child; i32 1; add; set child ] [];
+                      ]
+                      [];
+                    get child; i32 2; shl; i32 heap; add; load32 ();
+                    get pos; i32 2; shl; i32 heap; add; load32 (); lt_u;
+                    if_
+                      [
+                        get pos; i32 2; shl; i32 heap; add; load32 (); set t;
+                        get pos; i32 2; shl; i32 heap; add;
+                        get child; i32 2; shl; i32 heap; add; load32 (); store32 ();
+                        get child; i32 2; shl; i32 heap; add; get t; store32 ();
+                        get child; set pos;
+                      ]
+                      [ get nheap; set pos ];
+                  ])
+              [];
+          ])
+    @ [ get acc; get nheap; add ]);
+  build b
+
+(* --- 523.xalancbmk: implicit-tree transformation -------------------------- *)
+
+let xalancbmk_module () =
+  let b = create ~memory_pages:16 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* nodes in an implicit binary tree; a recursive visitor rewrites values *)
+  let visit = declare b "visit" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+  let nodes = 65536 in
+  define b visit ~locals:[ W.I32 ]
+    [
+      get 0; i32 nodes; ge_u;
+      if_ ~ty:W.I32 [ i32 0 ]
+        [
+          (* transform this node *)
+          get 0; i32 2; shl;
+          get 0; i32 2; shl; load32 (); get 1; bxor; i32 5; rotl;
+          store32 ();
+          (* recurse on children, depth-limited by param 1 *)
+          get 1; eqz;
+          if_ ~ty:W.I32 [ get 0; i32 2; shl; load32 () ]
+            [
+              get 0; i32 1; shl; get 1; i32 1; sub; call visit;
+              get 0; i32 1; shl; i32 1; add; get 1; i32 1; sub; call visit;
+              add;
+              get 0; i32 2; shl; load32 (); add;
+            ];
+        ];
+    ];
+  let run_i = 1 and state = 2 and acc = 3 in
+  define b run ~locals:[ W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_words ~base:0 ~count:[ i32 nodes ] ~i:run_i ~state ~seed:523
+    @ for_loop ~i:run_i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        [ i32 1; i32 14; call visit; get acc; add; set acc ]
+    @ [ get acc ]);
+  build b
+
+(* --- 538.imagick: 3x3 convolution ----------------------------------------- *)
+
+let imagick_module () =
+  let b = create ~memory_pages:32 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and row = 3 and col = 4 and acc = 5 and s = 6 in
+  let w = 384 in
+  let src = 0 and dst = w * w in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    (Frag.fill_random_bytes ~base:src ~count:[ i32 (w * w) ] ~i ~state ~seed:538
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (for_loop ~i:row ~start:[ i32 1 ] ~stop:[ i32 (w - 1) ]
+           (for_loop ~i:col ~start:[ i32 1 ] ~stop:[ i32 (w - 1) ]
+              [
+                (* 3x3 kernel: 4*c + orthogonals*2 + diagonals, /12 *)
+                get row; i32 w; mul; get col; add; i32 src; add; load8_u (); i32 2; shl;
+                get row; i32 w; mul; get col; add; i32 src; add; load8_u ~offset:1 (); i32 1; shl; add;
+                get row; i32 w; mul; get col; add; i32 (src - 1); add; load8_u (); i32 1; shl; add;
+                get row; i32 1; add; i32 w; mul; get col; add; i32 src; add; load8_u (); i32 1; shl; add;
+                get row; i32 1; sub; i32 w; mul; get col; add; i32 src; add; load8_u (); i32 1; shl; add;
+                get row; i32 1; add; i32 w; mul; get col; add; i32 src; add; load8_u ~offset:1 (); add;
+                get row; i32 1; sub; i32 w; mul; get col; add; i32 (src - 1); add; load8_u (); add;
+                i32 12; div_u; set s;
+                get row; i32 w; mul; get col; add; i32 dst; add; get s; store8 ();
+              ]))
+    @ [ i32 0; set acc ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 (w * w / 4) ]
+        [ get acc; i32 1; rotl; get i; i32 2; shl; i32 dst; add; load32 (); bxor; set acc ]
+    @ [ get acc ]);
+  build b
+
+(* --- 541.leela: union-find territory scoring ------------------------------- *)
+
+let leela_module () =
+  let b = create ~memory_pages:8 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* find with path halving over a parent array *)
+  let find = declare b "find" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let parents = 0 in
+  define b find
+    (while_loop
+       [ get 0; i32 2; shl; i32 parents; add; load32 (); get 0; ne ]
+       [
+         (* path halving: parent[x] = parent[parent[x]] *)
+         get 0; i32 2; shl; i32 parents; add;
+         get 0; i32 2; shl; i32 parents; add; load32 (); i32 2; shl; i32 parents; add; load32 ();
+         store32 ();
+         get 0; i32 2; shl; i32 parents; add; load32 (); set 0;
+       ]
+    @ [ get 0 ]);
+  let n = 4096 in
+  let i = 1 and state = 2 and acc = 3 and a = 4 and bb = 5 in
+  let run_body =
+    for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 n ]
+      [ get i; i32 2; shl; i32 parents; add; get i; store32 () ]
+    @ [ i32 541; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ get 0 ]
+        (Frag.lcg_next ~state
+        @ [ i32 (n - 1); band; call find; set a ]
+        @ Frag.lcg_next ~state
+        @ [ i32 (n - 1); band; call find; set bb ]
+        @ [
+            get a; get bb; ne;
+            if_ [ get a; i32 2; shl; i32 parents; add; get bb; store32 () ] [];
+            get acc; get a; get bb; bxor; add; i32 1; rotl; set acc;
+          ])
+    @ [ get acc ]
+  in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32 ] run_body;
+  build b
+
+(* --- 557.xz: LZ-style match finding ---------------------------------------- *)
+
+let xz_module () =
+  let b = create ~memory_pages:8 () in
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  let i = 1 and state = 2 and pos = 3 and acc = 4 and cand = 5 and len = 6 and h = 7 in
+  let text = 0 and htab = 0x30000 in
+  let hmask = 4095 in
+  define b run ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    ((* compressible input: low-entropy bytes *)
+     [ i32 557; set state ]
+    @ for_loop ~i ~start:[ i32 0 ] ~stop:[ i32 131072 ]
+        ([ get i; i32 text; add ]
+        @ Frag.lcg_next ~state
+        @ [ i32 9; shr_u; i32 15; band; store8 () ])
+    @ for_loop ~i:pos ~start:[ i32 4 ] ~stop:[ get 0 ]
+        ([
+           (* hash the next 3 bytes *)
+           get pos; i32 131071; band; i32 text; add; load8_u ();
+           get pos; i32 1; add; i32 131071; band; i32 text; add; load8_u (); i32 4; shl; bxor;
+           get pos; i32 2; add; i32 131071; band; i32 text; add; load8_u (); i32 8; shl; bxor;
+           i32 hmask; band; set h;
+           (* candidate from hash table, then remember current pos *)
+           get h; i32 2; shl; i32 htab; add; load32 (); set cand;
+           get h; i32 2; shl; i32 htab; add; get pos; i32 131071; band; store32 ();
+           i32 0; set len;
+         ]
+        (* extend the match up to 16 bytes *)
+        @ while_loop
+            [
+              get len; i32 16; lt_u;
+              get cand; get len; add; i32 131071; band; i32 text; add; load8_u ();
+              get pos; get len; add; i32 131071; band; i32 text; add; load8_u ();
+              eq; band;
+            ]
+            [ get len; i32 1; add; set len ]
+        @ [ get acc; get len; add; i32 1; rotl; set acc ])
+    @ [ get acc ]);
+  build b
+
+(* --- registry: 14 SPECrate-like benchmarks --------------------------------- *)
+
+let gcc = k "502_gcc" ~args:30000 ~description:"tokenizer + symbol hashing" (lazy (gcc_module ()))
+
+let mcf_r =
+  k "505_mcf_r" ~args:8000 ~description:"graph relaxation (2006 generator, 2017 scale)"
+    (lazy (Spec2006.mcf_module ~wide:false ()))
+
+let namd_r =
+  k "508_namd_r" ~args:1200 ~description:"pair forces (2006 generator)"
+    (lazy (Spec2006.namd_module ()))
+
+let parest = k "510_parest_r" ~args:16 ~description:"CSR sparse matvec" (lazy (parest_module ()))
+let povray = k "511_povray_r" ~args:3000 ~description:"ray-sphere intersection" (lazy (povray_module ()))
+
+let lbm_r =
+  k "519_lbm_r" ~args:4 ~description:"stencil sweeps (2006 generator)"
+    (lazy (Spec2006.lbm_module ()))
+
+let omnetpp = k "520_omnetpp_r" ~args:50000 ~description:"event-heap simulator" (lazy (omnetpp_module ()))
+
+let xalancbmk =
+  k "523_xalancbmk_r" ~args:20 ~description:"recursive tree transform" (lazy (xalancbmk_module ()))
+
+let x264 =
+  k "525_x264_r" ~args:110 ~description:"SAD motion search (h264 generator)"
+    (lazy (Spec2006.h264_module ()))
+
+let deepsjeng =
+  k "531_deepsjeng_r" ~args:110000 ~description:"bitboards (sjeng generator)"
+    (lazy (Spec2006.sjeng_module ()))
+
+let imagick = k "538_imagick_r" ~args:3 ~description:"3x3 convolution" (lazy (imagick_module ()))
+let leela = k "541_leela_r" ~args:60000 ~description:"union-find scoring" (lazy (leela_module ()))
+
+let nab =
+  k "544_nab_r" ~args:1000 ~description:"n-body forces (namd generator, nab scale)"
+    (lazy (Spec2006.namd_module ()))
+
+let xz = k "557_xz_r" ~args:60000 ~description:"LZ match finding" (lazy (xz_module ()))
+
+let all =
+  [
+    gcc; mcf_r; namd_r; parest; povray; lbm_r; omnetpp; xalancbmk; x264; deepsjeng; imagick;
+    leela; nab; xz;
+  ]

@@ -1,0 +1,23 @@
+(** SPEC CPU 2017-like kernels (Figure 5): the 14 C/C++ SPECrate
+    benchmarks the LFI evaluation uses. Six reuse {!Spec2006} generators
+    (shared benchmark lineage); eight are distinct kernels matching their
+    namesakes' hot loops. These feed the {!Sfi_lfi} pipeline: lowered
+    natively, then rewritten with SFI instrumentation. *)
+
+val gcc : Kernel.t
+val mcf_r : Kernel.t
+val namd_r : Kernel.t
+val parest : Kernel.t
+val povray : Kernel.t
+val lbm_r : Kernel.t
+val omnetpp : Kernel.t
+val xalancbmk : Kernel.t
+val x264 : Kernel.t
+val deepsjeng : Kernel.t
+val imagick : Kernel.t
+val leela : Kernel.t
+val nab : Kernel.t
+val xz : Kernel.t
+
+val all : Kernel.t list
+(** The fourteen kernels, in Figure 5's order. *)

@@ -1,0 +1,1 @@
+lib/x86/ast.ml: Array Format List Printf String

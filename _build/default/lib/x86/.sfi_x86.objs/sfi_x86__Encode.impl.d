@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Array Ast Int64 List

@@ -1,0 +1,267 @@
+type gpr =
+  | RAX | RCX | RDX | RBX | RSP | RBP | RSI | RDI
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+let all_gprs =
+  [ RAX; RCX; RDX; RBX; RSP; RBP; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let gpr_index = function
+  | RAX -> 0 | RCX -> 1 | RDX -> 2 | RBX -> 3
+  | RSP -> 4 | RBP -> 5 | RSI -> 6 | RDI -> 7
+  | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+  | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+let gpr_of_index = function
+  | 0 -> RAX | 1 -> RCX | 2 -> RDX | 3 -> RBX
+  | 4 -> RSP | 5 -> RBP | 6 -> RSI | 7 -> RDI
+  | 8 -> R8 | 9 -> R9 | 10 -> R10 | 11 -> R11
+  | 12 -> R12 | 13 -> R13 | 14 -> R14 | 15 -> R15
+  | n -> invalid_arg (Printf.sprintf "Ast.gpr_of_index: %d" n)
+
+let gpr_name = function
+  | RAX -> "rax" | RCX -> "rcx" | RDX -> "rdx" | RBX -> "rbx"
+  | RSP -> "rsp" | RBP -> "rbp" | RSI -> "rsi" | RDI -> "rdi"
+  | R8 -> "r8" | R9 -> "r9" | R10 -> "r10" | R11 -> "r11"
+  | R12 -> "r12" | R13 -> "r13" | R14 -> "r14" | R15 -> "r15"
+
+let gpr_name32 = function
+  | RAX -> "eax" | RCX -> "ecx" | RDX -> "edx" | RBX -> "ebx"
+  | RSP -> "esp" | RBP -> "ebp" | RSI -> "esi" | RDI -> "edi"
+  | r -> gpr_name r ^ "d"
+
+type vreg = XMM of int
+
+let vreg_name (XMM n) = Printf.sprintf "xmm%d" n
+
+type seg = FS | GS
+
+let seg_name = function FS -> "fs" | GS -> "gs"
+
+type width = W8 | W16 | W32 | W64
+
+let width_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+type scale = S1 | S2 | S4 | S8
+
+let scale_factor = function S1 -> 1 | S2 -> 2 | S4 -> 4 | S8 -> 8
+
+type mem = {
+  seg : seg option;
+  base : gpr option;
+  index : (gpr * scale) option;
+  disp : int;
+  addr32 : bool;
+  native_base : bool;
+}
+
+let mem ?seg ?base ?index ?(disp = 0) ?(addr32 = false) ?(native_base = false) () =
+  { seg; base; index; disp; addr32; native_base }
+
+type operand = Reg of gpr | Imm of int64 | Mem of mem
+
+type cond = E | NE | L | LE | G | GE | B | BE | A | AE | S | NS
+
+let cond_name = function
+  | E -> "e" | NE -> "ne"
+  | L -> "l" | LE -> "le" | G -> "g" | GE -> "ge"
+  | B -> "b" | BE -> "be" | A -> "a" | AE -> "ae"
+  | S -> "s" | NS -> "ns"
+
+let negate_cond = function
+  | E -> NE | NE -> E
+  | L -> GE | GE -> L | LE -> G | G -> LE
+  | B -> AE | AE -> B | BE -> A | A -> BE
+  | S -> NS | NS -> S
+
+type trap_kind =
+  | Trap_unreachable
+  | Trap_out_of_bounds
+  | Trap_integer_divide_by_zero
+  | Trap_integer_overflow
+  | Trap_indirect_call_type
+
+let trap_name = function
+  | Trap_unreachable -> "unreachable"
+  | Trap_out_of_bounds -> "out of bounds memory access"
+  | Trap_integer_divide_by_zero -> "integer divide by zero"
+  | Trap_integer_overflow -> "integer overflow"
+  | Trap_indirect_call_type -> "indirect call type mismatch"
+
+type alu2 = Add | Sub | And | Or | Xor
+
+type shift = Shl | Shr | Sar | Rol | Ror
+
+type shift_count = Count_imm of int | Count_cl
+
+type bitcnt = Lzcnt | Tzcnt | Popcnt
+
+type instr =
+  | Label of string
+  | Mov of width * operand * operand
+  | Movzx of width * width * gpr * operand
+  | Movsx of width * width * gpr * operand
+  | Lea of width * gpr * mem
+  | Alu of alu2 * width * operand * operand
+  | Shift of shift * width * operand * shift_count
+  | Imul of width * gpr * operand
+  | Bitcnt of bitcnt * width * gpr * operand
+  | Div of width * bool * operand
+  | Cqo of width
+  | Neg of width * operand
+  | Not of width * operand
+  | Cmp of width * operand * operand
+  | Test of width * operand * operand
+  | Setcc of cond * gpr
+  | Cmovcc of cond * width * gpr * operand
+  | Jmp of string
+  | Jcc of cond * string
+  | Jmp_reg of gpr
+  | Call of string
+  | Call_reg of gpr
+  | Ret
+  | Push of operand
+  | Pop of gpr
+  | Wrfsbase of gpr
+  | Wrgsbase of gpr
+  | Rdfsbase of gpr
+  | Rdgsbase of gpr
+  | Wrpkru
+  | Rdpkru
+  | Vload of vreg * mem
+  | Vstore of mem * vreg
+  | Vzero of vreg
+  | Vdup8 of vreg * int
+  | Hostcall of int
+  | Trap of trap_kind
+  | Nop
+
+type program = instr array
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+
+let shift_name = function
+  | Shl -> "shl" | Shr -> "shr" | Sar -> "sar" | Rol -> "rol" | Ror -> "ror"
+
+let reg_name_w w r = match w with W32 -> gpr_name32 r | _ -> gpr_name r
+
+let pp_mem ppf (m : mem) =
+  let reg_name r = if m.addr32 then gpr_name32 r else gpr_name r in
+  let parts = ref [] in
+  (match m.index with
+  | Some (r, s) ->
+      let factor = scale_factor s in
+      let txt = if factor = 1 then reg_name r else Printf.sprintf "%s*%d" (reg_name r) factor in
+      parts := txt :: !parts
+  | None -> ());
+  (match m.base with Some r -> parts := reg_name r :: !parts | None -> ());
+  let body = String.concat " + " !parts in
+  let body =
+    if m.disp = 0 && body <> "" then body
+    else if body = "" then Printf.sprintf "0x%x" m.disp
+    else if m.disp >= 0 then Printf.sprintf "%s + 0x%x" body m.disp
+    else Printf.sprintf "%s - 0x%x" body (-m.disp)
+  in
+  match m.seg with
+  | Some s -> Format.fprintf ppf "%s:[%s]" (seg_name s) body
+  | None ->
+      if m.native_base then Format.fprintf ppf "lm:[%s]" body
+      else Format.fprintf ppf "[%s]" body
+
+let pp_operand w ppf = function
+  | Reg r -> Format.pp_print_string ppf (reg_name_w w r)
+  | Imm i -> Format.fprintf ppf "%Ld" i
+  | Mem m -> pp_mem ppf m
+
+let width_ptr_name = function
+  | W8 -> "byte" | W16 -> "word" | W32 -> "dword" | W64 -> "qword"
+
+(* Annotate a memory operand with its width when the register operand does
+   not already imply it (stores of immediates, etc.). *)
+let pp_operand_sized w ppf = function
+  | Mem m -> Format.fprintf ppf "%s ptr %a" (width_ptr_name w) pp_mem m
+  | op -> pp_operand w ppf op
+
+let pp_instr ppf = function
+  | Label l -> Format.fprintf ppf "%s:" l
+  | Mov (w, (Mem _ as dst), (Imm _ as src)) ->
+      Format.fprintf ppf "mov %a, %a" (pp_operand_sized w) dst (pp_operand w) src
+  | Mov (w, dst, src) ->
+      Format.fprintf ppf "mov %a, %a" (pp_operand w) dst (pp_operand w) src
+  | Movzx (dw, sw, dst, src) ->
+      Format.fprintf ppf "movzx %s, %a" (reg_name_w dw dst) (pp_operand_sized sw) src
+  | Movsx (dw, sw, dst, src) ->
+      Format.fprintf ppf "movsx %s, %a" (reg_name_w dw dst) (pp_operand_sized sw) src
+  | Lea (w, dst, m) -> Format.fprintf ppf "lea %s, %a" (reg_name_w w dst) pp_mem m
+  | Alu (op, w, dst, src) ->
+      Format.fprintf ppf "%s %a, %a" (alu_name op) (pp_operand w) dst (pp_operand w) src
+  | Shift (op, w, dst, Count_imm n) ->
+      Format.fprintf ppf "%s %a, %d" (shift_name op) (pp_operand w) dst n
+  | Shift (op, w, dst, Count_cl) ->
+      Format.fprintf ppf "%s %a, cl" (shift_name op) (pp_operand w) dst
+  | Imul (w, dst, src) ->
+      Format.fprintf ppf "imul %s, %a" (reg_name_w w dst) (pp_operand w) src
+  | Bitcnt (k, w, dst, src) ->
+      let name = match k with Lzcnt -> "lzcnt" | Tzcnt -> "tzcnt" | Popcnt -> "popcnt" in
+      Format.fprintf ppf "%s %s, %a" name (reg_name_w w dst) (pp_operand w) src
+  | Div (w, signed, src) ->
+      Format.fprintf ppf "%s %a" (if signed then "idiv" else "div") (pp_operand_sized w) src
+  | Cqo W64 -> Format.pp_print_string ppf "cqo"
+  | Cqo _ -> Format.pp_print_string ppf "cdq"
+  | Neg (w, op) -> Format.fprintf ppf "neg %a" (pp_operand w) op
+  | Not (w, op) -> Format.fprintf ppf "not %a" (pp_operand w) op
+  | Cmp (w, a, b) -> Format.fprintf ppf "cmp %a, %a" (pp_operand w) a (pp_operand w) b
+  | Test (w, a, b) -> Format.fprintf ppf "test %a, %a" (pp_operand w) a (pp_operand w) b
+  | Setcc (c, r) -> Format.fprintf ppf "set%s %s ; movzx" (cond_name c) (gpr_name32 r)
+  | Cmovcc (c, w, dst, src) ->
+      Format.fprintf ppf "cmov%s %s, %a" (cond_name c) (reg_name_w w dst) (pp_operand w) src
+  | Jmp l -> Format.fprintf ppf "jmp %s" l
+  | Jcc (c, l) -> Format.fprintf ppf "j%s %s" (cond_name c) l
+  | Jmp_reg r -> Format.fprintf ppf "jmp %s" (gpr_name r)
+  | Call l -> Format.fprintf ppf "call %s" l
+  | Call_reg r -> Format.fprintf ppf "call %s" (gpr_name r)
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Push op -> Format.fprintf ppf "push %a" (pp_operand W64) op
+  | Pop r -> Format.fprintf ppf "pop %s" (gpr_name r)
+  | Wrfsbase r -> Format.fprintf ppf "wrfsbase %s" (gpr_name r)
+  | Wrgsbase r -> Format.fprintf ppf "wrgsbase %s" (gpr_name r)
+  | Rdfsbase r -> Format.fprintf ppf "rdfsbase %s" (gpr_name r)
+  | Rdgsbase r -> Format.fprintf ppf "rdgsbase %s" (gpr_name r)
+  | Wrpkru -> Format.pp_print_string ppf "wrpkru"
+  | Rdpkru -> Format.pp_print_string ppf "rdpkru"
+  | Vload (v, m) -> Format.fprintf ppf "movdqu %s, %a" (vreg_name v) pp_mem m
+  | Vstore (m, v) -> Format.fprintf ppf "movdqu %a, %s" pp_mem m (vreg_name v)
+  | Vzero v -> Format.fprintf ppf "pxor %s, %s" (vreg_name v) (vreg_name v)
+  | Vdup8 (v, b) -> Format.fprintf ppf "vpbroadcastb %s, %d" (vreg_name v) b
+  | Hostcall n -> Format.fprintf ppf "hostcall %d" n
+  | Trap k -> Format.fprintf ppf "ud2 ; %s" (trap_name k)
+  | Nop -> Format.pp_print_string ppf "nop"
+
+let pp_program ppf (p : program) =
+  Array.iter
+    (fun i ->
+      (match i with
+      | Label _ -> Format.fprintf ppf "%a@." pp_instr i
+      | _ -> Format.fprintf ppf "  %a@." pp_instr i))
+    p
+
+let mem_operand_of = function Mem m -> [ m ] | Reg _ | Imm _ -> []
+
+let mem_operands = function
+  | Mov (_, dst, src) | Alu (_, _, dst, src) | Cmp (_, dst, src) | Test (_, dst, src) ->
+      mem_operand_of dst @ mem_operand_of src
+  | Movzx (_, _, _, src) | Movsx (_, _, _, src) | Imul (_, _, src) | Cmovcc (_, _, _, src)
+  | Bitcnt (_, _, _, src) ->
+      mem_operand_of src
+  | Shift (_, _, dst, _) | Neg (_, dst) | Not (_, dst) -> mem_operand_of dst
+  | Div (_, _, src) -> mem_operand_of src
+  | Push op -> mem_operand_of op
+  | Vload (_, m) -> [ m ]
+  | Vstore (m, _) -> [ m ]
+  | Lea (_, _, _)
+  | Label _ | Cqo _ | Setcc _ | Jmp _ | Jcc _ | Jmp_reg _ | Call _ | Call_reg _ | Ret
+  | Pop _ | Wrfsbase _ | Wrgsbase _ | Rdfsbase _ | Rdgsbase _ | Wrpkru | Rdpkru
+  | Vzero _ | Vdup8 _ | Hostcall _ | Trap _ | Nop ->
+      []
+
+let uses_segment i = List.exists (fun (m : mem) -> m.seg <> None) (mem_operands i)

@@ -1,0 +1,205 @@
+(** Simulated x86-64 instruction set.
+
+    This is the target ISA for the SFI compilers in this repository. It
+    models the subset of x86-64 that matters to the paper:
+
+    - the 16 general-purpose registers and their 32-bit views (writing a
+      32-bit view zero-extends into the full register — the "inline
+      truncation" Segue exploits, Figure 1);
+    - the vestigial [%fs]/[%gs] segment registers with user-settable bases
+      ([wrfsbase]/[wrgsbase], FSGSBASE extension) and segment-override
+      memory operands;
+    - the address-size override prefix, which truncates effective-address
+      computation to 32 bits (Segue's "mixed-mode arithmetic");
+    - MPK's [wrpkru]/[rdpkru];
+    - enough ALU/branch/call surface to compile our mini-Wasm, plus 16-byte
+      vector moves for the WAMR vectorization story (§4.2).
+
+    Programs are flat instruction sequences with [Label] pseudo-instructions;
+    the encoder ({!Encode}) assigns byte offsets, and the machine
+    ({!Sfi_machine.Machine}) executes them. *)
+
+(** General-purpose registers. [RSP] is the stack pointer; the SFI compilers
+    additionally reserve registers by convention (e.g. classic Wasm lowering
+    reserves one GPR for the heap base — the reservation Segue removes). *)
+type gpr =
+  | RAX | RCX | RDX | RBX | RSP | RBP | RSI | RDI
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+val all_gprs : gpr list
+val gpr_index : gpr -> int
+(** 0..15, in hardware encoding order. *)
+
+val gpr_of_index : int -> gpr
+(** Inverse of {!gpr_index}. Raises [Invalid_argument] outside 0..15. *)
+
+val gpr_name : gpr -> string
+(** 64-bit name, e.g. ["rax"]. *)
+
+val gpr_name32 : gpr -> string
+(** 32-bit view name, e.g. ["eax"], ["r10d"]. *)
+
+(** Vector (XMM) registers, used only by the bulk-memory vectorizer. *)
+type vreg = XMM of int
+
+val vreg_name : vreg -> string
+
+(** Segment registers surviving in x86-64. *)
+type seg = FS | GS
+
+val seg_name : seg -> string
+
+(** Operand widths. *)
+type width = W8 | W16 | W32 | W64
+
+val width_bytes : width -> int
+
+(** Index scaling factors in SIB addressing. *)
+type scale = S1 | S2 | S4 | S8
+
+val scale_factor : scale -> int
+
+(** A memory operand: [seg:base + index*scale + disp].
+
+    When [addr32] is set the effective address (excluding the segment base)
+    is computed with 32-bit wrap-around — the address-size override prefix.
+    Segue relies on [seg = Some GS] together with [addr32 = true] to perform
+    "heap_base + 32-bit offset" in one instruction. *)
+type mem = {
+  seg : seg option;
+  base : gpr option;
+  index : (gpr * scale) option;
+  disp : int;
+  addr32 : bool;
+  native_base : bool;
+}
+(** [native_base] is a modeling device for the native (non-SFI) baseline:
+    the machine adds the linear-memory base to the effective address, but
+    the encoder charges no prefix bytes and no extra instruction — exactly
+    as native code whose pointers are absolute (the base addition happened
+    once, at pointer creation, outside the loop). SFI strategies never set
+    it. *)
+
+val mem :
+  ?seg:seg -> ?base:gpr -> ?index:gpr * scale -> ?disp:int -> ?addr32:bool ->
+  ?native_base:bool -> unit -> mem
+(** Convenience constructor; all components default to absent/0/false. *)
+
+(** Instruction operands. Immediates are stored as int64 and truncated to
+    the instruction width at execution/encoding time. *)
+type operand = Reg of gpr | Imm of int64 | Mem of mem
+
+(** Condition codes for [Jcc] and [Setcc]. *)
+type cond =
+  | E | NE
+  | L | LE | G | GE      (* signed *)
+  | B | BE | A | AE      (* unsigned *)
+  | S | NS
+
+val cond_name : cond -> string
+val negate_cond : cond -> cond
+
+(** Traps the machine can raise; [Trap] also appears as an explicit
+    instruction (like [ud2]) for SFI bounds-check failure paths. *)
+type trap_kind =
+  | Trap_unreachable
+  | Trap_out_of_bounds        (* guard-region hit, MPK violation, or explicit bounds check *)
+  | Trap_integer_divide_by_zero
+  | Trap_integer_overflow
+  | Trap_indirect_call_type   (* call_indirect signature mismatch *)
+
+val trap_name : trap_kind -> string
+
+(** Binary ALU operations sharing one encoding/execution shape. *)
+type alu2 = Add | Sub | And | Or | Xor
+
+(** Shift/rotate operations. The count operand is an immediate or [CL]. *)
+type shift = Shl | Shr | Sar | Rol | Ror
+
+type shift_count = Count_imm of int | Count_cl
+
+(** Bit-counting instructions (BMI/SSE4.2 era, present on all CPUs the
+    paper targets). *)
+type bitcnt = Lzcnt | Tzcnt | Popcnt
+
+type instr =
+  | Label of string
+      (** Pseudo-instruction, zero bytes; branch/call target. *)
+  | Mov of width * operand * operand
+      (** [Mov (w, dst, src)]. 32-bit destination registers zero-extend. *)
+  | Movzx of width * width * gpr * operand
+      (** [Movzx (dw, sw, dst, src)]: zero-extend [sw] source into [dw] dst. *)
+  | Movsx of width * width * gpr * operand
+      (** Sign-extending counterpart. *)
+  | Lea of width * gpr * mem
+      (** Address computation; never touches memory, ignores segment base. *)
+  | Alu of alu2 * width * operand * operand
+      (** [Alu (op, w, dst, src)]; sets flags. *)
+  | Shift of shift * width * operand * shift_count
+  | Imul of width * gpr * operand
+      (** Two-operand signed multiply (low bits, which Wasm's [mul] wants). *)
+  | Bitcnt of bitcnt * width * gpr * operand
+      (** lzcnt/tzcnt/popcnt. *)
+  | Div of width * bool * operand
+      (** [Div (w, signed, divisor)]: divides RDX:RAX; quotient to RAX,
+          remainder to RDX. Traps on zero divisor and signed overflow. *)
+  | Cqo of width
+      (** Sign-extend RAX into RDX (cdq/cqo) ahead of signed division. *)
+  | Neg of width * operand
+  | Not of width * operand
+  | Cmp of width * operand * operand
+  | Test of width * operand * operand
+  | Setcc of cond * gpr
+      (** Set low byte of [gpr] to 0/1 from flags, zeroing the rest (we fold
+          the customary [movzx] into it). *)
+  | Cmovcc of cond * width * gpr * operand
+  | Jmp of string
+  | Jcc of cond * string
+  | Jmp_reg of gpr
+      (** Indirect jump to a code address held in a register. *)
+  | Call of string
+  | Call_reg of gpr
+  | Ret
+  | Push of operand
+  | Pop of gpr
+  | Wrfsbase of gpr
+  | Wrgsbase of gpr
+  | Rdfsbase of gpr
+  | Rdgsbase of gpr
+  | Wrpkru
+      (** Writes EAX into PKRU (ECX/EDX must be zero on hardware; the
+          machine only reads EAX). The ~20ns/44-cycle cost the paper measures
+          (§6.4.1) is charged by the cost model. *)
+  | Rdpkru
+      (** Reads PKRU into EAX (zeroes EDX). *)
+  | Vload of vreg * mem
+      (** 16-byte vector load (movdqu). *)
+  | Vstore of mem * vreg
+      (** 16-byte vector store. *)
+  | Vzero of vreg
+      (** pxor v, v. *)
+  | Vdup8 of vreg * int
+      (** Broadcast a byte immediate into all 16 lanes. *)
+  | Hostcall of int
+      (** Call out of the sandbox into the host runtime (WASI-ish). The
+          machine delegates to a registered handler. *)
+  | Trap of trap_kind
+      (** Unconditional trap ([ud2]-style). *)
+  | Nop
+
+type program = instr array
+
+val pp_instr : Format.formatter -> instr -> unit
+(** Intel-syntax one-line rendering, e.g.
+    [mov r10, gs:\[ecx + edx*4 + 0x8\]]. *)
+
+val pp_program : Format.formatter -> program -> unit
+(** Multi-line listing with labels outdented. *)
+
+val uses_segment : instr -> bool
+(** Does this instruction carry a segment-override prefix? Used by tests and
+    by the WAMR-style vectorizer, whose patterns do not recognize
+    segment-relative operands (§4.2). *)
+
+val mem_operands : instr -> mem list
+(** All memory operands of the instruction (for analyses). *)

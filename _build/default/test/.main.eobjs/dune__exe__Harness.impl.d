@@ -1,0 +1,1 @@
+test/harness.ml: Alcotest Int32 Int64 List Printf Sfi_core Sfi_runtime Sfi_wasm Sfi_x86 String

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Char Harness Int32 Int64 List Printf Sfi_core Sfi_runtime Sfi_wasm Sfi_x86 String

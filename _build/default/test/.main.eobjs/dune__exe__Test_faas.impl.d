@@ -1,0 +1,1 @@
+test/test_faas.ml: Alcotest Float Harness List Sfi_faas Sfi_wasm

@@ -1,0 +1,1 @@
+test/test_figure1.ml: Alcotest Array Format Harness List Sfi_core Sfi_wasm Sfi_x86 String

@@ -1,0 +1,1 @@
+test/test_lfi.ml: Alcotest Array Harness Lazy List Sfi_core Sfi_lfi Sfi_wasm Sfi_x86

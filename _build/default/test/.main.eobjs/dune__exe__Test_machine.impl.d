@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Harness Int64 Sfi_machine Sfi_vmem Sfi_x86

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Float Harness List Printf QCheck QCheck_alcotest Sfi_core Sfi_util Sfi_vmem

@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Alcotest Harness Int64 List Printf Sfi_lfi Sfi_util Sfi_wasm

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Char Harness Int64 List Option Sfi_core Sfi_machine Sfi_runtime Sfi_util Sfi_wasm Sfi_x86

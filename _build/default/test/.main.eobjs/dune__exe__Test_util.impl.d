@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Harness List QCheck QCheck_alcotest Sfi_util String

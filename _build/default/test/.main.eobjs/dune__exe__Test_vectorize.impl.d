@@ -1,0 +1,1 @@
+test/test_vectorize.ml: Alcotest Char Harness Int32 List QCheck QCheck_alcotest Sfi_core Sfi_wasm String

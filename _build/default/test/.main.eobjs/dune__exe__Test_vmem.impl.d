@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Bytes Harness Int64 QCheck QCheck_alcotest Sfi_vmem

@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Array Harness Int32 List QCheck QCheck_alcotest Sfi_wasm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Harness Int64 Lazy List Printf Sfi_core Sfi_wasm Sfi_workloads String

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Format Harness List QCheck QCheck_alcotest Sfi_x86

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sfi-repro"
+    [
+      ("util", Test_util.tests);
+      ("x86", Test_x86.tests);
+      ("vmem", Test_vmem.tests);
+      ("machine", Test_machine.tests);
+      ("wasm", Test_wasm.tests);
+      ("pool", Test_pool.tests);
+      ("runtime", Test_runtime.tests);
+      ("lfi", Test_lfi.tests);
+      ("vectorize", Test_vectorize.tests);
+      ("workloads", Test_workloads.tests);
+      ("faas", Test_faas.tests);
+      ("codegen", Test_codegen.tests);
+      ("figure1", Test_figure1.tests);
+      ("codegen-random", Test_random_programs.tests);
+    ]

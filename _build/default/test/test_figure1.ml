@@ -1,0 +1,151 @@
+(* Golden tests for the paper's Figure 1: the two C patterns must compile
+   to exactly the instruction shapes the paper shows — two instructions
+   (lea + mov via the reserved base) classically, one gs-relative mov with
+   Segue. *)
+
+module W = Sfi_wasm.Ast
+module X = Sfi_x86.Ast
+module Codegen = Sfi_core.Codegen
+module Strategy = Sfi_core.Strategy
+open Sfi_wasm.Builder
+
+(* Pattern 1: a 64-bit integer converted to a pointer, then dereferenced:
+     u64 val = ...; u64 a = *(u64* )val;
+   In Wasm: wrap the i64, then i64.load. *)
+let pattern1_module () =
+  let b = create ~memory_pages:1 () in
+  let f = declare b "pat1" ~params:[ W.I64 ] ~results:[ W.I64 ] () in
+  define b f [ get 0; wrap; load64 () ];
+  build b
+
+(* Pattern 2: reading an array element inside a struct:
+     u32 b = obj->arr[idx];   // arr at offset 8
+   In Wasm: obj + idx*4, load with offset 8. *)
+let pattern2_module () =
+  let b = create ~memory_pages:1 () in
+  let f = declare b "pat2" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+  define b f [ get 0; get 1; i32 2; shl; add; load32 ~offset:8 () ];
+  build b
+
+(* The instructions of one compiled function body, between its entry label
+   and its epilogue, with prologue/epilogue boilerplate stripped. *)
+let body_instrs compiled fname =
+  let program = compiled.Codegen.program in
+  let label = "f$" ^ fname in
+  let rec skip_to i =
+    if i >= Array.length program then Alcotest.failf "label %s not found" label
+    else match program.(i) with X.Label l when l = label -> i + 1 | _ -> skip_to (i + 1)
+  in
+  let start = skip_to 0 in
+  let rec collect i acc =
+    match program.(i) with
+    | X.Label l when l = label ^ "$end" -> List.rev acc
+    | instr -> collect (i + 1) (instr :: acc)
+  in
+  collect start []
+  |> List.filter (fun i ->
+         (* Drop the prologue/epilogue scaffolding: frame setup, stack
+            check, callee saves, parameter homing, result move. *)
+         match i with
+         | X.Push _ | X.Pop _ | X.Ret | X.Label _ -> false
+         | X.Mov (_, X.Reg X.RBP, X.Reg X.RSP) -> false
+         | X.Alu (X.Sub, _, X.Reg X.RSP, _) -> false
+         | X.Cmp (_, X.Reg X.RSP, _) | X.Jcc (_, _) -> false
+         | X.Mov (_, X.Reg _, X.Mem m) when m.X.base = Some X.RBP -> false
+         | X.Mov (_, X.Reg X.RAX, X.Reg _) -> false
+         | X.Alu (X.Xor, _, X.Reg a, X.Reg b) when a = b -> false
+         | _ -> true)
+
+let compile strategy m = Codegen.compile (Codegen.default_config ~strategy ()) m
+
+let render instrs = List.map (fun i -> Format.asprintf "%a" X.pp_instr i) instrs
+
+let count_memory_ops instrs =
+  List.length
+    (List.filter
+       (fun i -> List.exists (fun (m : X.mem) -> m.X.base = Some X.R14 || m.X.seg = Some X.GS)
+            (X.mem_operands i))
+       instrs)
+
+let test_pattern1 () =
+  let m = pattern1_module () in
+  (* Classic: the wrap needs an explicit 32-bit truncation (lea/mov) before
+     the base-relative load: 2 instructions for the access. *)
+  let base = body_instrs (compile Strategy.wasm_default m) "pat1" in
+  Alcotest.(check int) "classic: 2 instructions" 2 (List.length base);
+  (match base with
+  | [ X.Lea (X.W32, _, _); X.Mov (X.W64, X.Reg _, X.Mem mem) ] ->
+      Alcotest.(check bool) "load via reserved base" true (mem.X.base = Some X.R14)
+  | other -> Alcotest.failf "unexpected shape: %s" (String.concat " ; " (render other)));
+  (* Segue: one instruction; the address-size override does the wrap. *)
+  let segue = body_instrs (compile Strategy.segue m) "pat1" in
+  Alcotest.(check int) "segue: 1 instruction" 1 (List.length segue);
+  match segue with
+  | [ X.Mov (X.W64, X.Reg _, X.Mem mem) ] ->
+      Alcotest.(check bool) "gs segment" true (mem.X.seg = Some X.GS);
+      Alcotest.(check bool) "addr32 override (inline truncation)" true mem.X.addr32
+  | other -> Alcotest.failf "unexpected shape: %s" (String.concat " ; " (render other))
+
+let test_pattern2 () =
+  let m = pattern2_module () in
+  (* Classic: lea edi, [obj + idx*4 + 8]; mov r, [r14 + rdi] — Figure 1b
+     lines 12-14. *)
+  let base = body_instrs (compile Strategy.wasm_default m) "pat2" in
+  Alcotest.(check int) "classic: 2 instructions" 2 (List.length base);
+  (match base with
+  | [ X.Lea (X.W32, tmp, lea_mem); X.Mov (X.W32, X.Reg _, X.Mem acc) ] ->
+      Alcotest.(check bool) "lea folds obj + idx*4 + 8" true
+        (lea_mem.X.index <> None && lea_mem.X.disp = 8);
+      Alcotest.(check bool) "access via reserved base + tmp" true
+        (acc.X.base = Some X.R14 && acc.X.index = Some (tmp, X.S1))
+  | other -> Alcotest.failf "unexpected shape: %s" (String.concat " ; " (render other)));
+  (* Segue: mov r, gs:[obj + idx*4 + 8] — Figure 1c line 14. *)
+  let segue = body_instrs (compile Strategy.segue m) "pat2" in
+  Alcotest.(check int) "segue: 1 instruction" 1 (List.length segue);
+  match segue with
+  | [ X.Mov (X.W32, X.Reg _, X.Mem mem) ] ->
+      Alcotest.(check bool) "full fold under gs" true
+        (mem.X.seg = Some X.GS && mem.X.index <> None && mem.X.disp = 8 && mem.X.addr32)
+  | other -> Alcotest.failf "unexpected shape: %s" (String.concat " ; " (render other))
+
+(* The register story: Segue returns the reserved register to the local
+   allocator, so a function with seven register-worthy locals spills under
+   the classic scheme but not under Segue. *)
+let test_register_pressure () =
+  let b = create ~memory_pages:1 () in
+  let f = declare b "pressure" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  (* param + 6 locals = 7 register candidates *)
+  define b f ~locals:[ W.I32; W.I32; W.I32; W.I32; W.I32; W.I32 ]
+    [
+      get 0; i32 1; add; set 1; get 1; i32 2; add; set 2; get 2; i32 3; add; set 3;
+      get 3; i32 4; add; set 4; get 4; i32 5; add; set 5; get 5; i32 6; add; set 6;
+      get 6; get 1; add; get 2; add; get 3; add; get 4; add; get 5; add;
+    ];
+  let m = build b in
+  let frame_accesses strategy =
+    let compiled = compile strategy m in
+    Array.to_list compiled.Codegen.program
+    |> List.filter (fun i ->
+           List.exists (fun (mem : X.mem) -> mem.X.base = Some X.RBP) (X.mem_operands i))
+    |> List.length
+  in
+  Alcotest.(check bool) "classic spills a local to the frame" true
+    (frame_accesses Strategy.wasm_default > frame_accesses Strategy.segue)
+
+let test_memory_op_counts () =
+  (* Across a memory-heavy body, Segue emits no more sandboxed-access
+     instructions than memory operations, while classic emits the extra
+     leas. *)
+  let m = pattern2_module () in
+  let base = body_instrs (compile Strategy.wasm_default m) "pat2" in
+  let segue = body_instrs (compile Strategy.segue m) "pat2" in
+  Alcotest.(check int) "segue: one sandboxed op" 1 (count_memory_ops segue);
+  Alcotest.(check int) "classic: one sandboxed op + lea" 1 (count_memory_ops base)
+
+let tests =
+  [
+    Harness.case "pattern 1 (int-to-pointer deref)" test_pattern1;
+    Harness.case "pattern 2 (struct array element)" test_pattern2;
+    Harness.case "register pressure" test_register_pressure;
+    Harness.case "memory op counts" test_memory_op_counts;
+  ]

@@ -1,0 +1,115 @@
+(* Tests for the LFI x86-64 backend (§4.3): instrumentation coverage,
+   semantic preservation, and the cost ordering native < lfi+segue < lfi. *)
+
+module W = Sfi_wasm.Ast
+module X = Sfi_x86.Ast
+module Lfi = Sfi_lfi.Lfi
+module Codegen = Sfi_core.Codegen
+module Strategy = Sfi_core.Strategy
+open Sfi_wasm.Builder
+
+(* A benchmark-shaped module with loads, stores, calls, indirect calls and
+   returns — every edge the rewriter must sandbox. *)
+let subject_module () =
+  let b = create ~memory_pages:2 () in
+  let square = declare b "square" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b square [ get 0; get 0; mul ];
+  let cube = declare b "cube" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b cube [ get 0; get 0; mul; get 0; mul ];
+  elem b [ square; cube ];
+  let run = declare b "run" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b run ~locals:[ W.I32; W.I32 ]
+    (for_loop ~i:1 ~start:[ i32 0 ] ~stop:[ get 0 ]
+       [
+         (* store then reload through a computed address *)
+         get 1; i32 3; band; i32 2; shl; get 1; store32 ();
+         get 2;
+         get 1; i32 3; band; i32 2; shl; load32 ();
+         (* dispatch through the table *)
+         get 1; i32 1; band; call_indirect b ~params:[ W.I32 ] ~results:[ W.I32 ];
+         add; set 2;
+       ]
+    @ [ get 2 ]);
+  build b
+
+let subject = lazy (subject_module ())
+
+let native_program () =
+  let cfg =
+    { (Codegen.default_config ~strategy:Strategy.native ()) with Codegen.lfi_reserve_base = true }
+  in
+  (Codegen.compile cfg (Lazy.force subject)).Codegen.program
+
+let test_instrumentation_counts () =
+  let p = native_program () in
+  let data, control = Lfi.instrumentation_counts ~segue:false p in
+  Alcotest.(check bool) "data accesses found" true (data > 0);
+  Alcotest.(check bool) "control edges found" true (control > 0);
+  (* Every sandboxed operand disappears after rewriting. *)
+  let rewritten = Lfi.rewrite ~segue:false p in
+  let leftover, _ = Lfi.instrumentation_counts ~segue:false rewritten in
+  Alcotest.(check int) "no native_base operands survive" 0 leftover;
+  (* Baseline data sandboxing never uses %gs (the runtime's %fs-based
+     vmctx accesses remain, as trusted code)... *)
+  let uses_gs i =
+    List.exists (fun (m : X.mem) -> m.X.seg = Some X.GS) (X.mem_operands i)
+  in
+  Alcotest.(check bool) "baseline avoids gs" false
+    (Array.exists uses_gs (Lfi.rewrite ~segue:false p));
+  (* ...while the Segue rewrite uses it for exactly the data sites. *)
+  let segued = Lfi.rewrite ~segue:true p in
+  let gs_ops = Array.to_list segued |> List.filter uses_gs |> List.length in
+  Alcotest.(check int) "segue: one gs operand per data site" data gs_ops
+
+let test_control_flow_shape () =
+  let p = [| X.Label "f"; X.Ret |] in
+  let r = Lfi.rewrite ~segue:false p in
+  (* ret becomes pop + truncate + rebase + indirect jump, plus the halt
+     trampoline up front. *)
+  Alcotest.(check bool) "ret rewritten away" false (Array.exists (fun i -> i = X.Ret) r);
+  Alcotest.(check bool) "halt trampoline present" true
+    (Array.exists (function X.Label l -> l = Lfi.halt_label | _ -> false) r);
+  Alcotest.(check bool) "masked jump present" true
+    (Array.exists (function X.Jmp_reg _ -> true | _ -> false) r)
+
+let results_match () =
+  let m = Lazy.force subject in
+  let args = [ 500L ] in
+  let native = Lfi.run_native m ~entry:"run" ~args in
+  let lfi = Lfi.run_lfi ~segue:false m ~entry:"run" ~args in
+  let seg = Lfi.run_lfi ~segue:true m ~entry:"run" ~args in
+  (native, lfi, seg)
+
+let test_semantics_preserved () =
+  let native, lfi, seg = results_match () in
+  Alcotest.(check int64) "lfi result" native.Lfi.result lfi.Lfi.result;
+  Alcotest.(check int64) "lfi+segue result" native.Lfi.result seg.Lfi.result
+
+let test_cost_ordering () =
+  let native, lfi, seg = results_match () in
+  Alcotest.(check bool) "lfi slower than native" true (lfi.Lfi.cycles > native.Lfi.cycles);
+  Alcotest.(check bool) "segue between native and lfi" true
+    (seg.Lfi.cycles >= native.Lfi.cycles && seg.Lfi.cycles < lfi.Lfi.cycles);
+  Alcotest.(check bool) "instrumented code is bigger" true
+    (lfi.Lfi.code_bytes > native.Lfi.code_bytes)
+
+let test_region_base_register_reserved () =
+  (* LFI input compilation must keep r14 free even under native lowering;
+     a rewritten program must never write it. *)
+  let p = Lfi.rewrite ~segue:true (native_program ()) in
+  let writes_r14 = function
+    | X.Mov (_, X.Reg r, _) | X.Lea (_, r, _) | X.Pop r -> r = Lfi.region_base_reg
+    | X.Alu (_, _, X.Reg r, _) -> r = Lfi.region_base_reg
+    | _ -> false
+  in
+  Alcotest.(check bool) "rewritten code never clobbers the region base" false
+    (Array.exists writes_r14 p)
+
+let tests =
+  [
+    Harness.case "instrumentation counts" test_instrumentation_counts;
+    Harness.case "control-flow rewrite shape" test_control_flow_shape;
+    Harness.case "semantics preserved" test_semantics_preserved;
+    Harness.case "cost ordering" test_cost_ordering;
+    Harness.case "region base reserved" test_region_base_register_reserved;
+  ]

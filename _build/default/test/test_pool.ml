@@ -1,0 +1,311 @@
+(* Tests for the pooling-allocator layout, the Table 1 invariants, and the
+   §5.2 verification findings (checked vs saturating arithmetic). *)
+
+module Pool = Sfi_core.Pool
+module Invariants = Sfi_core.Invariants
+module Checked = Sfi_core.Checked
+module Colorguard = Sfi_core.Colorguard
+module Units = Sfi_util.Units
+
+let ok_layout ?arith ?defensive p =
+  match Pool.compute ?arith ?defensive p with
+  | Ok l -> l
+  | Error msg -> Alcotest.failf "layout rejected: %s" msg
+
+let test_checked_arithmetic () =
+  Alcotest.(check int) "add" 7 (Checked.add Checked.Checked 3 4);
+  Alcotest.(check int) "mul" 12 (Checked.mul Checked.Checked 3 4);
+  Alcotest.(check int) "align" 8192 (Checked.align_up Checked.Checked 4097 4096);
+  Alcotest.check_raises "checked add overflows"
+    (Checked.Overflow (Printf.sprintf "add %d %d" max_int 1)) (fun () ->
+      ignore (Checked.add Checked.Checked max_int 1));
+  Alcotest.(check int) "saturating add clamps" max_int (Checked.add Checked.Saturating max_int 1);
+  Alcotest.(check int) "saturating mul clamps" max_int
+    (Checked.mul Checked.Saturating max_int 2);
+  Alcotest.check_raises "negative operands rejected"
+    (Invalid_argument "Checked.add: negative operand") (fun () ->
+      ignore (Checked.add Checked.Checked (-1) 1))
+
+let test_unstriped_layout () =
+  (* The classic 4 GiB + 4 GiB configuration of §2. *)
+  let l = ok_layout Pool.default_params in
+  Alcotest.(check int) "stride = 8 GiB" (8 * Units.gib) l.Pool.slot_bytes;
+  Alcotest.(check int) "single stripe" 1 l.Pool.num_stripes;
+  Alcotest.(check int) "color 0 everywhere" 0 (Pool.color_of_slot l 3);
+  Alcotest.(check (list Alcotest.reject)) "all invariants hold" [] (Invariants.check l)
+
+let test_shared_guard_layout () =
+  (* Wasmtime's 2 GiB pre + 2 GiB post sharing: 6 GiB per slot (§5.1). *)
+  let p = { Pool.default_params with Pool.pre_guard_enabled = true } in
+  let l = ok_layout p in
+  Alcotest.(check int) "stride = 6 GiB" (6 * Units.gib) l.Pool.slot_bytes;
+  Alcotest.(check int) "pre-guard = 2 GiB" (2 * Units.gib) l.Pool.pre_slot_guard_bytes;
+  Alcotest.(check int) "post-guard = 2 GiB" (2 * Units.gib) l.Pool.post_slot_guard_bytes;
+  Alcotest.(check (list Alcotest.reject)) "invariants hold" [] (Invariants.check l)
+
+let test_striped_layout () =
+  let p =
+    {
+      Pool.num_slots = 64;
+      max_memory_bytes = 408 * Units.mib;
+      expected_slot_bytes = 408 * Units.mib;
+      guard_bytes = 8 * Units.gib;
+      pre_guard_enabled = false;
+      num_pkeys_available = 15;
+      stripe_enabled = true;
+    }
+  in
+  let l = ok_layout p in
+  Alcotest.(check int) "15 stripes" 15 l.Pool.num_stripes;
+  Alcotest.(check (list Alcotest.reject)) "invariants hold" [] (Invariants.check l);
+  (* Colors cycle 1..15 and repeat every 15 slots. *)
+  Alcotest.(check int) "first color" 1 (Pool.color_of_slot l 0);
+  Alcotest.(check int) "fifteenth color" 15 (Pool.color_of_slot l 14);
+  Alcotest.(check int) "sixteenth wraps" 1 (Pool.color_of_slot l 15);
+  (* Same-colored slots keep the isolation distance (invariant 6). *)
+  Alcotest.(check bool) "stripe distance covers reservation + guard" true
+    (Pool.bytes_to_next_stripe_slot l >= (408 * Units.mib) + (8 * Units.gib));
+  (* Slot bases are stride-spaced from the pre-guard. *)
+  Alcotest.(check int) "slot base arithmetic"
+    (l.Pool.pre_slot_guard_bytes + (7 * l.Pool.slot_bytes))
+    (Pool.slot_base l 7);
+  (* The headline: ~15x density (§6.4.2). *)
+  let d = Pool.density_vs_unstriped p in
+  Alcotest.(check bool) "density ~15x" true (d > 14.5 && d <= 15.5)
+
+let test_key_shortage_fallback () =
+  (* With too few keys the stride grows: stripes combine with guards. *)
+  let p =
+    {
+      Pool.num_slots = 64;
+      max_memory_bytes = 512 * Units.mib;
+      expected_slot_bytes = 512 * Units.mib;
+      guard_bytes = 4 * Units.gib;
+      pre_guard_enabled = false;
+      num_pkeys_available = 3;
+      stripe_enabled = true;
+    }
+  in
+  let l = ok_layout p in
+  Alcotest.(check int) "3 stripes" 3 l.Pool.num_stripes;
+  Alcotest.(check bool) "stride grew beyond max_memory" true
+    (l.Pool.slot_bytes > 512 * Units.mib);
+  Alcotest.(check (list Alcotest.reject)) "invariants still hold" [] (Invariants.check l);
+  (* Zero keys: silently an unstriped layout. *)
+  let l0 = ok_layout { p with Pool.num_pkeys_available = 0 } in
+  Alcotest.(check int) "no keys, no stripes" 1 l0.Pool.num_stripes
+
+let test_defensive_preconditions () =
+  let bad_cases =
+    [
+      ("inv 7", { Pool.default_params with Pool.expected_slot_bytes = Units.mib + 512 });
+      ("inv 8", { Pool.default_params with Pool.max_memory_bytes = Units.mib + 512 });
+      ("inv 9", { Pool.default_params with Pool.guard_bytes = 4097 });
+      ( "inv 10",
+        { Pool.default_params with Pool.num_slots = 1 lsl 22 (* 4M x 8 GiB >> 2^47 *) } );
+    ]
+  in
+  List.iter
+    (fun (name, p) ->
+      match Pool.compute ~defensive:true p with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: defensive mode should reject" name)
+    bad_cases;
+  (* The pre-verification allocator accepts them and the checker catches
+     the violation — the dynamic version of the Flux findings. *)
+  List.iter
+    (fun (name, p) ->
+      match Pool.compute ~defensive:false p with
+      | Ok l ->
+          Alcotest.(check bool)
+            (name ^ " flagged by checker")
+            true
+            (Invariants.check l <> [])
+      | Error _ -> () (* arithmetic overflow may still stop it *))
+    bad_cases
+
+let test_saturating_bug () =
+  (* §5.2: the saturating addition that should have been checked. *)
+  let adversarial =
+    {
+      Pool.num_slots = 4096;
+      max_memory_bytes = 4 * Units.gib;
+      expected_slot_bytes = Units.align_up (max_int / 4096) Units.wasm_page_size;
+      guard_bytes = 4 * Units.gib;
+      pre_guard_enabled = false;
+      num_pkeys_available = 15;
+      stripe_enabled = false;
+    }
+  in
+  (match Pool.compute ~arith:Checked.Checked ~defensive:false adversarial with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "checked arithmetic must reject");
+  match Pool.compute ~arith:Checked.Saturating ~defensive:false adversarial with
+  | Ok l ->
+      let violations = Invariants.check l in
+      Alcotest.(check bool) "saturated layout breaks invariant 1" true
+        (List.exists (fun v -> v.Invariants.number = 1) violations)
+  | Error _ -> Alcotest.fail "saturating mode silently accepts (that is the bug)"
+
+let test_scaling_report () =
+  let p =
+    {
+      Pool.num_slots = 16;
+      max_memory_bytes = 408 * Units.mib;
+      expected_slot_bytes = 408 * Units.mib;
+      guard_bytes = 8 * Units.gib;
+      pre_guard_enabled = false;
+      num_pkeys_available = 15;
+      stripe_enabled = false;
+    }
+  in
+  let r = Colorguard.scaling p in
+  Alcotest.(check bool) "unstriped ~15.6K slots" true
+    (r.Colorguard.unstriped_slots > 15_000 && r.Colorguard.unstriped_slots < 16_500);
+  Alcotest.(check bool) "striped ~234K slots" true
+    (r.Colorguard.striped_slots > 220_000 && r.Colorguard.striped_slots < 250_000);
+  Alcotest.(check bool) "factor ~15x" true
+    (r.Colorguard.factor > 14.5 && r.Colorguard.factor < 15.5);
+  Alcotest.(check int) "classic limit 16K" 16384 (Colorguard.classic_max_instances ());
+  Alcotest.(check int) "wasmtime limit ~21K" 21845 (Colorguard.wasmtime_default_max_instances ())
+
+(* Property: every accepted (checked, defensive) layout satisfies all ten
+   Table 1 invariants — the dynamic analogue of the Flux proof. *)
+let prop_layout_invariants =
+  let gen =
+    QCheck.Gen.(
+      let page_mult hi = map (fun k -> k * Units.wasm_page_size) (int_range 1 hi) in
+      let* num_slots = int_range 1 256 in
+      let* max_memory_bytes = page_mult 2048 in
+      let* extra = page_mult 1024 in
+      let expected_slot_bytes = max_memory_bytes + if extra mod (2 * Units.wasm_page_size) = 0 then extra else 0 in
+      let* guard_pages = int_range 0 (1 lsl 16) in
+      let guard_bytes = guard_pages * Units.os_page_size in
+      let* pre_guard_enabled = bool in
+      let* num_pkeys_available = int_range 0 15 in
+      let* stripe_enabled = bool in
+      return
+        {
+          Pool.num_slots;
+          max_memory_bytes;
+          expected_slot_bytes;
+          guard_bytes;
+          pre_guard_enabled;
+          num_pkeys_available;
+          stripe_enabled;
+        })
+  in
+  QCheck.Test.make ~name:"accepted layouts satisfy all Table 1 invariants" ~count:500
+    (QCheck.make gen) (fun p ->
+      match Pool.compute ~arith:Checked.Checked ~defensive:true p with
+      | Error _ -> true (* rejection is always safe *)
+      | Ok l -> Invariants.check l = [])
+
+let prop_density_bounded =
+  QCheck.Test.make ~name:"striping density never exceeds the color budget" ~count:200
+    QCheck.(pair (int_range 2 15) (int_range 1 128))
+    (fun (keys, mem_pages) ->
+      let p =
+        {
+          Pool.num_slots = 64;
+          max_memory_bytes = mem_pages * Units.wasm_page_size;
+          expected_slot_bytes = mem_pages * Units.wasm_page_size;
+          guard_bytes = 4 * Units.gib;
+          pre_guard_enabled = false;
+          num_pkeys_available = keys;
+          stripe_enabled = true;
+        }
+      in
+      let d = Pool.density_vs_unstriped p in
+      d <= float_of_int keys +. 0.01)
+
+let test_mte_cost_model () =
+  let cost = Colorguard.Mte_cost.default in
+  let mte = Sfi_vmem.Mte.create () in
+  let memory_bytes = 65536 in
+  let init0 = Colorguard.Mte_cost.init_instance cost mte ~memory_bytes ~tag:0 in
+  let init3 = Colorguard.Mte_cost.init_instance cost mte ~memory_bytes ~tag:3 in
+  (* Paper's calibration: 79 us -> 2,182 us. *)
+  Alcotest.(check bool) "init without MTE ~79us" true (Float.abs (init0 -. 79_000.0) < 1.0);
+  Alcotest.(check bool) "init with MTE ~2182us" true (Float.abs (init3 -. 2_182_000.0) < 2000.0);
+  let down = Colorguard.Mte_cost.teardown_instance cost mte ~memory_bytes ~mte:true in
+  Alcotest.(check bool) "teardown with MTE ~377us" true (Float.abs (down -. 377_000.0) < 2000.0);
+  (* The proposed madvise flag: same-color recycle becomes cheap. *)
+  ignore (Colorguard.Mte_cost.init_instance cost mte ~memory_bytes ~tag:3);
+  let keep = Colorguard.Mte_cost.teardown_keeping_tags cost mte ~memory_bytes in
+  Alcotest.(check bool) "tag-preserving teardown ~29us" true
+    (Float.abs (keep -. 29_000.0) < 1.0);
+  let re_same = Colorguard.Mte_cost.reinit_instance cost mte ~memory_bytes ~tag:3 in
+  Alcotest.(check bool) "same-color reinit ~ base cost" true (re_same < 100_000.0);
+  let re_diff = Colorguard.Mte_cost.reinit_instance cost mte ~memory_bytes ~tag:7 in
+  Alcotest.(check bool) "different color pays full retag" true (re_diff > 1_000_000.0)
+
+module Chain = Sfi_core.Chain
+
+let test_chain_planner () =
+  let mib = Units.mib in
+  let reach = 64 * mib in
+  (* A mixed population: a few large slots advance all colors quickly. *)
+  let sizes = [ 16 * mib; 4 * mib; 32 * mib; 4 * mib; 8 * mib; 16 * mib; 4 * mib; 64 * mib ] in
+  let chain =
+    match Chain.plan ~reach ~sizes () with Ok c -> c | Error m -> Alcotest.failf "plan: %s" m
+  in
+  (match Chain.check chain with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "isolation violated: %s" m);
+  Alcotest.(check int) "all slots placed" (List.length sizes)
+    (List.length chain.Chain.placements);
+  Alcotest.(check int) "packed with no padding" 0 chain.Chain.padding_bytes;
+  (* Section 3.2's claim: mixed sizes beat uniform striping. *)
+  let uniform = Chain.uniform_stripe_footprint ~num_keys:15 ~reach ~sizes in
+  Alcotest.(check bool) "chain denser than a uniform stripe" true
+    (chain.Chain.total_bytes < uniform);
+  (* Degenerate inputs. *)
+  (match Chain.plan ~reach ~sizes:[] () with Error _ -> () | Ok _ -> Alcotest.fail "empty");
+  (match Chain.plan ~reach ~sizes:[ 100 ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unaligned size");
+  match Chain.plan ~reach:0 ~sizes:[ mib ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero reach"
+
+let test_chain_forced_padding () =
+  (* With one color, every slot must be a full reach apart: the planner
+     pads — the guard-region fallback of §3.2. *)
+  let mib = Units.mib in
+  let chain =
+    match Chain.plan ~num_keys:1 ~reach:(16 * mib) ~sizes:[ mib; mib; mib ] () with
+    | Ok c -> c
+    | Error m -> Alcotest.failf "plan: %s" m
+  in
+  (match Chain.check chain with Ok () -> () | Error m -> Alcotest.failf "unsafe: %s" m);
+  Alcotest.(check bool) "padding inserted" true (chain.Chain.padding_bytes > 0);
+  Alcotest.(check bool) "utilization is low" true (Chain.utilization chain < 0.25)
+
+let prop_chain_isolation =
+  QCheck.Test.make ~name:"planned chains always satisfy the isolation distance" ~count:200
+    QCheck.(pair (int_range 1 15) (list_of_size (QCheck.Gen.int_range 1 40) (int_range 1 64)))
+    (fun (keys, size_pages) ->
+      QCheck.assume (size_pages <> []);
+      let sizes = List.map (fun p -> p * Units.wasm_page_size) size_pages in
+      match Chain.plan ~num_keys:keys ~reach:(32 * Units.wasm_page_size) ~sizes () with
+      | Error _ -> false
+      | Ok chain -> Chain.check chain = Ok ())
+
+let tests =
+  [
+    Harness.case "checked arithmetic" test_checked_arithmetic;
+    Harness.case "unstriped layout" test_unstriped_layout;
+    Harness.case "shared-guard layout" test_shared_guard_layout;
+    Harness.case "striped layout" test_striped_layout;
+    Harness.case "key shortage fallback" test_key_shortage_fallback;
+    Harness.case "defensive preconditions" test_defensive_preconditions;
+    Harness.case "saturating bug (sec 5.2)" test_saturating_bug;
+    Harness.case "scaling report" test_scaling_report;
+    Harness.case "mte cost model (sec 7)" test_mte_cost_model;
+    Harness.case "chain planner (sec 3.2)" test_chain_planner;
+    Harness.case "chain forced padding" test_chain_forced_padding;
+    QCheck_alcotest.to_alcotest prop_chain_isolation;
+    QCheck_alcotest.to_alcotest prop_layout_invariants;
+    QCheck_alcotest.to_alcotest prop_density_bounded;
+  ]

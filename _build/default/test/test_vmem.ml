@@ -1,0 +1,204 @@
+(* Tests for the virtual-memory substrate: VMAs, MPK, TLB and MTE. *)
+
+module Space = Sfi_vmem.Space
+module Prot = Sfi_vmem.Prot
+module Mpk = Sfi_vmem.Mpk
+module Tlb = Sfi_vmem.Tlb
+module Mte = Sfi_vmem.Mte
+
+let ok = function Ok () -> () | Error m -> Alcotest.failf "unexpected error: %s" m
+let err what = function Ok () -> Alcotest.failf "expected failure: %s" what | Error _ -> ()
+
+let page = Space.page_size
+let mb = 1 lsl 20
+
+let test_map_unmap () =
+  let s = Space.create () in
+  ok (Space.map s ~addr:mb ~len:(4 * page) ~prot:Prot.rw);
+  Alcotest.(check int) "one vma" 1 (Space.vma_count s);
+  err "overlap" (Space.map s ~addr:(mb + page) ~len:page ~prot:Prot.rw);
+  err "unaligned addr" (Space.map s ~addr:(mb + 1) ~len:page ~prot:Prot.rw);
+  err "empty" (Space.map s ~addr:(2 * mb) ~len:0 ~prot:Prot.rw);
+  (match Space.find_vma s (mb + page) with
+  | Some v ->
+      Alcotest.(check int) "vma start" mb v.Space.start;
+      Alcotest.(check int) "vma len" (4 * page) v.Space.len
+  | None -> Alcotest.fail "vma not found");
+  Space.write64 s mb 0xDEADL;
+  ok (Space.unmap s ~addr:mb ~len:(4 * page));
+  Alcotest.(check int) "no vmas" 0 (Space.vma_count s);
+  Alcotest.(check bool) "contents dropped" true (Space.read64 s mb = 0L)
+
+let test_protect_split_merge () =
+  let s = Space.create () in
+  ok (Space.map s ~addr:mb ~len:(8 * page) ~prot:Prot.rw);
+  (* Protect the middle: the VMA must split into three. *)
+  ok (Space.protect s ~addr:(mb + (2 * page)) ~len:(2 * page) ~prot:Prot.none);
+  Alcotest.(check int) "split into three" 3 (Space.vma_count s);
+  (* Restore: the kernel-style merge collapses them back into one. *)
+  ok (Space.protect s ~addr:(mb + (2 * page)) ~len:(2 * page) ~prot:Prot.rw);
+  Alcotest.(check int) "merged back" 1 (Space.vma_count s);
+  err "protect unmapped" (Space.protect s ~addr:(16 * mb) ~len:page ~prot:Prot.rw)
+
+let test_pkey_and_access () =
+  let s = Space.create () in
+  ok (Space.map s ~addr:mb ~len:(2 * page) ~prot:Prot.rw);
+  ok (Space.pkey_protect s ~addr:mb ~len:(2 * page) ~prot:Prot.rw ~key:5);
+  (match Space.page_info s ~addr:mb with
+  | Some (_, key) -> Alcotest.(check int) "pkey stored" 5 key
+  | None -> Alcotest.fail "unmapped");
+  let allow5 = Mpk.allow_only [ 0; 5 ] in
+  let allow7 = Mpk.allow_only [ 0; 7 ] in
+  Alcotest.(check bool) "pkey allows" true
+    (Space.check_access s ~pkru:allow5 ~addr:mb ~len:8 ~write:true = Ok ());
+  (match Space.check_access s ~pkru:allow7 ~addr:mb ~len:8 ~write:false with
+  | Error Prot.Pkey_violation -> ()
+  | _ -> Alcotest.fail "expected pkey violation");
+  (* Unmapped and protection faults are distinguished. *)
+  (match Space.check_access s ~pkru:Mpk.allow_all ~addr:(64 * mb) ~len:8 ~write:false with
+  | Error Prot.Unmapped -> ()
+  | _ -> Alcotest.fail "expected unmapped");
+  ok (Space.protect s ~addr:mb ~len:page ~prot:Prot.r);
+  (match Space.check_access s ~pkru:Mpk.allow_all ~addr:mb ~len:8 ~write:true with
+  | Error Prot.Prot_violation -> ()
+  | _ -> Alcotest.fail "expected prot violation");
+  (* A range straddling two pages checks both. *)
+  (match
+     Space.check_access s ~pkru:Mpk.allow_all ~addr:(mb + (2 * page) - 4) ~len:8 ~write:false
+   with
+  | Error Prot.Unmapped -> ()
+  | _ -> Alcotest.fail "straddle should fault on the unmapped second page")
+
+let test_madvise_zeroes_but_keeps_layout () =
+  let s = Space.create () in
+  ok (Space.map s ~addr:mb ~len:page ~prot:Prot.rw);
+  ok (Space.pkey_protect s ~addr:mb ~len:page ~prot:Prot.rw ~key:3);
+  Space.write64 s mb 77L;
+  let generation = Space.generation s in
+  ok (Space.madvise_dontneed s ~addr:mb ~len:page);
+  Alcotest.(check int64) "zeroed" 0L (Space.read64 s mb);
+  (match Space.page_info s ~addr:mb with
+  | Some (prot, key) ->
+      Alcotest.(check bool) "still writable" true prot.Prot.write;
+      (* The MPK color survives madvise — the §7 contrast with MTE. *)
+      Alcotest.(check int) "color survives" 3 key
+  | None -> Alcotest.fail "mapping lost");
+  Alcotest.(check int) "no layout change" generation (Space.generation s)
+
+let test_max_map_count () =
+  let s = Space.create ~max_map_count:3 () in
+  ok (Space.map s ~addr:mb ~len:page ~prot:Prot.rw);
+  ok (Space.map s ~addr:(2 * mb) ~len:page ~prot:Prot.rw);
+  ok (Space.map s ~addr:(3 * mb) ~len:page ~prot:Prot.rw);
+  err "vma budget" (Space.map s ~addr:(4 * mb) ~len:page ~prot:Prot.rw);
+  Alcotest.(check int) "reports limit" 3 (Space.max_map_count s)
+
+let test_data_ops () =
+  let s = Space.create () in
+  ok (Space.map s ~addr:mb ~len:(2 * page) ~prot:Prot.rw);
+  Space.write8 s mb 0xAB;
+  Alcotest.(check int) "u8" 0xAB (Space.read8 s mb);
+  Space.write16 s (mb + 1) 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (Space.read16 s (mb + 1));
+  Space.write32 s (mb + 8) 0xCAFE1234l;
+  Alcotest.(check int32) "u32" 0xCAFE1234l (Space.read32 s (mb + 8));
+  (* Cross-page accesses. *)
+  let edge = mb + page - 4 in
+  Space.write64 s edge 0x1122334455667788L;
+  Alcotest.(check int64) "u64 cross page" 0x1122334455667788L (Space.read64 s edge);
+  Space.write_bytes s ~addr:(mb + 100) (Bytes.of_string "hello world");
+  Alcotest.(check string) "bytes roundtrip" "hello world"
+    (Bytes.to_string (Space.read_bytes s ~addr:(mb + 100) ~len:11));
+  Space.fill s ~addr:(mb + 200) ~len:300 ~byte:0x7;
+  Alcotest.(check int) "fill" 7 (Space.read8 s (mb + 499));
+  (* Overlapping copy is memmove-safe. *)
+  Space.write_bytes s ~addr:(mb + 600) (Bytes.of_string "abcdef");
+  Space.copy s ~src:(mb + 600) ~dst:(mb + 602) ~len:6;
+  Alcotest.(check string) "memmove semantics" "ababcdef"
+    (Bytes.to_string (Space.read_bytes s ~addr:(mb + 600) ~len:8));
+  Alcotest.(check bool) "resident pages tracked" true (Space.resident_pages s > 0)
+
+let test_mpk () =
+  Alcotest.(check bool) "allow_all allows" true (Mpk.allows Mpk.allow_all ~key:9 ~write:true);
+  let pkru = Mpk.allow_only [ 0; 4 ] in
+  Alcotest.(check bool) "key 0" true (Mpk.allows pkru ~key:0 ~write:true);
+  Alcotest.(check bool) "key 4" true (Mpk.allows pkru ~key:4 ~write:true);
+  Alcotest.(check bool) "key 5 read" false (Mpk.allows pkru ~key:5 ~write:false);
+  Alcotest.(check bool) "key 5 write" false (Mpk.allows pkru ~key:5 ~write:true);
+  Alcotest.(check int) "15 usable colors" 15 Mpk.max_usable_keys;
+  Alcotest.check_raises "bad key" (Invalid_argument "Mpk: key 16 out of range") (fun () ->
+      ignore (Mpk.allow_only [ 16 ]))
+
+let test_tlb () =
+  let t = Tlb.create { Tlb.entries = 8; ways = 2; page_walk_levels = 4; walk_cycles_per_level = 5 }
+  in
+  Alcotest.(check int) "walk cost" 20 (Tlb.walk_cost t);
+  Alcotest.(check bool) "cold miss" true (Tlb.lookup t ~page:1 = None);
+  Tlb.fill t ~page:1 ~payload:42;
+  Alcotest.(check (option int)) "hit returns payload" (Some 42) (Tlb.lookup t ~page:1);
+  (* Fill a 2-way set beyond capacity: pages 1, 5, 9 map to the same set
+     (4 sets); the LRU entry is evicted. *)
+  Tlb.fill t ~page:5 ~payload:1;
+  ignore (Tlb.lookup t ~page:1);
+  (* 1 is now most recent; adding 9 evicts 5 *)
+  Tlb.fill t ~page:9 ~payload:2;
+  Alcotest.(check (option int)) "lru survivor" (Some 42) (Tlb.lookup t ~page:1);
+  Alcotest.(check bool) "lru victim gone" true (Tlb.lookup t ~page:5 = None);
+  Alcotest.(check bool) "hits counted" true (Tlb.hits t > 0);
+  Alcotest.(check bool) "misses counted" true (Tlb.misses t > 0);
+  Tlb.flush t;
+  Alcotest.(check bool) "flush empties" true (Tlb.lookup t ~page:1 = None);
+  Tlb.reset_counters t;
+  Alcotest.(check int) "counters reset" 0 (Tlb.hits t)
+
+let test_mte () =
+  let m = Mte.create () in
+  Alcotest.(check int) "untagged is 0" 0 (Mte.tag_of m ~addr:0x100);
+  Mte.st2g m ~addr:0x100 ~tag:7;
+  Alcotest.(check int) "tagged" 7 (Mte.tag_of m ~addr:0x100);
+  Alcotest.(check int) "st2g covers two granules" 7 (Mte.tag_of m ~addr:0x110);
+  Alcotest.(check int) "third granule untouched" 0 (Mte.tag_of m ~addr:0x120);
+  Alcotest.(check bool) "check matches" true (Mte.check m ~addr:0x100 ~ptr_tag:7);
+  Alcotest.(check bool) "check mismatch" false (Mte.check m ~addr:0x100 ~ptr_tag:3);
+  Mte.reset_counters m;
+  (* Observation 1: a 64 KiB memory takes 2048 user tagging instructions. *)
+  let instrs = Mte.tag_range_user m ~addr:0 ~len:65536 ~tag:5 in
+  Alcotest.(check int) "2048 st2g per 64 KiB" 2048 instrs;
+  Alcotest.(check int) "counter matches" 2048 (Mte.user_tag_instructions m);
+  (* Observation 2: discard clears tags (madvise behaviour). *)
+  let granules = Mte.discard_range m ~addr:0 ~len:65536 in
+  Alcotest.(check int) "4096 granules per 64 KiB" 4096 granules;
+  Alcotest.(check int) "tags gone" 0 (Mte.tag_of m ~addr:0x40);
+  (* count_mismatched drives the proposed tag-preserving recycle path. *)
+  Alcotest.(check int) "all mismatch after discard" 4096
+    (Mte.count_mismatched m ~addr:0 ~len:65536 ~tag:5);
+  ignore (Mte.tag_range_user m ~addr:0 ~len:65536 ~tag:5);
+  Alcotest.(check int) "none mismatch when retagged" 0
+    (Mte.count_mismatched m ~addr:0 ~len:65536 ~tag:5);
+  Alcotest.(check int) "different color mismatches everywhere" 4096
+    (Mte.count_mismatched m ~addr:0 ~len:65536 ~tag:7)
+
+let prop_space_roundtrip =
+  QCheck.Test.make ~name:"space write64/read64 roundtrip at random offsets" ~count:300
+    QCheck.(pair (int_bound (4 * page - 8)) int64)
+    (fun (off, v) ->
+      let s = Space.create () in
+      (match Space.map s ~addr:mb ~len:(4 * page) ~prot:Prot.rw with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      Space.write64 s (mb + off) v;
+      Int64.equal (Space.read64 s (mb + off)) v)
+
+let tests =
+  [
+    Harness.case "map/unmap" test_map_unmap;
+    Harness.case "protect split/merge" test_protect_split_merge;
+    Harness.case "pkey + access checks" test_pkey_and_access;
+    Harness.case "madvise keeps colors" test_madvise_zeroes_but_keeps_layout;
+    Harness.case "max_map_count" test_max_map_count;
+    Harness.case "data ops" test_data_ops;
+    Harness.case "mpk" test_mpk;
+    Harness.case "tlb" test_tlb;
+    Harness.case "mte" test_mte;
+    QCheck_alcotest.to_alcotest prop_space_roundtrip;
+  ]

@@ -1,0 +1,217 @@
+(* Tests for the mini-Wasm layer: validator, interpreter semantics, and the
+   builder DSL. *)
+
+module W = Sfi_wasm.Ast
+module Validate = Sfi_wasm.Validate
+module Interp = Sfi_wasm.Interp
+open Sfi_wasm.Builder
+
+let build_raw ?memory funcs ~types ~table =
+  {
+    W.empty_module with
+    W.types = Array.of_list types;
+    funcs = Array.of_list funcs;
+    memory;
+    table;
+    exports = List.mapi (fun i (f : W.func) -> (f.W.fname, i)) funcs;
+  }
+
+let expect_invalid name m =
+  match Validate.validate m with
+  | Ok () -> Alcotest.failf "%s: expected validation failure" name
+  | Error _ -> ()
+
+let test_validator_rejects () =
+  let fty = { W.params = []; results = [ W.I32 ] } in
+  let mk body = build_raw ~types:[ fty ] ~table:[||] [ { W.ftype = 0; locals = []; body; fname = "f" } ] in
+  expect_invalid "empty body needs result" (mk []);
+  expect_invalid "type mismatch" (mk [ W.Const (W.V_i64 1L) ]);
+  expect_invalid "stack underflow" (mk [ W.Binop (W.I32, W.Add) ]);
+  expect_invalid "bad local" (mk [ W.Local_get 3 ]);
+  expect_invalid "bad global" (mk [ W.Global_get 0 ]);
+  expect_invalid "load without memory" (mk [ W.Const (W.V_i32 0l); W.Load (W.I32, None, { offset = 0 }) ]);
+  expect_invalid "br depth" (mk [ W.Br 1 ]);
+  expect_invalid "leftover values"
+    (mk [ W.Const (W.V_i32 1l); W.Const (W.V_i32 2l) ]);
+  expect_invalid "call out of range" (mk [ W.Call 9 ]);
+  expect_invalid "call_indirect without table"
+    (mk [ W.Const (W.V_i32 0l); W.Call_indirect 0 ]);
+  expect_invalid "i32 pack32"
+    (mk [ W.Const (W.V_i32 0l); W.Load (W.I32, Some (W.P32, W.Unsigned), { offset = 0 }) ]);
+  (* dead code after unreachable is allowed (stack-polymorphic) *)
+  (match Validate.validate (mk [ W.Unreachable; W.Binop (W.I32, W.Add) ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unreachable polymorphism: %s" e)
+
+let test_validator_accepts_builder_modules () =
+  (* The builder validates on [build]; exercising a couple of rich shapes. *)
+  let b = create ~memory_pages:1 () in
+  let f = declare b "f" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b f ~locals:[ W.I64 ]
+    [
+      get 0; extend_u; set 1;
+      block ~ty:W.I32 [ get 1; wrap; i32 3; add ];
+    ];
+  ignore (build b)
+
+let run_i32 m name args =
+  let inst = Interp.instantiate m in
+  match Interp.invoke inst name (List.map (fun v -> W.V_i32 (Int32.of_int v)) args) with
+  | Ok [ W.V_i32 v ] -> Ok (Int32.to_int v)
+  | Ok _ -> Alcotest.fail "arity"
+  | Error t -> Error t
+
+let test_interp_numerics () =
+  let b = create () in
+  let f = declare b "f" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+  define b f [ get 0; get 1; rotl; get 0; get 1; shr_s; bxor ];
+  let m = build b in
+  (* rotl(0x80000001, 1) = 3; 0x80000001 >>s 1 = 0xC0000000; 3 ^ that *)
+  (match run_i32 m "f" [ 0x80000001; 1 ] with
+  | Ok v -> Alcotest.(check int) "rotl/shr_s" (3 lxor 0xC0000000 land 0xFFFFFFFF) (v land 0xFFFFFFFF)
+  | Error _ -> Alcotest.fail "trapped");
+  let b = create () in
+  let f = declare b "g" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+  define b f [ get 0; get 1; rem_s ];
+  let m = build b in
+  (match run_i32 m "g" [ 0x80000000; -1 ] with
+  | Ok v -> Alcotest.(check int) "rem_s(min,-1) = 0, no trap" 0 v
+  | Error _ -> Alcotest.fail "rem_s must not trap");
+  let b = create () in
+  let f = declare b "h" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+  define b f [ get 0; get 1; div_s ];
+  let m = build b in
+  (match run_i32 m "h" [ 0x80000000; -1 ] with
+  | Error Interp.Integer_overflow -> ()
+  | _ -> Alcotest.fail "div_s(min,-1) must trap overflow")
+
+let test_interp_memory () =
+  let b = create ~memory_pages:1 ~max_memory_pages:3 () in
+  data b ~offset:8 "\x2A\x00\x00\x00";
+  let f = declare b "f" ~params:[] ~results:[ W.I32 ] () in
+  define b f [ i32 8; load32 () ];
+  let grow = declare b "grow" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b grow [ get 0; memory_grow; drop; memory_size ];
+  let oob = declare b "oob" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b oob [ get 0; load32 () ];
+  let m = build b in
+  (match run_i32 m "f" [] with
+  | Ok v -> Alcotest.(check int) "data segment" 42 v
+  | Error _ -> Alcotest.fail "trap");
+  (match run_i32 m "grow" [ 1 ] with
+  | Ok v -> Alcotest.(check int) "grow to 2 pages" 2 v
+  | Error _ -> Alcotest.fail "trap");
+  (match run_i32 m "grow" [ 7 ] with
+  | Ok v -> Alcotest.(check int) "grow beyond max fails, size stays 1" 1 v
+  | Error _ -> Alcotest.fail "trap");
+  (match run_i32 m "oob" [ 65536 - 3 ] with
+  | Error Interp.Out_of_bounds -> ()
+  | _ -> Alcotest.fail "partial oob load must trap")
+
+let test_interp_control () =
+  (* br with a value through nested blocks *)
+  let b = create () in
+  let f = declare b "f" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b f
+    [
+      block ~ty:W.I32
+        [
+          block ~ty:W.I32 [ i32 10; get 0; W.Br_if 1; drop; i32 20 ];
+          i32 1; add;
+        ];
+    ];
+  let m = build b in
+  (match run_i32 m "f" [ 1 ] with
+  | Ok v -> Alcotest.(check int) "br_if taken carries value" 10 v
+  | Error _ -> Alcotest.fail "trap");
+  (match run_i32 m "f" [ 0 ] with
+  | Ok v -> Alcotest.(check int) "fallthrough" 21 v
+  | Error _ -> Alcotest.fail "trap")
+
+let test_interp_fuel () =
+  let b = create () in
+  let f = declare b "spin" ~params:[] ~results:[ W.I32 ] () in
+  define b f (while_loop [ i32 1 ] [ nop ] @ [ i32 0 ]);
+  let m = build b in
+  let inst = Interp.instantiate m in
+  (try
+     ignore (Interp.invoke inst "spin" ~fuel:10_000 []);
+     Alcotest.fail "must run out of fuel"
+   with Interp.Out_of_fuel -> ());
+  Alcotest.(check bool) "instruction count advanced" true (Interp.instructions_executed inst > 0)
+
+let test_builder_bookkeeping () =
+  let b = create ~memory_pages:1 () in
+  let imp = import b "host" ~params:[ W.I32 ] ~results:[ W.I32 ] in
+  Alcotest.(check int) "imports first" 0 (fn_index imp);
+  let f = declare b "f" ~params:[] ~results:[] () in
+  Alcotest.(check int) "funcs follow imports" 1 (fn_index f);
+  Alcotest.check_raises "late import rejected"
+    (Invalid_argument "Builder.import: imports must be declared before functions") (fun () ->
+      ignore (import b "late" ~params:[] ~results:[]));
+  define b f [ nop ];
+  Alcotest.check_raises "double define rejected"
+    (Invalid_argument "Builder.define: f already defined") (fun () -> define b f [ nop ]);
+  let g = declare b "g" ~params:[] ~results:[] () in
+  ignore g;
+  Alcotest.check_raises "undefined function rejected"
+    (Invalid_argument "Builder.build: undefined function g") (fun () -> ignore (build b))
+
+let test_host_imports () =
+  let b = create () in
+  let h = import b "twice" ~params:[ W.I32 ] ~results:[ W.I32 ] in
+  let f = declare b "f" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b f [ get 0; call h; get 0; call h; add ];
+  let m = build b in
+  let twice _ = function [ W.V_i32 v ] -> [ W.V_i32 (Int32.mul v 2l) ] | _ -> assert false in
+  let inst = Interp.instantiate ~host:[ ("twice", twice) ] m in
+  (match Interp.invoke inst "f" [ W.V_i32 5l ] with
+  | Ok [ W.V_i32 v ] -> Alcotest.(check int32) "host calls" 20l v
+  | _ -> Alcotest.fail "bad result");
+  let unresolved = Interp.instantiate m in
+  Alcotest.check_raises "unresolved import" (Invalid_argument "unresolved import: twice")
+    (fun () -> ignore (Interp.invoke unresolved "f" [ W.V_i32 1l ]))
+
+(* Property: the interpreter's i32 binops agree with OCaml's Int32. *)
+let prop_i32_binop_reference =
+  let ops =
+    [
+      (W.Add, fun a b -> Some (Int32.add a b));
+      (W.Sub, fun a b -> Some (Int32.sub a b));
+      (W.Mul, fun a b -> Some (Int32.mul a b));
+      (W.And, fun a b -> Some (Int32.logand a b));
+      (W.Or, fun a b -> Some (Int32.logor a b));
+      (W.Xor, fun a b -> Some (Int32.logxor a b));
+      (W.Shl, fun a b -> Some (Int32.shift_left a (Int32.to_int b land 31)));
+      ( W.Div_u,
+        fun a b -> if b = 0l then None else Some (Int32.unsigned_div a b) );
+      ( W.Rem_u,
+        fun a b -> if b = 0l then None else Some (Int32.unsigned_rem a b) );
+    ]
+  in
+  QCheck.Test.make ~name:"interpreter i32 binops match Int32 reference" ~count:500
+    QCheck.(triple (int_bound (List.length ops - 1)) int32 int32)
+    (fun (opi, a, bv) ->
+      let op, reference = List.nth ops opi in
+      let b = create () in
+      let f = declare b "f" ~params:[ W.I32; W.I32 ] ~results:[ W.I32 ] () in
+      define b f [ get 0; get 1; W.Binop (W.I32, op) ];
+      let m = build b in
+      let inst = Interp.instantiate m in
+      match (Interp.invoke inst "f" [ W.V_i32 a; W.V_i32 bv ], reference a bv) with
+      | Ok [ W.V_i32 got ], Some expected -> Int32.equal got expected
+      | Error Interp.Divide_by_zero, None -> true
+      | _ -> false)
+
+let tests =
+  [
+    Harness.case "validator rejects" test_validator_rejects;
+    Harness.case "validator accepts" test_validator_accepts_builder_modules;
+    Harness.case "interp numerics" test_interp_numerics;
+    Harness.case "interp memory" test_interp_memory;
+    Harness.case "interp control" test_interp_control;
+    Harness.case "interp fuel" test_interp_fuel;
+    Harness.case "builder bookkeeping" test_builder_bookkeeping;
+    Harness.case "host imports" test_host_imports;
+    QCheck_alcotest.to_alcotest prop_i32_binop_reference;
+  ]

@@ -1,0 +1,95 @@
+(* Validation of every benchmark kernel: each suite member is executed at
+   reduced scale in the reference interpreter and compared against the
+   compiled result under the main strategies — a wrong benchmark can never
+   masquerade as a performance result. Layout variants (the native
+   wide-element modules) must agree with their Wasm counterparts. *)
+
+module W = Sfi_wasm.Ast
+module Interp = Sfi_wasm.Interp
+module Strategy = Sfi_core.Strategy
+module Kernel = Sfi_workloads.Kernel
+
+let strategies = [ Strategy.native; Strategy.wasm_default; Strategy.segue ]
+
+let small_args (k : Kernel.t) divisor =
+  [ Int64.of_int (max 1 (Int64.to_int (List.hd k.Kernel.args) / divisor)) ]
+
+let interp_checksum m entry args =
+  let inst = Interp.instantiate m in
+  match Interp.invoke inst entry (List.map (fun v -> W.V_i32 (Int64.to_int32 v)) args) with
+  | Ok [ W.V_i32 v ] -> Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
+  | Ok _ -> Alcotest.fail "unexpected arity"
+  | Error t -> Alcotest.failf "interpreter trap: %s" (Interp.trap_name t)
+
+let check_kernel ?(divisor = 16) ?(vectorize = false) (k : Kernel.t) =
+  let args = small_args k divisor in
+  let expected = interp_checksum (Lazy.force k.Kernel.wasm) k.Kernel.entry args in
+  (* The native-layout variant computes the same function. *)
+  (match k.Kernel.native with
+  | Some nm ->
+      Alcotest.(check int64)
+        (k.Kernel.name ^ " native layout agrees")
+        expected
+        (interp_checksum (Lazy.force nm) k.Kernel.entry args)
+  | None -> ());
+  List.iter
+    (fun strategy ->
+      let r = Kernel.run ~vectorize ~strategy { k with Kernel.args } in
+      Alcotest.(check int64)
+        (Printf.sprintf "%s under %s" k.Kernel.name (Sfi_core.Strategy.name strategy))
+        expected r.Kernel.result)
+    strategies
+
+let suite_case ?divisor ?vectorize kernels () = List.iter (check_kernel ?divisor ?vectorize) kernels
+
+let test_measurement_fields () =
+  let k = Sfi_workloads.Sightglass.random in
+  let r = Kernel.run ~strategy:Strategy.segue { k with Kernel.args = [ 2000L ] } in
+  Alcotest.(check bool) "cycles" true (r.Kernel.cycles > 0);
+  Alcotest.(check bool) "instructions" true (r.Kernel.instructions > 0);
+  Alcotest.(check bool) "static code size" true (r.Kernel.code_bytes > 0);
+  Alcotest.(check bool) "dynamic fetch >= static" true (r.Kernel.fetched_bytes > r.Kernel.code_bytes / 2);
+  Alcotest.(check bool) "simulated time" true (r.Kernel.ns > 0.0)
+
+let test_checksum_guard () =
+  (* A kernel with a wrong expected checksum must fail loudly. *)
+  let k = { Sfi_workloads.Sightglass.fib2 with Kernel.checksum = Some 1L; args = [ 10L ] } in
+  match Kernel.run ~strategy:Strategy.native k with
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions checksum" true
+        (String.length msg > 0
+        && String.split_on_char ' ' msg |> List.exists (fun w -> w = "checksum"))
+  | _ -> Alcotest.fail "checksum mismatch must raise"
+
+let test_firefox_scenarios () =
+  let font s = Sfi_workloads.Firefox.run_font ~strategy:s ~glyphs:300 () in
+  let native = font Strategy.native and segue = font Strategy.segue in
+  Alcotest.(check int64) "font checksums agree" native.Sfi_workloads.Firefox.checksum
+    segue.Sfi_workloads.Firefox.checksum;
+  Alcotest.(check int) "per-glyph invocations" 300 native.Sfi_workloads.Firefox.invocations;
+  let xml s = Sfi_workloads.Firefox.run_xml ~strategy:s ~repeats:2 () in
+  let nx = xml Strategy.native and sx = xml Strategy.wasm_default in
+  Alcotest.(check int64) "xml checksums agree" nx.Sfi_workloads.Firefox.checksum
+    sx.Sfi_workloads.Firefox.checksum;
+  (* The pre-FSGSBASE fallback costs more (sec 4.1). *)
+  let slow = Sfi_workloads.Firefox.run_font ~fsgsbase_available:false ~strategy:Strategy.segue
+      ~glyphs:300 ()
+  in
+  let fast = font Strategy.segue in
+  Alcotest.(check bool) "arch_prctl fallback slower" true
+    (slow.Sfi_workloads.Firefox.total_ns > fast.Sfi_workloads.Firefox.total_ns)
+
+let tests =
+  [
+    Alcotest.test_case "spec2006 kernels" `Slow (suite_case Sfi_workloads.Spec2006.all);
+    Alcotest.test_case "sightglass kernels" `Slow
+      (suite_case ~vectorize:true Sfi_workloads.Sightglass.all);
+    Alcotest.test_case "polybench kernels" `Slow
+      (suite_case ~divisor:4 Sfi_workloads.Polybench.all);
+    Alcotest.test_case "dhrystone kernel" `Slow
+      (suite_case ~divisor:64 [ Sfi_workloads.Polybench.dhrystone ]);
+    Alcotest.test_case "spec2017 kernels" `Slow (suite_case Sfi_workloads.Spec2017.all);
+    Harness.case "measurement fields" test_measurement_fields;
+    Harness.case "checksum guard" test_checksum_guard;
+    Harness.case "firefox scenarios" test_firefox_scenarios;
+  ]

@@ -1,0 +1,144 @@
+(* Tests for the x86-64 ISA model: encoding lengths (the substance behind
+   Table 2 and the frontend cost model) and AST helpers. *)
+
+module X = Sfi_x86.Ast
+module Encode = Sfi_x86.Encode
+
+let len i = Encode.instr_length i
+
+let test_basic_lengths () =
+  (* A plain 32-bit register move: opcode + modrm. *)
+  Alcotest.(check int) "mov eax, ecx" 2 (len (X.Mov (X.W32, X.Reg X.RAX, X.Reg X.RCX)));
+  (* 64-bit adds a REX prefix. *)
+  Alcotest.(check int) "mov rax, rcx" 3 (len (X.Mov (X.W64, X.Reg X.RAX, X.Reg X.RCX)));
+  (* Extended registers force REX even at 32 bits. *)
+  Alcotest.(check int) "mov r10d, ecx" 3 (len (X.Mov (X.W32, X.Reg X.R10, X.Reg X.RCX)));
+  Alcotest.(check int) "ret" 1 (len X.Ret);
+  Alcotest.(check int) "ud2" 2 (len (X.Trap X.Trap_unreachable));
+  Alcotest.(check int) "wrpkru" 3 (len X.Wrpkru);
+  Alcotest.(check int) "wrgsbase" 5 (len (X.Wrgsbase X.RAX));
+  Alcotest.(check int) "jcc rel32" 6 (len (X.Jcc (X.E, "x")));
+  Alcotest.(check int) "label is free" 0 (len (X.Label "x"))
+
+(* The encoding story behind Figure 1 and the astar outlier: the classic
+   lowering needs lea + mov; Segue's single mov carries two extra prefix
+   bytes but replaces both instructions. *)
+let test_segue_encoding_tradeoff () =
+  let base_pattern =
+    [
+      X.Lea (X.W32, X.RDI, X.mem ~base:X.RCX ~index:(X.RDX, X.S4) ~disp:8 ());
+      X.Mov (X.W64, X.Reg X.R11, X.Mem (X.mem ~base:X.R14 ~index:(X.RDI, X.S1) ()));
+    ]
+  in
+  let segue_pattern =
+    [
+      X.Mov
+        ( X.W64,
+          X.Reg X.R11,
+          X.Mem (X.mem ~seg:X.GS ~base:X.RCX ~index:(X.RDX, X.S4) ~disp:8 ~addr32:true ()) );
+    ]
+  in
+  let total p = List.fold_left (fun acc i -> acc + len i) 0 p in
+  Alcotest.(check bool) "segue saves bytes overall" true (total segue_pattern < total base_pattern);
+  (* ...but the single memory instruction itself got longer. *)
+  let plain_mov = X.Mov (X.W64, X.Reg X.R11, X.Mem (X.mem ~base:X.RCX ~index:(X.RDX, X.S4) ~disp:8 ())) in
+  Alcotest.(check int) "seg + addr32 prefixes cost 2 bytes" (len plain_mov + 2)
+    (total segue_pattern)
+
+let test_native_base_is_free () =
+  let plain = X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~base:X.RCX ~disp:8 ())) in
+  let native = X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~base:X.RCX ~disp:8 ~native_base:true ()))
+  in
+  Alcotest.(check int) "native_base adds no prefix bytes" (len plain) (len native)
+
+let test_disp_and_imm_widths () =
+  let small = X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~base:X.RCX ~disp:16 ())) in
+  let large = X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~base:X.RCX ~disp:4096 ())) in
+  Alcotest.(check int) "disp8 vs disp32" 3 (len large - len small);
+  let alu8 = X.Alu (X.Add, X.W32, X.Reg X.RAX, X.Imm 5L) in
+  let alu32 = X.Alu (X.Add, X.W32, X.Reg X.RAX, X.Imm 500L) in
+  Alcotest.(check int) "imm8 vs imm32 in alu" 3 (len alu32 - len alu8);
+  let movabs = X.Mov (X.W64, X.Reg X.RAX, X.Imm 0x1_0000_0000L) in
+  let mov32 = X.Mov (X.W64, X.Reg X.RAX, X.Imm 5L) in
+  Alcotest.(check int) "movabs imm64" 4 (len movabs - len mov32);
+  (* RBP-based addressing always needs a displacement byte. *)
+  let rbp0 = X.Mov (X.W64, X.Reg X.RAX, X.Mem (X.mem ~base:X.RBP ())) in
+  let rcx0 = X.Mov (X.W64, X.Reg X.RAX, X.Mem (X.mem ~base:X.RCX ())) in
+  Alcotest.(check int) "rbp needs disp8" 1 (len rbp0 - len rcx0);
+  (* RSP/R12 bases need a SIB byte. *)
+  let rsp0 = X.Mov (X.W64, X.Reg X.RAX, X.Mem (X.mem ~base:X.RSP ())) in
+  Alcotest.(check int) "rsp needs sib" 1 (len rsp0 - len rcx0)
+
+let test_layout () =
+  let p = [| X.Label "f"; X.Mov (X.W32, X.Reg X.RAX, X.Imm 1L); X.Ret; X.Label "g"; X.Nop |] in
+  let offsets = Encode.layout p in
+  Alcotest.(check int) "label at 0" 0 offsets.(0);
+  Alcotest.(check int) "mov at 0 too" 0 offsets.(1);
+  Alcotest.(check int) "ret after mov" (len p.(1)) offsets.(2);
+  Alcotest.(check int) "labels share next offset" offsets.(4) offsets.(3);
+  Alcotest.(check int) "total" (Encode.program_length p) (offsets.(4) + len p.(4))
+
+let all_conds = [ X.E; X.NE; X.L; X.LE; X.G; X.GE; X.B; X.BE; X.A; X.AE; X.S; X.NS ]
+
+let test_negate_cond () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "negation is an involution" true
+        (X.negate_cond (X.negate_cond c) = c);
+      Alcotest.(check bool) "negation differs" true (X.negate_cond c <> c))
+    all_conds
+
+let test_printer () =
+  let check_pp expected instr =
+    Alcotest.(check string) expected expected (Format.asprintf "%a" X.pp_instr instr)
+  in
+  (* Figure 1c, line 14. *)
+  check_pp "mov r11, gs:[ecx + edx*4 + 0x8]"
+    (X.Mov
+       ( X.W64,
+         X.Reg X.R11,
+         X.Mem (X.mem ~seg:X.GS ~base:X.RCX ~index:(X.RDX, X.S4) ~disp:8 ~addr32:true ()) ));
+  (* Figure 1b, line 12. *)
+  check_pp "lea edi, [ecx + edx*4 + 0x8]"
+    (X.Lea (X.W32, X.RDI, X.mem ~base:X.RCX ~index:(X.RDX, X.S4) ~disp:8 ~addr32:true ()));
+  check_pp "wrgsbase rax" (X.Wrgsbase X.RAX);
+  check_pp "idiv dword ptr [rax]" (X.Div (X.W32, true, X.Mem (X.mem ~base:X.RAX ())))
+
+let test_helpers () =
+  Alcotest.(check bool) "uses_segment" true
+    (X.uses_segment (X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~seg:X.GS ~base:X.RCX ()))));
+  Alcotest.(check bool) "no segment" false
+    (X.uses_segment (X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~base:X.RCX ()))));
+  Alcotest.(check int) "mem_operands counts" 1
+    (List.length (X.mem_operands (X.Push (X.Mem (X.mem ~base:X.RAX ())))));
+  Alcotest.(check int) "lea has no memory access" 0
+    (List.length (X.mem_operands (X.Lea (X.W64, X.RAX, X.mem ~base:X.RCX ()))));
+  List.iter
+    (fun r -> Alcotest.(check bool) "gpr index roundtrip" true (X.gpr_of_index (X.gpr_index r) = r))
+    X.all_gprs
+
+let prop_lengths_positive =
+  QCheck.Test.make ~name:"every non-label instruction encodes to >= 1 byte" ~count:200
+    (QCheck.make
+       (QCheck.Gen.oneofl
+          [
+            X.Nop; X.Ret; X.Wrpkru; X.Rdpkru; X.Cqo X.W64;
+            X.Mov (X.W64, X.Reg X.R13, X.Imm 123456789L);
+            X.Alu (X.Xor, X.W32, X.Reg X.RAX, X.Reg X.RAX);
+            X.Vload (X.XMM 0, X.mem ~base:X.RSI ());
+            X.Hostcall 3; X.Jmp "x"; X.Push (X.Imm 1L); X.Pop X.R9;
+          ]))
+    (fun i -> Encode.instr_length i >= 1)
+
+let tests =
+  [
+    Harness.case "basic lengths" test_basic_lengths;
+    Harness.case "segue encoding tradeoff" test_segue_encoding_tradeoff;
+    Harness.case "native_base free" test_native_base_is_free;
+    Harness.case "disp and imm widths" test_disp_and_imm_widths;
+    Harness.case "layout" test_layout;
+    Harness.case "negate_cond" test_negate_cond;
+    Harness.case "printer" test_printer;
+    Harness.case "helpers" test_helpers;
+    QCheck_alcotest.to_alcotest prop_lengths_positive;
+  ]
