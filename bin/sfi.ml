@@ -176,8 +176,18 @@ let simulate_cmd =
   let processes =
     Arg.(value & opt int 8 & info [ "processes"; "p" ] ~docv:"K" ~doc:"Process count to compare.")
   in
-  let run workload processes =
-    let cfg = Sim.default_config ~workload () in
+  let trap_rate =
+    Arg.(value & opt float 0.0
+         & info [ "trap-rate" ] ~docv:"P" ~doc:"Per-request probability of a trapping handler.")
+  in
+  let runaway_rate =
+    Arg.(value & opt float 0.0
+         & info [ "runaway-rate" ] ~docv:"P"
+             ~doc:"Per-request probability of a runaway (watchdog-killed) handler.")
+  in
+  let run workload processes trap_rate runaway_rate =
+    let faults = { Sim.no_faults with Sim.trap_rate; runaway_rate } in
+    let cfg = Sim.default_config ~workload ~faults () in
     let cg = Sim.run { cfg with Sim.mode = Sim.Colorguard } in
     let mp = Sim.run { cfg with Sim.mode = Sim.Multiprocess processes } in
     Printf.printf "%s, %d in-flight requests, %.0f ms simulated:\n"
@@ -187,13 +197,89 @@ let simulate_cmd =
     Printf.printf "  %2d processes:    %5d served, %8.0f req/s-core, %6d ctx switches, %d dTLB\n"
       processes mp.Sim.completed mp.Sim.capacity_rps mp.Sim.context_switches mp.Sim.dtlb_misses;
     Printf.printf "  per-core efficiency gain: %+.1f%%\n"
-      ((cg.Sim.capacity_rps -. mp.Sim.capacity_rps) /. mp.Sim.capacity_rps *. 100.0)
+      ((cg.Sim.capacity_rps -. mp.Sim.capacity_rps) /. mp.Sim.capacity_rps *. 100.0);
+    if trap_rate > 0.0 || runaway_rate > 0.0 then begin
+      Printf.printf "  faults (trap %.2f, runaway %.2f):\n" trap_rate runaway_rate;
+      Printf.printf
+        "    ColorGuard:   availability %.4f, %d failed, %d watchdog, %d collateral\n"
+        cg.Sim.availability cg.Sim.failed cg.Sim.watchdog_kills cg.Sim.collateral_aborts;
+      Printf.printf
+        "    %2d processes: availability %.4f, %d failed, %d watchdog, %d collateral\n"
+        processes mp.Sim.availability mp.Sim.failed mp.Sim.watchdog_kills
+        mp.Sim.collateral_aborts
+    end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Compare ColorGuard vs multiprocess FaaS scaling.")
-    Term.(const run $ workload $ processes)
+    Term.(const run $ workload $ processes $ trap_rate $ runaway_rate)
+
+(* --- inject ----------------------------------------------------------- *)
+
+let inject_cmd =
+  let strategy_name =
+    Arg.(value & opt (some string) None
+         & info [ "strategy"; "s" ] ~docv:"S"
+             ~doc:"Attack only this strategy (segue, segue-loads, base-reg, bounds-check, mask).")
+  in
+  let self_test =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"Weaken the isolation deliberately and verify the harness detects the escape.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every attempt, not just escapes.")
+  in
+  let run strategy_name self_test verbose =
+    let module Inject = Sfi_inject.Inject in
+    if self_test then begin
+      match Inject.self_test () with
+      | Ok () ->
+          print_endline "self-test passed: weakened isolation was detected as an escape"
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+    end
+    else begin
+      let targets =
+        match strategy_name with
+        | None -> Inject.strategies
+        | Some n -> (
+            match List.filter (fun (name, _) -> name = n) Inject.strategies with
+            | [] ->
+                prerr_endline
+                  ("unknown strategy " ^ n ^ " (segue|segue-loads|base-reg|bounds-check|mask)");
+                exit 1
+            | l -> l)
+      in
+      let reports = List.map (fun (name, s) -> Inject.run_strategy name s) targets in
+      List.iter
+        (fun r ->
+          Format.printf "%a" Inject.pp_report r;
+          if verbose then
+            List.iter
+              (fun (a : Inject.attempt) ->
+                Format.printf "  %-16s %-40s %-8s %a@." a.Inject.a_class a.Inject.a_desc
+                  a.Inject.a_entry Inject.pp_outcome a.Inject.outcome)
+              r.Inject.attempts)
+        reports;
+      let escaped =
+        List.fold_left (fun n r -> n + (Inject.tally r).Inject.escaped) 0 reports
+      in
+      if escaped > 0 then begin
+        Printf.printf "%d escape(s) — containment FAILED\n" escaped;
+        exit 1
+      end
+      else print_endline "zero escapes: all attempts contained or diverged"
+    end
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Run the fault-injection containment harness against the SFI strategies.")
+    Term.(const run $ strategy_name $ self_test $ verbose)
 
 let () =
   let doc = "Segue & ColorGuard SFI toolchain (simulated x86-64)" in
   let info = Cmd.info "sfi" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; disasm_cmd; run_cmd; layout_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; disasm_cmd; run_cmd; layout_cmd; simulate_cmd; inject_cmd ]))

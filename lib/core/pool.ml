@@ -110,6 +110,40 @@ let compute ?(arith = Checked.Checked) ?(defensive = true) p =
   | exception Bad msg -> Error msg
   | exception Checked.Overflow what -> Error ("arithmetic overflow: " ^ what)
 
+type stripe_status =
+  | Striped
+  | Unstriped
+  | Guards_fallback of string
+
+let compute_with_fallback ?(arith = Checked.Checked) ?(defensive = true) (p : params) =
+  if not p.stripe_enabled then
+    match compute ~arith ~defensive p with
+    | Ok l -> Ok (l, Unstriped)
+    | Error _ as e -> (e :> (layout * stripe_status, string) result)
+  else
+    match compute ~arith ~defensive p with
+    | Ok l when l.num_stripes > 1 -> Ok (l, Striped)
+    | Ok l ->
+        (* compute already degraded to a single stripe: striping was
+           requested but could not engage. Name the binding constraint. *)
+        let reason =
+          if p.num_pkeys_available < 2 then "fewer than 2 MPK keys available"
+          else if p.num_slots < 2 then "fewer than 2 slots"
+          else "guard region already covers the isolation distance"
+        in
+        Ok (l, Guards_fallback reason)
+    | Error msg -> (
+        (* Striped layout rejected outright (overflow / invariant failure):
+           retry as a plain guard-region pool — the Invariant 5 path. *)
+        match compute ~arith ~defensive { p with stripe_enabled = false } with
+        | Ok l -> Ok (l, Guards_fallback ("striping rejected: " ^ msg))
+        | Error msg' -> Error msg')
+
+let pp_stripe_status ppf = function
+  | Striped -> Format.pp_print_string ppf "striped"
+  | Unstriped -> Format.pp_print_string ppf "unstriped"
+  | Guards_fallback why -> Format.fprintf ppf "guards fallback (%s)" why
+
 let slot_base l i =
   if i < 0 || i >= l.params.num_slots then invalid_arg "Pool.slot_base: out of range";
   l.pre_slot_guard_bytes + (i * l.slot_bytes)

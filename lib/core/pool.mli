@@ -56,6 +56,27 @@ val compute : ?arith:Checked.mode -> ?defensive:bool -> params -> (layout, strin
     (Table 1, invariants 7-10); pass false to model the pre-verification
     allocator, whose property tests the invariant checker can then fail. *)
 
+type stripe_status =
+  | Striped  (** MPK striping engaged ([num_stripes > 1]) *)
+  | Unstriped  (** striping was never requested *)
+  | Guards_fallback of string
+      (** striping was requested but could not engage (key/slot budget, or
+          the striped layout was rejected); the layout isolates with guard
+          regions alone — the Invariant 5 degradation path (§5.1). The
+          string names the binding constraint. *)
+
+val compute_with_fallback :
+  ?arith:Checked.mode ->
+  ?defensive:bool ->
+  params ->
+  (layout * stripe_status, string) result
+(** Like {!compute}, but when a striped layout is rejected, retry with
+    [stripe_enabled = false] instead of failing — runtimes degrade to
+    guard-region isolation rather than refusing to boot. Only a layout
+    that fails even without striping returns [Error]. *)
+
+val pp_stripe_status : Format.formatter -> stripe_status -> unit
+
 val slot_base : layout -> int -> int
 (** Byte offset of slot [i]'s linear memory within the slab. Raises
     [Invalid_argument] when out of range. *)

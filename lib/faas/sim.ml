@@ -9,6 +9,16 @@ module Units = Sfi_util.Units
 
 type mode = Colorguard | Multiprocess of int
 
+type fault_model = {
+  trap_rate : float;
+  runaway_rate : float;
+  deadline_epochs : int;
+  respawn_ns : float;
+}
+
+let no_faults =
+  { trap_rate = 0.0; runaway_rate = 0.0; deadline_epochs = 8; respawn_ns = 500_000.0 }
+
 type config = {
   mode : mode;
   workload : Workloads.t;
@@ -17,10 +27,12 @@ type config = {
   io_mean_ns : float;
   epoch_ns : float;
   os_switch_ns : float;
+  faults : fault_model;
   seed : int64;
 }
 
-let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance) () =
+let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
+    ?(faults = no_faults) () =
   {
     mode;
     workload;
@@ -29,12 +41,19 @@ let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance) () 
     io_mean_ns = 5.0e6;
     epoch_ns = 1.0e6;
     os_switch_ns = 5000.0;
+    faults;
     seed = 0x5EEDL;
   }
 
 type result = {
   completed : int;
+  failed : int;
+  watchdog_kills : int;
+  collateral_aborts : int;
+  recycles : int;
   throughput_rps : float;
+  goodput_rps : float;
+  availability : float;
   capacity_rps : float;
   context_switches : int;
   user_transitions : int;
@@ -47,7 +66,7 @@ type result = {
 type request = {
   id : int;
   proc : int;
-  inst : Runtime.instance;
+  mutable inst : Runtime.instance;
   mutable ready_at : float;
   mutable act : Runtime.activation option;
   mutable seq : int; (* per-slot completion count, seeds the next request *)
@@ -79,8 +98,10 @@ let fresh_engines cfg m =
         }
       in
       let layout =
-        match Pool.compute params with
-        | Ok l -> l
+        (* Degrade stripes -> guards rather than refusing to serve when the
+           striped layout is rejected (key budget, overflow). *)
+        match Pool.compute_with_fallback params with
+        | Ok (l, _status) -> l
         | Error msg -> failwith ("Sim: pool layout: " ^ msg)
       in
       let compiled =
@@ -99,6 +120,8 @@ let run cfg =
        5 ms mean — "to model typical network request patterns". *)
     Prng.exponential rng ~mean:cfg.io_mean_ns
   in
+  let f = cfg.faults in
+  let has_faults = f.trap_rate > 0.0 || f.runaway_rate > 0.0 in
   let requests =
     Array.init cfg.concurrency (fun id ->
         let proc = id mod nprocs in
@@ -115,9 +138,14 @@ let run cfg =
   let cycles_of_ns ns = Cost.cycles_of_ns cost ns in
   let ns_of_cycles c = Cost.ns_of_cycles cost c in
   let epoch_fuel = cycles_of_ns cfg.epoch_ns in
+  let deadline_fuel = if has_faults then Some (f.deadline_epochs * epoch_fuel) else None in
   let clock = ref 0.0 in
   let busy = ref 0.0 in
   let completed = ref 0 in
+  let failed = ref 0 in
+  let watchdog_kills = ref 0 in
+  let collateral = ref 0 in
+  let recycles = ref 0 in
   let checksum = ref 0L in
   let context_switches = ref 0 in
   let current_proc = ref 0 in
@@ -131,26 +159,93 @@ let run cfg =
     busy := !busy +. delta;
     engine_cycles.(proc) <- c
   in
+  (* Which handler serves this request: the per-request fault model draws
+     a misbehaving one with the configured probabilities. *)
+  let draw_entry () =
+    if not has_faults then "handle"
+    else begin
+      let x = Prng.float rng 1.0 in
+      if x < f.trap_rate then "misbehave_trap"
+      else if x < f.trap_rate +. f.runaway_rate then "misbehave_spin"
+      else "handle"
+    end
+  in
+  (* Crash recovery: the request's instance is dead; get a fresh slot via
+     the bounded retry queue. Returns false while the request must wait. *)
+  let ensure_instance r =
+    if Runtime.live r.inst then true
+    else begin
+      match Runtime.instantiate_queued engines.(r.proc) ~ticket:r.id with
+      | `Ready inst ->
+          incr recycles;
+          r.inst <- inst;
+          true
+      | `Wait | `Rejected ->
+          r.ready_at <- !clock +. cfg.epoch_ns;
+          false
+    end
+  in
+  (* Blast radius of a crash. Under multiprocess scaling a trap is a process
+     death: every co-resident instance dies and its in-flight request is
+     aborted. Under ColorGuard only the faulting instance is torn down. *)
+  let crash_process proc ~except =
+    Array.iter
+      (fun r2 ->
+        if r2.proc = proc && r2.id <> except then begin
+          if r2.act <> None then begin
+            incr collateral;
+            r2.act <- None
+          end;
+          if Runtime.live r2.inst then Runtime.kill r2.inst;
+          r2.ready_at <- !clock +. f.respawn_ns
+        end)
+      requests;
+    clock := !clock +. f.respawn_ns;
+    busy := !busy +. f.respawn_ns
+  in
+  let fail_request r ~is_crash =
+    incr failed;
+    r.act <- None;
+    r.seq <- r.seq + 1;
+    (match cfg.mode with
+    | Multiprocess _ when is_crash -> crash_process r.proc ~except:r.id
+    | _ -> ());
+    r.ready_at <- !clock +. io_delay ()
+  in
   let run_request r =
-    let act =
-      match r.act with
-      | Some a -> a
-      | None ->
-          let seed = Int64.of_int (1 + r.id + (r.seq * 8191)) in
-          let a = Runtime.start_call r.inst "handle" [ seed ] in
-          r.act <- Some a;
-          a
-    in
-    (match Runtime.step act ~fuel:epoch_fuel with
-    | `Done v ->
-        incr completed;
-        checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL);
-        r.act <- None;
-        r.seq <- r.seq + 1;
-        r.ready_at <- !clock +. io_delay ()
-    | `Trapped k -> failwith ("Sim: request trapped: " ^ Sfi_x86.Ast.trap_name k)
-    | `More -> () (* preempted; stays ready *));
-    charge r.proc
+    if ensure_instance r then begin
+      let act =
+        match r.act with
+        | Some a -> a
+        | None ->
+            let seed = Int64.of_int (1 + r.id + (r.seq * 8191)) in
+            let a = Runtime.start_call ?deadline_fuel r.inst (draw_entry ()) [ seed ] in
+            r.act <- Some a;
+            a
+      in
+      (match Runtime.step act ~fuel:epoch_fuel with
+      | `Done v ->
+          incr completed;
+          checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL);
+          r.act <- None;
+          r.seq <- r.seq + 1;
+          r.ready_at <- !clock +. io_delay ()
+      | `Trapped _ ->
+          (* The sandbox crashed; Runtime.step already killed the instance
+             and recycled its slot. The request failed — count it, never
+             abort the simulation. *)
+          fail_request r ~is_crash:true
+      | `Fault Runtime.Fuel_exhausted ->
+          (* Watchdog kill: runaway loop exceeded its deadline. *)
+          incr watchdog_kills;
+          fail_request r ~is_crash:false
+      | `Fault _ ->
+          (* Instance died under us (e.g. collateral of a neighbour's
+             crash); retry on a fresh instance. *)
+          fail_request r ~is_crash:false
+      | `More -> () (* preempted; stays ready *));
+      charge r.proc
+    end
   in
   let ready_in proc =
     let found = ref None in
@@ -208,9 +303,17 @@ let run cfg =
   let dtlb_misses =
     Array.fold_left (fun acc e -> acc + Machine.dtlb_misses (Runtime.machine e)) 0 engines
   in
+  let attempts = !completed + !failed + !collateral in
   {
     completed = !completed;
-    throughput_rps = float_of_int !completed /. (!clock /. 1.0e9);
+    failed = !failed;
+    watchdog_kills = !watchdog_kills;
+    collateral_aborts = !collateral;
+    recycles = !recycles;
+    throughput_rps = float_of_int attempts /. (!clock /. 1.0e9);
+    goodput_rps = float_of_int !completed /. (!clock /. 1.0e9);
+    availability =
+      (if attempts = 0 then 1.0 else float_of_int !completed /. float_of_int attempts);
     capacity_rps = float_of_int !completed /. (!busy /. 1.0e9);
     context_switches = !context_switches;
     user_transitions;
@@ -228,3 +331,12 @@ let throughput_gain ~workload ~processes cfg =
   let cg = run { cfg with mode = Colorguard; workload } in
   let mp = run { cfg with mode = Multiprocess processes; workload } in
   (cg.capacity_rps -. mp.capacity_rps) /. mp.capacity_rps *. 100.0
+
+let degraded_mode ~workload ~processes ~trap_rate cfg =
+  (* The Fig. 6 comparison re-run with misbehaving tenants: same load, same
+     fault rate, two isolation strategies. ColorGuard pays one instance per
+     crash; multiprocess loses every co-resident in-flight request. *)
+  let faults = { cfg.faults with trap_rate } in
+  let cg = run { cfg with mode = Colorguard; workload; faults } in
+  let mp = run { cfg with mode = Multiprocess processes; workload; faults } in
+  (cg, mp)

@@ -15,9 +15,28 @@
       paying a context-switch cost and a TLB flush per switch.
 
     Compute is real: the workload modules execute on the machine, so dTLB
-    misses (Figure 7b) come out of the TLB model rather than a formula. *)
+    misses (Figure 7b) come out of the TLB model rather than a formula.
+
+    The {!fault_model} adds misbehaving tenants: with per-request
+    probabilities a request runs a trapping or runaway handler instead of
+    [handle]. Faults are contained — a trap kills only the offending
+    instance (ColorGuard) or its whole process (multiprocess, the blast
+    radius), a runaway loop is stopped by the epoch watchdog, and the
+    simulation always runs to completion, reporting availability. *)
 
 type mode = Colorguard | Multiprocess of int  (** process count (1-15) *)
+
+type fault_model = {
+  trap_rate : float;  (** per-request probability of a trapping handler *)
+  runaway_rate : float;  (** per-request probability of an infinite loop *)
+  deadline_epochs : int;
+      (** watchdog: epochs a request may consume before being killed *)
+  respawn_ns : float;  (** cost to restart a crashed process (multiprocess) *)
+}
+
+val no_faults : fault_model
+(** Zero fault rates (the legacy behavior); deadline 8 epochs, respawn
+    0.5 ms. *)
 
 type config = {
   mode : mode;
@@ -27,17 +46,29 @@ type config = {
   io_mean_ns : float;  (** mean IO delay (paper: 5 ms) *)
   epoch_ns : float;  (** preemption epoch (paper: 1 ms) *)
   os_switch_ns : float;  (** OS context-switch direct cost *)
+  faults : fault_model;
   seed : int64;
 }
 
-val default_config : ?mode:mode -> ?workload:Workloads.t -> unit -> config
+val default_config :
+  ?mode:mode -> ?workload:Workloads.t -> ?faults:fault_model -> unit -> config
 (** concurrency 128, duration 20 ms, IO mean 5 ms, epoch 1 ms, OS switch
     5 us (direct + indirect cost of a Linux process switch), ColorGuard,
-    hash workload. *)
+    hash workload, no faults. *)
 
 type result = {
-  completed : int;
-  throughput_rps : float;  (** completions per simulated wall-clock second *)
+  completed : int;  (** requests that finished successfully *)
+  failed : int;  (** requests killed by a trap or the watchdog *)
+  watchdog_kills : int;  (** subset of [failed] stopped by the deadline *)
+  collateral_aborts : int;
+      (** in-flight requests aborted because a co-resident tenant crashed
+          their shared process — the blast radius; always 0 for ColorGuard *)
+  recycles : int;  (** instances re-created on recycled slots after kills *)
+  throughput_rps : float;
+      (** requests retired (successfully or not) per simulated second *)
+  goodput_rps : float;  (** successful completions per simulated second *)
+  availability : float;
+      (** completed / (completed + failed + collateral_aborts) *)
   capacity_rps : float;
       (** completions per CPU-busy second — the per-core efficiency that
           Figure 6's throughput-gain percentages compare *)
@@ -52,9 +83,23 @@ type result = {
 }
 
 val run : config -> result
-(** Raises [Failure] if a request traps. *)
+(** Always runs to completion: sandbox misbehavior (traps, runaway loops,
+    crashed processes) is contained and reported in the counters, never
+    re-raised to the caller. *)
 
 val throughput_gain : workload:Workloads.t -> processes:int -> config -> float
 (** Percent throughput advantage of ColorGuard over [processes]-process
     scaling for the same load — one point of Figure 6. The [config] supplies
     everything except mode/workload. *)
+
+val degraded_mode :
+  workload:Workloads.t ->
+  processes:int ->
+  trap_rate:float ->
+  config ->
+  result * result
+(** Run the Figure 6 comparison with misbehaving tenants at [trap_rate]:
+    [(colorguard, multiprocess)] results under identical load and faults.
+    The interesting deltas are [availability] and [collateral_aborts] — the
+    per-process blast radius multiprocess pays that per-instance recovery
+    avoids. *)

@@ -10,6 +10,20 @@ open Sfi_wasm.Builder
 
 type t = Templating | Hash_balance | Regex_filter
 
+(* Misbehaving request handlers, same signature as [handle]. Every workload
+   module exports both, so the fault-injecting simulator can dispatch a
+   request to them with a per-request probability:
+   - [misbehave_trap] reaches far outside the linear memory — under guard
+     regions it lands in unmapped space, under ColorGuard striping in a
+     differently-colored stripe, under bounds checks/masking it fails the
+     check: a trap under every strategy;
+   - [misbehave_spin] never terminates — only the epoch watchdog stops it. *)
+let add_misbehavior b =
+  let t = declare b "misbehave_trap" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b t [ i32 0x7FF0_0000; load32 () ];
+  let s = declare b "misbehave_spin" ~params:[ W.I32 ] ~results:[ W.I32 ] () in
+  define b s (while_loop [ i32 1 ] [] @ [ get 0 ])
+
 let name = function
   | Templating -> "HTML templating"
   | Hash_balance -> "Hash load-balance"
@@ -76,6 +90,7 @@ let templating_module () =
           get pos; i32 1; add; set pos;
         ]
     @ [ get acc ]);
+  add_misbehavior b;
   build b
 
 (* --- hash-based load balancing ------------------------------------------ *)
@@ -104,6 +119,7 @@ let hash_module () =
             get backend; get h; bxor; set backend;
           ])
     @ [ get backend ]);
+  add_misbehavior b;
   build b
 
 (* --- regex filtering ------------------------------------------------------ *)
@@ -186,6 +202,7 @@ let regex_module () =
               get i; i32 1; add; set i;
             ])
     @ [ get st; get ulen; add ]);
+  add_misbehavior b;
   build b
 
 let module_of = function

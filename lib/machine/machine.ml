@@ -16,6 +16,8 @@ type counters = {
 
 type status = Halted | Trapped of trap_kind | Yielded
 
+type fault_info = { fault_addr : int; fault_write : bool }
+
 exception Hostcall_exit of int
 exception Trap_exn of trap_kind
 
@@ -51,6 +53,7 @@ type t = {
   mutable space_generation : int;
   mutable fetch_accum : int;
   counters : counters;
+  mutable last_fault : fault_info option;
   mutable hostcall : t -> int -> unit;
 }
 
@@ -94,6 +97,7 @@ let create ?(cost = Cost.default) ?(tlb = Tlb.default_config) ?(code_base = defa
     space_generation = Space.generation space;
     fetch_accum = 0;
     counters = fresh_counters ();
+    last_fault = None;
     hostcall = (fun _ n -> invalid_arg (Printf.sprintf "no hostcall handler (hostcall %d)" n));
   }
 
@@ -238,12 +242,16 @@ let touch_dcache t addr =
       Tlb.fill t.dcache ~page:line ~payload:0
 
 let check_access t ~addr ~len ~write =
-  check_tlb_generation t;
-  let first = addr lsr 12 and last = (addr + len - 1) lsr 12 in
-  check_page t ~page:first ~write;
-  if last <> first then check_page t ~page:last ~write;
-  touch_dcache t addr;
-  if (addr + len - 1) lsr 6 <> addr lsr 6 then touch_dcache t (addr + len - 1)
+  try
+    check_tlb_generation t;
+    let first = addr lsr 12 and last = (addr + len - 1) lsr 12 in
+    check_page t ~page:first ~write;
+    if last <> first then check_page t ~page:last ~write;
+    touch_dcache t addr;
+    if (addr + len - 1) lsr 6 <> addr lsr 6 then touch_dcache t (addr + len - 1)
+  with Trap_exn _ as e ->
+    t.last_fault <- Some { fault_addr = addr; fault_write = write };
+    raise e
 
 let load_mem t w addr =
   check_access t ~addr ~len:(width_bytes w) ~write:false;
@@ -633,8 +641,11 @@ let step t =
   t.pc <- !next_pc
 
 let start t ~entry =
+  t.last_fault <- None;
   t.pc <- label_index t entry;
   push64 t halt_sentinel
+
+let last_fault_info t = t.last_fault
 
 let run t ~fuel =
   let budget = ref fuel in

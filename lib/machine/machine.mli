@@ -29,6 +29,12 @@ type status =
   | Trapped of Sfi_x86.Ast.trap_kind
   | Yielded  (** fuel exhausted; {!run} may be called again to continue *)
 
+type fault_info = { fault_addr : int; fault_write : bool }
+(** Metadata for the most recent memory-access trap: the faulting virtual
+    address and whether the access was a write. The runtime attributes the
+    address to a slot, guard region, or host memory — the information a
+    real SIGSEGV handler reads from [siginfo_t]. *)
+
 exception Hostcall_exit of int
 (** A hostcall handler may raise this to terminate the program (WASI
     [proc_exit]-style); {!run} returns [Halted]. *)
@@ -89,6 +95,10 @@ val run : t -> fuel:int -> status
 
 val execute : t -> entry:string -> ?fuel:int -> unit -> status
 (** [start] + [run] with a large default budget (2^30 instructions). *)
+
+val last_fault_info : t -> fault_info option
+(** Metadata for the most recent access trap, or [None] if no access has
+    trapped since the last {!start}. *)
 
 (** {1 Counters} *)
 

@@ -11,6 +11,20 @@ module Strategy = Sfi_core.Strategy
 
 type trap = X.trap_kind
 
+type fault =
+  | Trap of trap
+  | Fuel_exhausted
+  | Pool_exhausted
+  | Instance_dead
+
+exception Fault of fault
+
+let fault_name = function
+  | Trap k -> "trap:" ^ X.trap_name k
+  | Fuel_exhausted -> "fuel-exhausted"
+  | Pool_exhausted -> "pool-exhausted"
+  | Instance_dead -> "instance-dead"
+
 type allocator = Simple of { reservation : int } | Pool of Pool.layout
 
 (* Fixed address-space plan (within the 47-bit user space):
@@ -40,6 +54,8 @@ type engine = {
   mutable current : instance option;
   transition_overhead_cycles : int;
   mutable transitions : int;
+  retry_capacity : int;
+  waiters : int Queue.t; (* tickets waiting for a slot, FIFO *)
 }
 
 and instance = {
@@ -167,7 +183,8 @@ let hostcall_handler e m id =
 
 let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
     ?(allocator = Simple { reservation = 4 * Sfi_util.Units.gib })
-    ?(transition_overhead_cycles = 55) ?code_base (compiled : Codegen.compiled) =
+    ?(transition_overhead_cycles = 55) ?(retry_queue_capacity = 64) ?code_base
+    (compiled : Codegen.compiled) =
   let space = Space.create ?max_map_count () in
   let machine = Machine.create ?cost ?tlb ~fsgsbase_available ?code_base space in
   Machine.load_program machine compiled.Codegen.program;
@@ -205,6 +222,8 @@ let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
       current = None;
       transition_overhead_cycles;
       transitions = 0;
+      retry_capacity = retry_queue_capacity;
+      waiters = Queue.create ();
     }
   in
   Machine.set_hostcall_handler machine (fun m id -> hostcall_handler e m id);
@@ -224,18 +243,20 @@ let slot_heap_base e slot =
 let slot_color e slot =
   match e.allocator with Simple _ -> 0 | Pool layout -> Pool.color_of_slot layout slot
 
-let instantiate e =
-  let slot =
-    match e.free_slots with
-    | s :: rest ->
-        e.free_slots <- rest;
-        s
-    | [] ->
-        if e.next_slot >= e.max_slots then failwith "Runtime.instantiate: pool exhausted";
+let claim_slot e =
+  match e.free_slots with
+  | s :: rest ->
+      e.free_slots <- rest;
+      Some s
+  | [] ->
+      if e.next_slot >= e.max_slots then None
+      else begin
         let s = e.next_slot in
         e.next_slot <- s + 1;
-        s
-  in
+        Some s
+      end
+
+let instantiate_slot e slot =
   let m = e.compiled.Codegen.source in
   let min_pages, max_pages =
     match m.W.memory with
@@ -298,6 +319,43 @@ let instantiate e =
     m.W.data;
   inst
 
+let try_instantiate e =
+  match claim_slot e with
+  | None -> Error Pool_exhausted
+  | Some slot -> Ok (instantiate_slot e slot)
+
+let instantiate e =
+  match try_instantiate e with Ok inst -> inst | Error f -> raise (Fault f)
+
+let queue_contains q ticket = Queue.fold (fun acc t -> acc || t = ticket) false q
+
+let instantiate_queued e ~ticket =
+  (* Only the queue head (or a newcomer arriving at an empty queue) may
+     claim a slot; everyone else keeps their FIFO position. *)
+  let queued = queue_contains e.waiters ticket in
+  let is_head = Queue.peek_opt e.waiters = Some ticket in
+  if is_head || ((not queued) && Queue.is_empty e.waiters) then
+    match try_instantiate e with
+    | Ok inst ->
+        if is_head then ignore (Queue.pop e.waiters);
+        `Ready inst
+    | Error Pool_exhausted ->
+        if queued then `Wait
+        else if Queue.length e.waiters >= e.retry_capacity then `Rejected
+        else begin
+          Queue.push ticket e.waiters;
+          `Wait
+        end
+    | Error f -> raise (Fault f)
+  else if queued then `Wait
+  else if Queue.length e.waiters >= e.retry_capacity then `Rejected
+  else begin
+    Queue.push ticket e.waiters;
+    `Wait
+  end
+
+let waiting e = Queue.length e.waiters
+
 let release inst =
   let e = inst.engine in
   if inst.live then begin
@@ -305,8 +363,26 @@ let release inst =
     if inst.pages > 0 then
       ok_exn "madvise release"
         (Space.madvise_dontneed e.space ~addr:inst.heap ~len:(inst.pages * wasm_page));
+    (match e.current with Some i when i == inst -> e.current <- None | _ -> ());
     e.free_slots <- inst.id :: e.free_slots
   end
+
+let kill inst =
+  let e = inst.engine in
+  if inst.live then begin
+    inst.live <- false;
+    (* Drop page contents first, then fence everything the slot ever mapped
+       to PROT_NONE so a stale activation faults instead of reading the next
+       tenant's memory. A fresh [instantiate] of the slot re-opens it. *)
+    if inst.pages > 0 then
+      ok_exn "madvise kill"
+        (Space.madvise_dontneed e.space ~addr:inst.heap ~len:(inst.pages * wasm_page));
+    set_accessible e inst ~pages:0;
+    (match e.current with Some i when i == inst -> e.current <- None | _ -> ());
+    e.free_slots <- inst.id :: e.free_slots
+  end
+
+let live inst = inst.live
 
 let read_memory inst ~addr ~len =
   Bytes.to_string (Space.read_bytes inst.engine.space ~addr:(inst.heap + addr) ~len)
@@ -338,7 +414,18 @@ let prepare_call inst name args =
   (* The native baseline's "absolute pointers": the base is implicit. *)
   if (strategy e).Strategy.addressing = Strategy.Direct then
     Machine.set_seg_base m X.GS inst.heap;
-  Machine.set_pkru m Mpk.allow_all;
+  (* Fail-closed PKRU: under ColorGuard, enter the call with the sandbox
+     image already installed (the entry-sequence [wrpkru] then re-writes the
+     same value). A mutant that skips the entry [wrpkru] therefore runs
+     restricted rather than with the host's all-access rights — modeling a
+     trampoline that switches PKRU before jumping to untrusted code. The
+     host stack and vmctx stay reachable (key 0). *)
+  let entry_pkru =
+    if e.compiled.Codegen.config.Codegen.colorguard && inst.inst_color <> 0 then
+      Mpk.allow_only [ Mpk.default_key; inst.inst_color ]
+    else Mpk.allow_all
+  in
+  Machine.set_pkru m entry_pkru;
   (* Caller-side argument pushes. *)
   let rsp = ref inst.stack_top in
   List.iter
@@ -361,39 +448,95 @@ let finish e status =
   | Machine.Yielded -> `More
 
 let invoke ?(fuel = 1 lsl 30) inst name args =
+  if not inst.live then raise (Fault Instance_dead);
   prepare_call inst name args;
   match finish inst.engine (Machine.run inst.engine.machine ~fuel) with
   | `Done v -> Ok v
   | `Trapped k -> Error k
-  | `More -> failwith "Runtime.invoke: fuel exhausted"
+  | `More -> raise (Fault Fuel_exhausted)
+
+let invoke_protected ?(fuel = 1 lsl 30) inst name args =
+  if not inst.live then Error Instance_dead
+  else begin
+    prepare_call inst name args;
+    match finish inst.engine (Machine.run inst.engine.machine ~fuel) with
+    | `Done v -> Ok v
+    | `Trapped k ->
+        kill inst;
+        Error (Trap k)
+    | `More ->
+        kill inst;
+        Error Fuel_exhausted
+  end
 
 type activation = {
   act_inst : instance;
   mutable ctx : Machine.context option;
   mutable done_ : bool;
+  deadline : int option; (* fuel budget across the whole activation *)
+  mutable spent : int; (* fuel consumed so far *)
 }
 
-let start_call inst name args =
+let start_call ?deadline_fuel inst name args =
+  if not inst.live then raise (Fault Instance_dead);
   prepare_call inst name args;
   let ctx = Machine.save_context inst.engine.machine in
-  { act_inst = inst; ctx = Some ctx; done_ = false }
+  { act_inst = inst; ctx = Some ctx; done_ = false; deadline = deadline_fuel; spent = 0 }
 
 let step act ~fuel =
   if act.done_ then invalid_arg "Runtime.step: activation already finished";
-  let e = act.act_inst.engine in
-  let m = e.machine in
-  (match act.ctx with Some c -> Machine.restore_context m c | None -> ());
-  e.current <- Some act.act_inst;
-  match finish e (Machine.run m ~fuel) with
-  | `Done v ->
-      act.done_ <- true;
-      `Done v
-  | `Trapped k ->
-      act.done_ <- true;
-      `Trapped k
-  | `More ->
-      act.ctx <- Some (Machine.save_context m);
-      `More
+  if not act.act_inst.live then begin
+    act.done_ <- true;
+    `Fault Instance_dead
+  end
+  else begin
+    let e = act.act_inst.engine in
+    let m = e.machine in
+    (match act.ctx with Some c -> Machine.restore_context m c | None -> ());
+    e.current <- Some act.act_inst;
+    match finish e (Machine.run m ~fuel) with
+    | `Done v ->
+        act.done_ <- true;
+        `Done v
+    | `Trapped k ->
+        act.done_ <- true;
+        kill act.act_inst;
+        `Trapped k
+    | `More -> (
+        act.ctx <- Some (Machine.save_context m);
+        act.spent <- act.spent + fuel;
+        (* Watchdog: a runaway activation that overruns its epoch deadline
+           is killed rather than rescheduled forever. *)
+        match act.deadline with
+        | Some limit when act.spent >= limit ->
+            act.done_ <- true;
+            kill act.act_inst;
+            `Fault Fuel_exhausted
+        | _ -> `More)
+  end
+
+let last_fault_info e = Machine.last_fault_info e.machine
+
+let attribute_address e addr =
+  if addr < slab_base then `Host
+  else begin
+    let stride, accessible, pre =
+      match e.allocator with
+      | Simple { reservation } -> (reservation + (4 * Sfi_util.Units.gib), reservation, 0)
+      | Pool layout ->
+          ( layout.Pool.slot_bytes,
+            layout.Pool.params.Pool.max_memory_bytes,
+            layout.Pool.pre_slot_guard_bytes )
+    in
+    let off = addr - slab_base - pre in
+    if off < 0 then `Guard 0
+    else begin
+      let slot = off / stride in
+      if slot >= e.max_slots then `Guard (e.max_slots - 1)
+      else if off mod stride < accessible then `Slot slot
+      else `Guard slot
+    end
+  end
 
 let transitions e = e.transitions
 let elapsed_ns e = Machine.elapsed_ns e.machine

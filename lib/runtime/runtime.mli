@@ -18,6 +18,25 @@ type instance
 
 type trap = Sfi_x86.Ast.trap_kind
 
+(** {1 Faults}
+
+    Sandbox misbehavior is a typed, recoverable condition — never a bare
+    [Failure] escaping to the host. A faulting instance is killed and its
+    slot recycled; the engine keeps serving. *)
+
+type fault =
+  | Trap of trap  (** the sandbox executed a trapping instruction *)
+  | Fuel_exhausted  (** watchdog: the call overran its fuel deadline *)
+  | Pool_exhausted  (** no free slot and the retry queue is full *)
+  | Instance_dead  (** the instance was killed by an earlier fault *)
+
+exception Fault of fault
+(** Raised only by the non-[result] entry points ({!instantiate},
+    {!invoke} on fuel exhaustion); {!invoke_protected} and
+    {!try_instantiate} return faults as values. *)
+
+val fault_name : fault -> string
+
 type allocator =
   | Simple of { reservation : int }
       (** one private reservation per instance (base stride
@@ -41,6 +60,7 @@ val create_engine :
   ?max_map_count:int ->
   ?allocator:allocator ->
   ?transition_overhead_cycles:int ->
+  ?retry_queue_capacity:int ->
   ?code_base:int ->
   Sfi_core.Codegen.compiled ->
   engine
@@ -65,13 +85,37 @@ val register_import : engine -> string -> (instance -> int64 array -> int64) -> 
 val instantiate : engine -> instance
 (** Allocate the next free slot, map the initial linear memory (colored
     under a striped pool), write the vmctx, copy data segments, and run the
-    start function if any. Raises [Failure] when the pool is exhausted or
-    mapping fails. *)
+    start function if any. Raises {!Fault}[ Pool_exhausted] when no slot is
+    free, [Failure] if mapping fails. *)
+
+val try_instantiate : engine -> (instance, fault) result
+(** Like {!instantiate} but returns [Error Pool_exhausted] instead of
+    raising. *)
+
+val instantiate_queued :
+  engine -> ticket:int -> [ `Ready of instance | `Wait | `Rejected ]
+(** Admission with a bounded FIFO retry queue instead of failing: when no
+    slot is free the caller's [ticket] is queued ([`Wait]) up to the
+    engine's [retry_queue_capacity], beyond which new tickets are
+    [`Rejected] (load shedding). Re-present the same ticket after slots are
+    recycled; the queue head claims the next free slot. *)
+
+val waiting : engine -> int
+(** Tickets currently parked in the retry queue. *)
 
 val release : instance -> unit
 (** Recycle the instance's slot: [madvise(MADV_DONTNEED)] the memory (MPK
     colors survive in the PTEs — the §7 contrast with MTE) and return it to
     the allocator's free list. *)
+
+val kill : instance -> unit
+(** Crash-recovery teardown: drop the slot's page contents, fence every
+    page it ever mapped to PROT_NONE (so a stale activation faults rather
+    than touching the next tenant), and recycle slot and color. Idempotent;
+    the engine keeps serving other instances. *)
+
+val live : instance -> bool
+(** False once the instance has been released or killed. *)
 
 val instance_id : instance -> int
 val heap_base : instance -> int
@@ -85,17 +129,46 @@ val write_memory : instance -> addr:int -> string -> unit
 
 val invoke : ?fuel:int -> instance -> string -> int64 list -> (int64, trap) result
 (** Call an export; the result is the raw 64-bit return register (0 for
-    void functions). Raises [Not_found] for unknown exports. *)
+    void functions). Raises [Not_found] for unknown exports, {!Fault} on
+    fuel exhaustion or a dead instance. The instance survives a trap (the
+    caller decides); use {!invoke_protected} for crash-recovery
+    semantics. *)
+
+val invoke_protected : ?fuel:int -> instance -> string -> int64 list -> (int64, fault) result
+(** Fault-containing call: any sandbox misbehavior (trap, fuel exhaustion)
+    kills the instance, recycles its slot, and comes back as [Error] —
+    nothing sandbox-attributable escapes as a host exception. *)
 
 (** {2 Epoch-style preemptible calls (§6.4.3)} *)
 
 type activation
 
-val start_call : instance -> string -> int64 list -> activation
-val step : activation -> fuel:int -> [ `Done of int64 | `Trapped of trap | `More ]
+val start_call : ?deadline_fuel:int -> instance -> string -> int64 list -> activation
+(** [deadline_fuel] arms the watchdog: once the activation has consumed
+    that much fuel across its epochs without finishing, the next {!step}
+    kills the instance and reports [`Fault Fuel_exhausted]. *)
+
+val step :
+  activation ->
+  fuel:int ->
+  [ `Done of int64 | `Trapped of trap | `More | `Fault of fault ]
 (** Run up to [fuel] instructions of the activation, saving/restoring the
     machine context around it — the user-level context switch. [`More]
-    means the epoch expired; call {!step} again later. *)
+    means the epoch expired; call {!step} again later. [`Trapped] kills
+    the instance (slot recycled) before returning; [`Fault] reports a
+    watchdog kill ([Fuel_exhausted]) or a stepped-after-death activation
+    ([Instance_dead]). *)
+
+(** {1 Fault attribution} *)
+
+val last_fault_info : engine -> Sfi_machine.Machine.fault_info option
+(** The faulting address/direction of the most recent access trap on this
+    engine's machine, as a SIGSEGV handler would read from [siginfo_t]. *)
+
+val attribute_address : engine -> int -> [ `Slot of int | `Guard of int | `Host ]
+(** Attribute a virtual address to a linear-memory slot, the guard region
+    after a slot, or host memory — turning a faulting address into "which
+    tenant misbehaved". *)
 
 (** {1 Metrics} *)
 

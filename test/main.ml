@@ -7,7 +7,9 @@ let () =
       ("machine", Test_machine.tests);
       ("wasm", Test_wasm.tests);
       ("pool", Test_pool.tests);
+      ("checked", Test_checked.tests);
       ("runtime", Test_runtime.tests);
+      ("inject", Test_inject.tests);
       ("lfi", Test_lfi.tests);
       ("vectorize", Test_vectorize.tests);
       ("workloads", Test_workloads.tests);

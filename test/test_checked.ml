@@ -1,0 +1,98 @@
+(* Property tests for the overflow-aware layout arithmetic (§5.2): Checked
+   is exact or raises; Saturating silently clamps — the divergence is
+   exactly the bug class verification found in the ColorGuard layout
+   code. *)
+
+module Checked = Sfi_core.Checked
+
+(* Operands concentrated at the overflow boundary, where the modes
+   diverge. *)
+let boundary_int =
+  QCheck.Gen.(
+    oneof
+      [
+        int_range 0 4096;
+        map (fun d -> max_int - d) (int_range 0 4096);
+        map (fun d -> (max_int / 2) + d) (int_range (-2048) 2048);
+        int_range 0 max_int;
+      ])
+
+let boundary_pair = QCheck.make QCheck.Gen.(pair boundary_int boundary_int)
+
+let prop_add_exact_or_overflow =
+  QCheck.Test.make ~name:"checked add is exact or raises, never wraps" ~count:1000
+    boundary_pair (fun (a, b) ->
+      match Checked.add Checked.Checked a b with
+      | s -> s >= a && s >= b && s = a + b
+      | exception Checked.Overflow _ -> a > max_int - b)
+
+let prop_add_modes_diverge_only_on_overflow =
+  QCheck.Test.make ~name:"saturating add = checked add except at the clamp" ~count:1000
+    boundary_pair (fun (a, b) ->
+      let sat = Checked.add Checked.Saturating a b in
+      match Checked.add Checked.Checked a b with
+      | s -> s = sat
+      | exception Checked.Overflow _ -> sat = max_int)
+
+let prop_mul_exact_or_overflow =
+  QCheck.Test.make ~name:"checked mul is exact or raises, never wraps" ~count:1000
+    boundary_pair (fun (a, b) ->
+      match Checked.mul Checked.Checked a b with
+      | p -> (a = 0 && p = 0) || (p mod a = 0 && p / a = b)
+      | exception Checked.Overflow _ -> a > 0 && b > 0 && b > max_int / a)
+
+let prop_mul_modes_diverge_only_on_overflow =
+  QCheck.Test.make ~name:"saturating mul = checked mul except at the clamp" ~count:1000
+    boundary_pair (fun (a, b) ->
+      let sat = Checked.mul Checked.Saturating a b in
+      match Checked.mul Checked.Checked a b with
+      | p -> p = sat
+      | exception Checked.Overflow _ -> sat = max_int)
+
+let prop_align_up_checked =
+  QCheck.Test.make ~name:"checked align_up: aligned, >= input, < input + align" ~count:1000
+    (QCheck.make QCheck.Gen.(pair (int_range 0 (max_int / 2)) (int_range 0 30)))
+    (fun (x, k) ->
+      let a = 1 lsl k in
+      let r = Checked.align_up Checked.Checked x a in
+      r >= x && r mod a = 0 && r - x < a)
+
+let test_add_edges () =
+  Alcotest.check_raises "add max_int 1 overflows"
+    (Checked.Overflow (Printf.sprintf "add %d 1" max_int)) (fun () ->
+      ignore (Checked.add Checked.Checked max_int 1));
+  Alcotest.(check int) "saturating clamps" max_int (Checked.add Checked.Saturating max_int 1);
+  Alcotest.(check int) "exact at the boundary" max_int
+    (Checked.add Checked.Checked (max_int - 1) 1)
+
+let test_mul_edges () =
+  (match Checked.mul Checked.Checked ((max_int / 2) + 1) 2 with
+  | _ -> Alcotest.fail "expected Overflow"
+  | exception Checked.Overflow _ -> ());
+  Alcotest.(check int) "saturating clamps" max_int
+    (Checked.mul Checked.Saturating ((max_int / 2) + 1) 2);
+  Alcotest.(check int) "exact below the boundary" (max_int - 1)
+    (Checked.mul Checked.Checked ((max_int - 1) / 2) 2)
+
+(* The §5.2 bug shape: near max_int, saturating align_up silently returns a
+   value *below* its input — the broken invariant checked arithmetic turns
+   into a loud Overflow. *)
+let test_align_up_edges () =
+  (match Checked.align_up Checked.Checked (max_int - 2) 4096 with
+  | _ -> Alcotest.fail "expected Overflow"
+  | exception Checked.Overflow _ -> ());
+  let s = Checked.align_up Checked.Saturating (max_int - 2) 4096 in
+  Alcotest.(check bool) "saturating align_up under-aligns near max_int" true
+    (s < max_int - 2)
+
+let tests =
+  [
+    Alcotest.test_case "add edge cases" `Quick test_add_edges;
+    Alcotest.test_case "mul edge cases" `Quick test_mul_edges;
+    Alcotest.test_case "align_up edge cases" `Quick test_align_up_edges;
+    QCheck_alcotest.to_alcotest prop_add_exact_or_overflow;
+    QCheck_alcotest.to_alcotest prop_add_modes_diverge_only_on_overflow;
+    QCheck_alcotest.to_alcotest prop_mul_exact_or_overflow;
+    QCheck_alcotest.to_alcotest prop_mul_modes_diverge_only_on_overflow;
+    QCheck_alcotest.to_alcotest prop_align_up_checked;
+  ]

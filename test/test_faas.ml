@@ -81,6 +81,39 @@ let test_config_validation () =
     (Invalid_argument "Sim: process count must be >= 1") (fun () ->
       ignore (Sim.run (quick_cfg ~mode:(Sim.Multiprocess 0) ())))
 
+let test_faulty_sim_contained () =
+  (* Misbehaving tenants: the simulation must run to completion (nothing
+     sandbox-attributable escapes Sim.run), report a degraded availability,
+     and keep serving the well-behaved majority. *)
+  let faults =
+    { Sim.no_faults with Sim.trap_rate = 0.15; runaway_rate = 0.05; deadline_epochs = 2 }
+  in
+  let base = quick_cfg () in
+  let cfg = { base with Sim.faults } in
+  let r = Sim.run cfg in
+  Alcotest.(check bool) "some requests completed" true (r.Sim.completed > 0);
+  Alcotest.(check bool) "some requests failed" true (r.Sim.failed > 0);
+  Alcotest.(check bool) "availability strictly between 0 and 1" true
+    (r.Sim.availability > 0.0 && r.Sim.availability < 1.0);
+  Alcotest.(check bool) "goodput below throughput" true
+    (r.Sim.goodput_rps < r.Sim.throughput_rps);
+  Alcotest.(check int) "colorguard has no blast radius" 0 r.Sim.collateral_aborts;
+  Alcotest.(check bool) "killed slots were recycled" true (r.Sim.recycles > 0);
+  (* Same faults under multiprocess: still contained, still completes. *)
+  let mp = Sim.run { cfg with Sim.mode = Sim.Multiprocess 4 } in
+  Alcotest.(check bool) "multiprocess completes too" true (mp.Sim.completed > 0);
+  Alcotest.(check bool) "multiprocess availability sane" true
+    (mp.Sim.availability > 0.0 && mp.Sim.availability <= 1.0)
+
+let test_fault_free_unchanged () =
+  (* The fault machinery must not perturb the legacy zero-fault results:
+     same seed, same checksum, availability exactly 1. *)
+  let r = Sim.run (quick_cfg ()) in
+  Alcotest.(check int) "no failures" 0 r.Sim.failed;
+  Alcotest.(check bool) "availability 1.0" true (r.Sim.availability = 1.0);
+  Alcotest.(check bool) "goodput = throughput" true
+    (Float.abs (r.Sim.goodput_rps -. r.Sim.throughput_rps) < 1e-9)
+
 let tests =
   [
     Harness.case "workload modules run" test_workload_modules_run;
@@ -91,4 +124,6 @@ let tests =
     Alcotest.test_case "efficiency gap" `Slow test_efficiency_gap;
     Alcotest.test_case "dtlb direction" `Slow test_dtlb_direction;
     Harness.case "config validation" test_config_validation;
+    Alcotest.test_case "faulty sim contained" `Slow test_faulty_sim_contained;
+    Alcotest.test_case "fault-free behavior unchanged" `Slow test_fault_free_unchanged;
   ]

@@ -1,0 +1,74 @@
+(* Fault-injection containment: every synthesized escape attempt against
+   every strategy must end contained (trapped) or diverged — an escape is a
+   broken isolation invariant. The self-test proves the harness would see
+   an escape if one existed. *)
+
+module Inject = Sfi_inject.Inject
+
+let test_strategy (name, strat) () =
+  let r = Inject.run_strategy name strat in
+  let t = Inject.tally r in
+  Alcotest.(check bool)
+    (name ^ ": harness generated attempts")
+    true
+    (t.Inject.contained + t.Inject.escaped + t.Inject.diverged > 0);
+  Alcotest.(check bool)
+    (name ^ ": at least one attempt was contained by a trap")
+    true (t.Inject.contained > 0);
+  List.iter
+    (fun (a : Inject.attempt) ->
+      match a.Inject.outcome with
+      | Inject.Escaped why ->
+          Alcotest.failf "%s: %s / %s (entry %s) ESCAPED: %s" name a.Inject.a_class
+            a.Inject.a_desc a.Inject.a_entry why
+      | _ -> ())
+    r.Inject.attempts
+
+let test_all_classes_exercised () =
+  (* Segue exercises every mutation class; each must contribute attempts. *)
+  let r = Inject.run_strategy "segue" Sfi_core.Strategy.segue in
+  let classes =
+    List.sort_uniq compare (List.map (fun a -> a.Inject.a_class) r.Inject.attempts)
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) ("class present: " ^ c) true (List.mem c classes))
+    [ "operand-rewrite"; "guard-strip"; "setup-corrupt"; "neighbour-probe" ]
+
+let test_neighbour_probe_contained () =
+  (* The headline ColorGuard property: a direct probe at the neighbour
+     slot's stripe traps under every strategy. *)
+  List.iter
+    (fun (name, strat) ->
+      let r = Inject.run_strategy name strat in
+      let probes =
+        List.filter (fun a -> a.Inject.a_class = "neighbour-probe") r.Inject.attempts
+      in
+      Alcotest.(check bool) (name ^ ": neighbour probes ran") true (List.length probes >= 3);
+      List.iter
+        (fun (a : Inject.attempt) ->
+          match a.Inject.outcome with
+          | Inject.Contained _ -> ()
+          | o ->
+              Alcotest.failf "%s: neighbour probe (%s) not contained: %s" name
+                a.Inject.a_desc
+                (Format.asprintf "%a" Inject.pp_outcome o))
+        probes)
+    Inject.strategies
+
+let test_self_test () =
+  match Inject.self_test () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let tests =
+  List.map
+    (fun (name, strat) ->
+      Alcotest.test_case ("zero escapes: " ^ name) `Quick (test_strategy (name, strat)))
+    Inject.strategies
+  @ [
+      Alcotest.test_case "all mutation classes exercised" `Quick test_all_classes_exercised;
+      Alcotest.test_case "neighbour probes contained everywhere" `Quick
+        test_neighbour_probe_contained;
+      Alcotest.test_case "self-test: weakened isolation is detected" `Quick test_self_test;
+    ]

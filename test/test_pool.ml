@@ -292,6 +292,46 @@ let prop_chain_isolation =
       | Error _ -> false
       | Ok chain -> Chain.check chain = Ok ())
 
+let test_fallback_statuses () =
+  let striped =
+    {
+      Pool.num_slots = 16;
+      max_memory_bytes = 4 * Units.mib;
+      expected_slot_bytes = 4 * Units.mib;
+      guard_bytes = 16 * Units.mib;
+      pre_guard_enabled = false;
+      num_pkeys_available = 15;
+      stripe_enabled = true;
+    }
+  in
+  (match Pool.compute_with_fallback striped with
+  | Ok (l, Pool.Striped) ->
+      Alcotest.(check bool) "striping engaged" true (l.Pool.num_stripes > 1)
+  | Ok (_, s) -> Alcotest.failf "expected Striped, got %a" Pool.pp_stripe_status s
+  | Error m -> Alcotest.failf "rejected: %s" m);
+  (* Striping requested but the key budget cannot stripe: degrade to
+     guard-region isolation, never refuse to boot (Invariant 5 path). *)
+  (match Pool.compute_with_fallback { striped with Pool.num_pkeys_available = 1 } with
+  | Ok (l, Pool.Guards_fallback why) ->
+      Alcotest.(check int) "one stripe" 1 l.Pool.num_stripes;
+      Alcotest.(check bool) "reason names the key budget" true
+        (String.length why > 0 && Pool.color_of_slot l 0 = 0)
+  | Ok (_, s) -> Alcotest.failf "expected Guards_fallback, got %a" Pool.pp_stripe_status s
+  | Error m -> Alcotest.failf "rejected: %s" m);
+  (* Striping never requested: plain Unstriped. *)
+  (match Pool.compute_with_fallback { striped with Pool.stripe_enabled = false } with
+  | Ok (_, Pool.Unstriped) -> ()
+  | Ok (_, s) -> Alcotest.failf "expected Unstriped, got %a" Pool.pp_stripe_status s
+  | Error m -> Alcotest.failf "rejected: %s" m);
+  (* A layout broken regardless of striping still fails loudly. *)
+  match
+    Pool.compute_with_fallback
+      { striped with Pool.max_memory_bytes = max_int / 2; guard_bytes = max_int / 2 }
+  with
+  | Error _ -> ()
+  | Ok (_, s) ->
+      Alcotest.failf "overflowing layout accepted (%a)" Pool.pp_stripe_status s
+
 let tests =
   [
     Harness.case "checked arithmetic" test_checked_arithmetic;
@@ -299,6 +339,7 @@ let tests =
     Harness.case "shared-guard layout" test_shared_guard_layout;
     Harness.case "striped layout" test_striped_layout;
     Harness.case "key shortage fallback" test_key_shortage_fallback;
+    Harness.case "fallback statuses" test_fallback_statuses;
     Harness.case "defensive preconditions" test_defensive_preconditions;
     Harness.case "saturating bug (sec 5.2)" test_saturating_bug;
     Harness.case "scaling report" test_scaling_report;

@@ -145,6 +145,7 @@ let test_epochs () =
       | `More -> drive ()
       | `Done v -> v
       | `Trapped k -> Alcotest.failf "trapped: %s" (X.trap_name k)
+      | `Fault f -> Alcotest.failf "fault: %s" (Runtime.fault_name f)
   in
   let v = drive () in
   Alcotest.(check bool) "preempted at least a few times" true (!steps > 3);
@@ -208,9 +209,123 @@ let test_pool_exhaustion () =
   (try
      ignore (Runtime.instantiate e);
      Alcotest.fail "pool should be exhausted"
-   with Failure _ -> ());
+   with Runtime.Fault Runtime.Pool_exhausted -> ());
+  (match Runtime.try_instantiate e with
+  | Error Runtime.Pool_exhausted -> ()
+  | _ -> Alcotest.fail "try_instantiate should report pool exhaustion");
   Runtime.release (List.hd instances);
   ignore (Runtime.instantiate e)
+
+let test_fault_recovery () =
+  (* A trap under [invoke_protected] kills the instance, recycles the slot,
+     and the engine keeps serving — no host exception. *)
+  let e = engine ~allocator:(Runtime.Pool (small_pool ~stripe:true)) ~colorguard:true () in
+  let victim = Runtime.instantiate e in
+  let bad = Runtime.instantiate e in
+  ignore (expect_ok (Runtime.invoke victim "store" [ 8L; 77L ]));
+  let bad_slot = Runtime.instance_id bad in
+  (match Runtime.invoke_protected bad "load" [ Int64.of_int (64 * Units.mib) ] with
+  | Error (Runtime.Trap X.Trap_out_of_bounds) -> ()
+  | Ok v -> Alcotest.failf "oob load returned %Ld" v
+  | Error f -> Alcotest.failf "wrong fault: %s" (Runtime.fault_name f));
+  Alcotest.(check bool) "faulting instance is dead" false (Runtime.live bad);
+  (match Runtime.invoke_protected bad "load" [ 0L ] with
+  | Error Runtime.Instance_dead -> ()
+  | _ -> Alcotest.fail "dead instance should report Instance_dead");
+  (* The survivor is untouched and the engine still serves. *)
+  Alcotest.(check int64) "survivor memory intact" 77L
+    (expect_ok (Runtime.invoke victim "load" [ 8L ]));
+  let fresh = Runtime.instantiate e in
+  Alcotest.(check int) "killed slot recycled" bad_slot (Runtime.instance_id fresh);
+  Alcotest.(check int64) "recycled slot zeroed" 0L
+    (expect_ok (Runtime.invoke fresh "load" [ 0L ]))
+
+let test_watchdog_deadline () =
+  (* A runaway activation is killed once it overruns its fuel deadline. *)
+  let e = engine () in
+  let i = Runtime.instantiate e in
+  let act = Runtime.start_call ~deadline_fuel:30_000 i "spin" [ 1_000_000_000L ] in
+  let rec drive n =
+    if n > 100 then Alcotest.fail "watchdog never fired"
+    else
+      match Runtime.step act ~fuel:10_000 with
+      | `More -> drive (n + 1)
+      | `Fault Runtime.Fuel_exhausted -> n
+      | `Done _ -> Alcotest.fail "runaway loop finished?"
+      | `Trapped k -> Alcotest.failf "trapped: %s" (X.trap_name k)
+      | `Fault f -> Alcotest.failf "wrong fault: %s" (Runtime.fault_name f)
+  in
+  let epochs = drive 1 in
+  Alcotest.(check bool) "killed around the deadline" true (epochs >= 3 && epochs <= 5);
+  Alcotest.(check bool) "instance killed by watchdog" false (Runtime.live i);
+  (* A fresh instance on the recycled slot still works. *)
+  let j = Runtime.instantiate e in
+  Alcotest.(check int64) "engine keeps serving" 0L (expect_ok (Runtime.invoke j "load" [ 0L ]))
+
+let test_invoke_fuel_fault () =
+  let e = engine () in
+  let i = Runtime.instantiate e in
+  (try
+     ignore (Runtime.invoke ~fuel:100 i "spin" [ 1_000_000L ]);
+     Alcotest.fail "expected Fuel_exhausted"
+   with Runtime.Fault Runtime.Fuel_exhausted -> ());
+  (match Runtime.invoke_protected ~fuel:100 i "spin" [ 1_000_000L ] with
+  | Error Runtime.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "invoke_protected should contain fuel exhaustion")
+
+let test_retry_queue () =
+  (* Pool full: tickets park in FIFO order, get slots as kills free them,
+     and overflow beyond the queue capacity is shed. *)
+  let e =
+    Runtime.create_engine
+      ~allocator:(Runtime.Pool (small_pool ~stripe:false))
+      ~retry_queue_capacity:2
+      (Codegen.compile (Codegen.default_config ()) (touch_module ()))
+  in
+  let instances = Array.init 8 (fun _ -> Runtime.instantiate e) in
+  (match Runtime.instantiate_queued e ~ticket:100 with
+  | `Wait -> ()
+  | _ -> Alcotest.fail "ticket 100 should wait");
+  (match Runtime.instantiate_queued e ~ticket:101 with
+  | `Wait -> ()
+  | _ -> Alcotest.fail "ticket 101 should wait");
+  (match Runtime.instantiate_queued e ~ticket:102 with
+  | `Rejected -> ()
+  | _ -> Alcotest.fail "queue full: ticket 102 should be rejected");
+  Alcotest.(check int) "two waiters" 2 (Runtime.waiting e);
+  Runtime.kill instances.(3);
+  (* The freed slot goes to the queue head, not a line-jumper. *)
+  (match Runtime.instantiate_queued e ~ticket:101 with
+  | `Wait -> ()
+  | _ -> Alcotest.fail "ticket 101 must not jump the queue");
+  (match Runtime.instantiate_queued e ~ticket:100 with
+  | `Ready inst -> Alcotest.(check int) "head got the killed slot" 3 (Runtime.instance_id inst)
+  | _ -> Alcotest.fail "queue head should get the freed slot");
+  Runtime.kill instances.(5);
+  (match Runtime.instantiate_queued e ~ticket:101 with
+  | `Ready _ -> ()
+  | _ -> Alcotest.fail "next waiter should get the next slot");
+  Alcotest.(check int) "queue drained" 0 (Runtime.waiting e)
+
+let test_fault_attribution () =
+  (* The faulting address from the machine attributes to the right slot. *)
+  let layout = small_pool ~stripe:true in
+  let e = engine ~allocator:(Runtime.Pool layout) ~colorguard:true () in
+  let i0 = Runtime.instantiate e in
+  let i1 = Runtime.instantiate e in
+  let delta = Runtime.heap_base i1 - Runtime.heap_base i0 in
+  (match Runtime.invoke_protected i0 "load" [ Int64.of_int (delta + 64) ] with
+  | Error (Runtime.Trap X.Trap_out_of_bounds) -> ()
+  | _ -> Alcotest.fail "expected mpk trap");
+  (match Runtime.last_fault_info e with
+  | None -> Alcotest.fail "no fault metadata recorded"
+  | Some { Machine.fault_addr; fault_write } ->
+      Alcotest.(check bool) "a read fault" false fault_write;
+      Alcotest.(check int) "faulting address is i1's heap + 64"
+        (Runtime.heap_base i1 + 64) fault_addr;
+      (match Runtime.attribute_address e fault_addr with
+      | `Slot s -> Alcotest.(check int) "attributed to the neighbour slot" 1 s
+      | `Guard _ | `Host -> Alcotest.fail "should attribute to a slot"))
 
 let test_import_dispatch () =
   let b = create ~memory_pages:1 () in
@@ -264,6 +379,11 @@ let tests =
     Harness.case "transition accounting" test_transition_accounting;
     Harness.case "colorguard transition cost" test_colorguard_transition_cost;
     Harness.case "pool exhaustion" test_pool_exhaustion;
+    Harness.case "fault recovery" test_fault_recovery;
+    Harness.case "watchdog deadline" test_watchdog_deadline;
+    Harness.case "invoke fuel fault" test_invoke_fuel_fault;
+    Harness.case "bounded retry queue" test_retry_queue;
+    Harness.case "fault attribution" test_fault_attribution;
     Harness.case "import dispatch" test_import_dispatch;
     Harness.case "segment base once per entry (sec 4.1)" test_segment_base_once_per_entry;
   ]
