@@ -3,9 +3,19 @@
    Each experiment prints the same rows/series the paper reports, with the
    paper's headline numbers quoted alongside for comparison.
 
+   Independent experiments run on OCaml 5 domains: each experiment writes
+   into a per-domain buffer (via the Domain.DLS-keyed [emit] sink below)
+   and the buffers are merged in registry order afterwards, so the output
+   is byte-for-byte deterministic regardless of the domain count.
+
    Usage:
-     dune exec bench/main.exe                # run everything (~5 minutes)
+     dune exec bench/main.exe                # run everything
      dune exec bench/main.exe -- fig3 fig6   # run selected experiments
+     dune exec bench/main.exe -- --quick     # CI-sized subset + engine check
+     dune exec bench/main.exe -- --json out.json   # per-experiment wall-clock
+                                                   # and instructions/sec
+     dune exec bench/main.exe -- --jobs 4    # domain count (default: all cores)
+     dune exec bench/main.exe -- --serial    # single-domain, unbuffered output
      dune exec bench/main.exe -- --list      # list experiment ids
      dune exec bench/main.exe -- --bechamel  # Bechamel micro-measurements
                                              # (one Test.make per table/figure)
@@ -28,8 +38,24 @@ module Lfi = Sfi_lfi.Lfi
 module Sim = Sfi_faas.Sim
 module Fworkloads = Sfi_faas.Workloads
 
-let section title = Printf.printf "\n=== %s ===\n\n%!" title
-let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+(* ------------------------------------------------------------------ *)
+(* Output sink: direct to stdout normally; into a per-domain buffer    *)
+(* when the parallel runner is active, so concurrent experiments never *)
+(* interleave and the merged transcript matches a serial run.          *)
+(* ------------------------------------------------------------------ *)
+
+let out_key : Buffer.t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let emit s =
+  match !(Domain.DLS.get out_key) with
+  | Some buf -> Buffer.add_string buf s
+  | None ->
+      print_string s;
+      flush stdout
+
+let section title = emit (Printf.sprintf "\n=== %s ===\n\n" title)
+let note fmt = Printf.ksprintf (fun s -> emit (s ^ "\n")) fmt
+let print_table t = emit (Table.render t ^ "\n")
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: SPEC CPU 2006 on Wasm2c, normalized runtime.              *)
@@ -56,7 +82,7 @@ let fig3 () =
     Sfi_workloads.Spec2006.all;
   let gb = Stats.geomean !base_norms and gs = Stats.geomean !segue_norms in
   Table.add_row t [ "geomean"; Table.cell_float gb; Table.cell_float gs; "" ];
-  Table.print t;
+  print_table t;
   note
     "Geomean overhead: %.1f%% -> %.1f%%; Segue eliminates %.1f%% of Wasm's overhead (paper: \
      44.7%%)."
@@ -68,7 +94,7 @@ let fig3 () =
       "(An elimination above 100%% means the Segue geomean dipped below native: mcf's 32-bit \
        pointer compression outweighs the residual sandboxing cost. Sharing one compiler \
        across all strategies removes the compiler-quality gap the paper's toolchains have; \
-       see EXPERIMENTS.md.)" 
+       see EXPERIMENTS.md.)"
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: compiled binary sizes.                                     *)
@@ -88,7 +114,7 @@ let table2 () =
         [ k.Kernel.name; Printf.sprintf "%d B" base; Printf.sprintf "%d B" segue;
           Printf.sprintf "%.1f%%" reduction ])
     Sfi_workloads.Spec2006.all;
-  Table.print t;
+  print_table t;
   note "Median size reduction: %.1f%% (paper: 5.9%%)." (Stats.median !reductions)
 
 (* ------------------------------------------------------------------ *)
@@ -113,7 +139,7 @@ let bounds () =
     Sfi_workloads.Spec2006.all;
   let gb = Stats.geomean !b_norms and gs = Stats.geomean !s_norms in
   Table.add_row t [ "geomean"; Table.cell_float gb; Table.cell_float gs ];
-  Table.print t;
+  print_table t;
   note "Segue eliminates %.1f%% of bounds-checked overhead (paper: 25.2%%)."
     (Stats.overhead_eliminated ~baseline:1.0 ~unopt:gb ~opt:gs)
 
@@ -150,7 +176,7 @@ let firefox () =
       Sfi_workloads.Firefox.run_font ~strategy ~glyphs:12000 ());
   scenario "XML (SVG) parsing" (fun ~strategy ->
       Sfi_workloads.Firefox.run_xml ~strategy ~repeats:30 ());
-  Table.print t;
+  print_table t;
   let fast = Sfi_workloads.Firefox.run_font ~strategy:Strategy.segue ~glyphs:12000 () in
   let slow =
     Sfi_workloads.Firefox.run_font ~fsgsbase_available:false ~strategy:Strategy.segue
@@ -195,7 +221,7 @@ let fig4 () =
             *. 100.0);
         ])
     Sfi_workloads.Sightglass.all;
-  Table.print t;
+  print_table t;
   let m = Lazy.force Sfi_workloads.Sightglass.memmove.Kernel.wasm in
   note
     "Vectorizer status: %d loop(s) vectorized under base-reg, %d under full Segue (the pass \
@@ -230,7 +256,7 @@ let polybench () =
     Sfi_workloads.Polybench.all;
   let gb = Stats.geomean !b_norms and gs = Stats.geomean !s_norms in
   Table.add_row t [ "geomean"; Table.cell_float gb; Table.cell_float gs; "" ];
-  Table.print t;
+  print_table t;
   note
     "Polybench: Wasm runs %.1f%% %s native; with Segue %.1f%% %s (paper: 6%% and 10%% faster \
      - the native layout pays for 8-byte elements)."
@@ -273,7 +299,7 @@ let fig5 () =
     Sfi_workloads.Spec2017.all;
   let gl = Stats.geomean !l_norms and gs = Stats.geomean !s_norms in
   Table.add_row t [ "geomean"; Table.cell_float gl; Table.cell_float gs ];
-  Table.print t;
+  print_table t;
   note
     "LFI overhead %.1f%% -> %.1f%% with Segue: %.0f%% of the overhead eliminated (paper: \
      17.4%% -> 9.4%%, 46%%)."
@@ -289,7 +315,7 @@ let table1 () =
   section "Table 1 - ColorGuard safety invariants in Wasmtime (and the sec 5.2 findings)";
   let t = Table.create ~headers:[ "#"; "invariant" ] in
   List.iter (fun (n, d) -> Table.add_row t [ string_of_int n; d ]) Invariants.descriptions;
-  Table.print t;
+  print_table t;
   let params =
     {
       Pool.num_slots = 1000;
@@ -426,7 +452,7 @@ let scaling () =
   Table.add_row t
     [ "ColorGuard (15 keys)"; string_of_int report.Colorguard.striped_slots;
       Units.to_string report.Colorguard.striped_stride ];
-  Table.print t;
+  print_table t;
   note
     "Density increase: %.1fx (paper: ~15x). Classic Wasm limit: %d instances; Wasmtime's \
      shared-guard scheme: %d (sec 2: 16K and ~21K)."
@@ -474,7 +500,7 @@ let fig6 () =
       in
       Table.add_row t (string_of_int k :: cells))
     process_counts;
-  Table.print t
+  print_table t
 
 let fig7 () =
   section
@@ -499,7 +525,7 @@ let fig7 () =
           string_of_int cg.Sim.dtlb_misses;
         ])
     [ 1; 3; 5; 7; 9; 11; 13; 15 ];
-  Table.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 (* Degraded mode: the Figure 6 comparison with misbehaving tenants.    *)
@@ -547,7 +573,7 @@ let faults () =
           string_of_int mp.Sim.collateral_aborts;
         ])
     [ 0.0; 0.02; 0.05; 0.10 ];
-  Table.print t;
+  print_table t;
   (* Key exhaustion: striping degrades to guard regions, never refuses. *)
   let p =
     {
@@ -593,7 +619,7 @@ let mte () =
   Table.add_row t
     [ "teardown (madvise)"; Printf.sprintf "%.0f us" (down_plain /. 1e3);
       Printf.sprintf "%.0f us" (down_mte /. 1e3); "29 -> 377 us" ];
-  Table.print t;
+  print_table t;
   note
     "Observation 1: user-level st2g tags only 32 B per instruction - %d instructions per 64 \
      KiB memory; %d instances cost %.1f ms to tag."
@@ -695,6 +721,56 @@ let ablations () =
   | Error m -> note "chain planning failed: %s" m)
 
 (* ------------------------------------------------------------------ *)
+(* Engine: threaded-code engine vs the reference interpreter.          *)
+(* ------------------------------------------------------------------ *)
+
+let engine_compare () =
+  section
+    "Engine - pre-translated threaded code vs the reference step interpreter (host-side \
+     throughput; simulated counters must agree bit-for-bit)";
+  let t =
+    Table.create
+      ~headers:[ "kernel"; "engine"; "host ms"; "sim instrs"; "host Minstr/s"; "counters" ]
+  in
+  let check (k : Kernel.t) =
+    let timed engine =
+      let t0 = Unix.gettimeofday () in
+      let m = Kernel.run ~engine ~strategy:Strategy.segue k in
+      (m, Unix.gettimeofday () -. t0)
+    in
+    let rm, rs = timed Machine.Reference in
+    let tm, ts = timed Machine.Threaded in
+    let agree =
+      rm.Kernel.result = tm.Kernel.result
+      && rm.Kernel.cycles = tm.Kernel.cycles
+      && rm.Kernel.instructions = tm.Kernel.instructions
+      && rm.Kernel.dtlb_misses = tm.Kernel.dtlb_misses
+      && rm.Kernel.dcache_misses = tm.Kernel.dcache_misses
+    in
+    let row name (m : Kernel.measurement) s =
+      Table.add_row t
+        [
+          k.Kernel.name; name;
+          Printf.sprintf "%.1f" (s *. 1e3);
+          string_of_int m.Kernel.instructions;
+          Printf.sprintf "%.1f" (float_of_int m.Kernel.instructions /. s /. 1e6);
+          (if agree then "agree" else "DIVERGED");
+        ]
+    in
+    row "reference" rm rs;
+    row "threaded" tm ts;
+    if not agree then failwith (k.Kernel.name ^ ": engines diverged");
+    (rs, ts)
+  in
+  let pairs = List.map check [ Sfi_workloads.Polybench.gemm; Sfi_workloads.Polybench.atax ] in
+  print_table t;
+  let tot f = List.fold_left (fun a p -> a +. f p) 0.0 pairs in
+  note
+    "Threaded engine: %.2fx the reference interpreter's host throughput on this subset \
+     (identical simulated cycles/instructions/dTLB/dcache on every kernel)."
+    (tot fst /. tot snd)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-measurements: one Test.make per table/figure.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -751,6 +827,8 @@ let bechamel_suite () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Registry and the domain-parallel runner.                            *)
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -769,23 +847,201 @@ let experiments =
     ("faults", faults);
     ("mte", mte);
     ("ablations", ablations);
+    ("engine", engine_compare);
   ]
 
+(* The CI tier: cheap experiments only, plus the engine cross-check. *)
+let quick_ids = [ "table2"; "table1"; "scaling"; "mte"; "engine" ]
+
+(* Kernel modules are built lazily and shared between experiments;
+   force them all before spawning domains (concurrent Lazy.force of the
+   same suspension raises). *)
+let preforce_kernels () =
+  let force (k : Kernel.t) =
+    ignore (Lazy.force k.Kernel.wasm);
+    match k.Kernel.native with None -> () | Some l -> ignore (Lazy.force l)
+  in
+  List.iter (List.iter force)
+    [
+      Sfi_workloads.Spec2006.all;
+      Sfi_workloads.Spec2017.all;
+      Sfi_workloads.Sightglass.all;
+      Sfi_workloads.Polybench.all;
+      [ Sfi_workloads.Polybench.dhrystone ];
+    ]
+
+type outcome = {
+  o_name : string;
+  o_output : string;
+  o_wall_s : float;
+  o_instructions : int;  (** simulated instructions retired by this experiment *)
+  o_failed : bool;
+}
+
+let run_one (name, f) =
+  let buf = Buffer.create 4096 in
+  Domain.DLS.get out_key := Some buf;
+  Machine.reset_retired_instructions ();
+  let t0 = Unix.gettimeofday () in
+  let failed =
+    try
+      f ();
+      false
+    with e ->
+      Buffer.add_string buf (Printf.sprintf "\nexperiment %s FAILED: %s\n" name (Printexc.to_string e));
+      true
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let instructions = Machine.retired_instructions () in
+  Domain.DLS.get out_key := None;
+  { o_name = name; o_output = Buffer.contents buf; o_wall_s = wall; o_instructions = instructions; o_failed = failed }
+
+(* Work-stealing over an atomic index: each domain claims the next
+   unstarted experiment; results land in per-experiment slots, so the
+   merge below is deterministic in registry order. *)
+let run_parallel selected ~jobs =
+  let exps = Array.of_list selected in
+  let n = Array.length exps in
+  let results : outcome option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      results.(i) <- Some (run_one exps.(i));
+      worker ()
+    end
+  in
+  let jobs = max 1 (min jobs n) in
+  let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.to_list (Array.map (function Some o -> o | None -> assert false) results)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Full serial run of the pre-threaded-code harness (step interpreter) on
+   the same container, measured before this engine landed. *)
+let baseline_step_serial_total_wall_s = 309.9
+
+let write_json file outcomes ~jobs ~total_wall_s =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"harness\": \"bench/main.exe\",\n";
+  p "  \"engine\": \"threaded\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"total_wall_s\": %.3f,\n" total_wall_s;
+  p "  \"baseline_step_serial_total_wall_s\": %.1f,\n" baseline_step_serial_total_wall_s;
+  p "  \"speedup_vs_baseline\": %.2f,\n" (baseline_step_serial_total_wall_s /. total_wall_s);
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i o ->
+      let ips = if o.o_wall_s > 0.0 then float_of_int o.o_instructions /. o.o_wall_s else 0.0 in
+      p "    { \"name\": \"%s\", \"wall_s\": %.3f, \"instructions\": %d, \"instructions_per_sec\": %.0f, \"ok\": %b }%s\n"
+        (json_escape o.o_name) o.o_wall_s o.o_instructions ips (not o.o_failed)
+        (if i = List.length outcomes - 1 then "" else ","))
+    outcomes;
+  p "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let summarize outcomes ~total_wall_s =
+  let t = Table.create ~headers:[ "experiment"; "wall s"; "sim Minstr"; "Minstr/s" ] in
+  List.iter
+    (fun o ->
+      let mi = float_of_int o.o_instructions /. 1e6 in
+      Table.add_row t
+        [
+          o.o_name;
+          Printf.sprintf "%.2f" o.o_wall_s;
+          Printf.sprintf "%.1f" mi;
+          (if o.o_wall_s > 0.0 then Printf.sprintf "%.1f" (mi /. o.o_wall_s) else "-");
+        ])
+    outcomes;
+  Printf.printf "\n=== Harness summary ===\n\n%!";
+  Table.print t;
+  Printf.printf "Total wall clock: %.1f s across %d experiments.\n%!" total_wall_s
+    (List.length outcomes)
+
 let () =
+  (* The interpreter allocates boxed Int64 temporaries at a high rate; a
+     larger minor heap cuts the minor-GC frequency noticeably. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "--list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
-  | [ "--bechamel" ] -> bechamel_suite ()
-  | [] ->
-      Printf.printf "Running all %d experiments (several minutes)...\n%!"
-        (List.length experiments);
-      List.iter (fun (_, f) -> f ()) experiments
-  | names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown experiment %s (try --list)\n" name;
-              exit 1)
-        names
+  let json = ref None
+  and quick = ref false
+  and serial = ref false
+  and jobs = ref (Domain.recommended_domain_count ())
+  and names = ref [] in
+  let usage () =
+    prerr_endline
+      "usage: main.exe [--list] [--bechamel] [--quick] [--serial] [--jobs N] [--json FILE] \
+       [experiment ...]";
+    exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: _ ->
+        List.iter (fun (name, _) -> print_endline name) experiments;
+        exit 0
+    | "--bechamel" :: _ ->
+        bechamel_suite ();
+        exit 0
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--serial" :: rest ->
+        serial := true;
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ -> usage ())
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  parse args;
+  let ids =
+    match (List.rev !names, !quick) with
+    | [], false -> List.map fst experiments
+    | [], true -> quick_ids
+    | names, _ -> names
+  in
+  let selected =
+    List.map
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> (name, f)
+        | None ->
+            Printf.eprintf "unknown experiment %s (try --list)\n" name;
+            exit 1)
+      ids
+  in
+  let jobs = if !serial then 1 else !jobs in
+  Printf.printf "Running %d experiment(s) on %d domain(s)...\n%!" (List.length selected) jobs;
+  preforce_kernels ();
+  let t0 = Unix.gettimeofday () in
+  let outcomes = run_parallel selected ~jobs in
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  List.iter (fun o -> print_string o.o_output) outcomes;
+  flush stdout;
+  summarize outcomes ~total_wall_s;
+  (match !json with Some file -> write_json file outcomes ~jobs ~total_wall_s | None -> ());
+  if List.exists (fun o -> o.o_failed) outcomes then exit 1

@@ -83,11 +83,29 @@ let disasm_cmd =
 
 (* --- run ------------------------------------------------------------ *)
 
+let engine_conv =
+  let parse = function
+    | "threaded" -> Ok Sfi_machine.Machine.Threaded
+    | "reference" -> Ok Sfi_machine.Machine.Reference
+    | s -> Error (`Msg ("unknown engine " ^ s ^ " (threaded|reference)"))
+  in
+  let print ppf = function
+    | Sfi_machine.Machine.Threaded -> Format.pp_print_string ppf "threaded"
+    | Sfi_machine.Machine.Reference -> Format.pp_print_string ppf "reference"
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(value & opt engine_conv Sfi_machine.Machine.Threaded
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: threaded (pre-translated closures, default) or reference \
+                 (the AST interpreter used as the differential oracle).")
+
 let run_cmd =
   let arg_override =
     Arg.(value & opt (some int) None & info [ "arg" ] ~docv:"N" ~doc:"Override the scale argument.")
   in
-  let run name strategy vectorize arg =
+  let run name strategy vectorize arg engine =
     match find_kernel name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok k ->
@@ -96,7 +114,7 @@ let run_cmd =
           | Some n -> { k with Kernel.args = [ Int64.of_int n ] }
           | None -> k
         in
-        let m = Kernel.run ~vectorize ~strategy k in
+        let m = Kernel.run ~vectorize ~engine ~strategy k in
         Printf.printf "%s under %s (args %s)\n" (kernel_id k) (Strategy.name strategy)
           (String.concat "," (List.map Int64.to_string k.Kernel.args));
         Printf.printf "  result        %Ld\n" m.Kernel.result;
@@ -109,7 +127,7 @@ let run_cmd =
         Printf.printf "  dcache misses %d\n" m.Kernel.dcache_misses
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a kernel on the simulated machine and print its counters.")
-    Term.(const run $ kernel_arg $ strategy_arg $ vectorize_arg $ arg_override)
+    Term.(const run $ kernel_arg $ strategy_arg $ vectorize_arg $ arg_override $ engine_arg)
 
 (* --- layout ---------------------------------------------------------- *)
 

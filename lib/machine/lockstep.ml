@@ -1,0 +1,76 @@
+type divergence = {
+  at_step : int;
+  field : string;
+  reference : string;
+  threaded : string;
+}
+
+let status_string = function
+  | Machine.Halted -> "halted"
+  | Machine.Yielded -> "yielded"
+  | Machine.Trapped k -> "trapped: " ^ Sfi_x86.Ast.trap_name k
+
+(* First field on which the two snapshots disagree, if any. *)
+let diff_snapshots (r : Machine.snapshot) (th : Machine.snapshot) =
+  let open Machine in
+  let i64 = Int64.to_string in
+  let b = string_of_bool in
+  let i = string_of_int in
+  let rec find_reg idx =
+    if idx >= Array.length r.s_regs then None
+    else if r.s_regs.(idx) <> th.s_regs.(idx) then
+      Some (Printf.sprintf "reg%d" idx, i64 r.s_regs.(idx), i64 th.s_regs.(idx))
+    else find_reg (idx + 1)
+  in
+  let scalar =
+    List.find_opt
+      (fun (_, a, b) -> a <> b)
+      [
+        ("pc", i r.s_pc, i th.s_pc);
+        ("zf", b r.s_zf, b th.s_zf);
+        ("sf", b r.s_sf, b th.s_sf);
+        ("cf", b r.s_cf, b th.s_cf);
+        ("of", b r.s_of, b th.s_of);
+        ("fs_base", i r.s_fs_base, i th.s_fs_base);
+        ("gs_base", i r.s_gs_base, i th.s_gs_base);
+        ("pkru", i r.s_pkru, i th.s_pkru);
+        ("instructions", i r.s_instructions, i th.s_instructions);
+        ("cycles", i r.s_cycles, i th.s_cycles);
+        ("loads", i r.s_loads, i th.s_loads);
+        ("stores", i r.s_stores, i th.s_stores);
+        ("code_bytes", i r.s_code_bytes, i th.s_code_bytes);
+        ("seg_base_writes", i r.s_seg_base_writes, i th.s_seg_base_writes);
+        ("pkru_writes", i r.s_pkru_writes, i th.s_pkru_writes);
+        ("dtlb_hits", i r.s_dtlb_hits, i th.s_dtlb_hits);
+        ("dtlb_misses", i r.s_dtlb_misses, i th.s_dtlb_misses);
+        ("dcache_misses", i r.s_dcache_misses, i th.s_dcache_misses);
+      ]
+  in
+  match scalar with Some _ as d -> d | None -> find_reg 0
+
+let run_pair ~make ~entry ?(fuel = 1 lsl 20) () =
+  let m_ref = make () in
+  let m_thr = make () in
+  Machine.set_engine m_ref Machine.Reference;
+  Machine.set_engine m_thr Machine.Threaded;
+  Machine.start m_ref ~entry;
+  Machine.start m_thr ~entry;
+  let rec advance step =
+    if step >= fuel then Ok Machine.Yielded
+    else begin
+      let sr = Machine.run m_ref ~fuel:1 in
+      let st = Machine.run m_thr ~fuel:1 in
+      if sr <> st then
+        Error
+          { at_step = step; field = "status"; reference = status_string sr; threaded = status_string st }
+      else
+        match diff_snapshots (Machine.snapshot m_ref) (Machine.snapshot m_thr) with
+        | Some (field, reference, threaded) -> Error { at_step = step; field; reference; threaded }
+        | None -> ( match sr with Machine.Yielded -> advance (step + 1) | s -> Ok s)
+    end
+  in
+  advance 0
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "step %d: %s differs (reference=%s, threaded=%s)" d.at_step d.field
+    d.reference d.threaded

@@ -1,0 +1,32 @@
+(** Lockstep differential validation of the two execution engines.
+
+    Builds two identically-configured machines from the caller's [make]
+    thunk, runs one on the {!Machine.Reference} interpreter and one on the
+    {!Machine.Threaded} engine, single-steps both ([run ~fuel:1]) and
+    compares the full {!Machine.snapshot} — registers, flags, segment
+    bases, PKRU, pc, and every performance counter including dTLB and
+    dcache statistics — after each instruction. The first disagreement is
+    reported with the step number and field; agreement through termination
+    proves the engines observationally identical on that program. *)
+
+type divergence = {
+  at_step : int;  (** instruction index at which the engines disagreed *)
+  field : string;  (** snapshot field (or "status") that differs *)
+  reference : string;  (** value under the reference interpreter *)
+  threaded : string;  (** value under the threaded engine *)
+}
+
+val run_pair :
+  make:(unit -> Machine.t) ->
+  entry:string ->
+  ?fuel:int ->
+  unit ->
+  (Machine.status, divergence) result
+(** [run_pair ~make ~entry ()] validates up to [fuel] (default 2^20)
+    instructions. [make] must return a fully set-up machine — program
+    loaded, stack mapped, registers/hostcall handler initialized — and is
+    called twice, so it must not share mutable state (notably the
+    {!Sfi_vmem.Space.t}) between calls. Returns the common final status, or
+    the first divergence. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit

@@ -88,10 +88,30 @@ val start : t -> entry:string -> unit
 (** Position the program counter at [entry] and push the halt sentinel
     return address. The caller must have set up RSP to a mapped stack. *)
 
+type engine_kind =
+  | Threaded  (** pre-translated closure-threaded code (default) *)
+  | Reference  (** the original AST-matching interpreter *)
+
+val engine : t -> engine_kind
+val set_engine : t -> engine_kind -> unit
+(** Select the execution engine used by {!run}. Both engines are
+    observationally identical — same registers, flags, counters and traps
+    — which {!Lockstep} validates instruction by instruction; [Reference]
+    exists as the differential oracle and costs several times more host
+    time per simulated instruction. *)
+
 val run : t -> fuel:int -> status
 (** Execute at most [fuel] instructions; returns [Yielded] if the budget
     ran out (epoch-style preemption, §6.4.3), [Halted] on return from the
     entry, or [Trapped]. *)
+
+val retired_instructions : unit -> int
+(** Simulated instructions retired by {!run} calls on the calling domain
+    since the last {!reset_retired_instructions} — across all machines, so
+    a bench harness can report instructions/sec per experiment even when
+    experiments run on separate domains. *)
+
+val reset_retired_instructions : unit -> unit
 
 val execute : t -> entry:string -> ?fuel:int -> unit -> status
 (** [start] + [run] with a large default budget (2^30 instructions). *)
@@ -134,3 +154,34 @@ type context
 
 val save_context : t -> context
 val restore_context : t -> context -> unit
+
+(** {1 Observable-state snapshots}
+
+    Everything the lockstep differential validator compares after each
+    instruction: architectural state plus every performance counter the
+    experiments report. If two engines agree on all of these at every step,
+    they are observationally identical for the paper's purposes. *)
+
+type snapshot = {
+  s_regs : int64 array;
+  s_zf : bool;
+  s_sf : bool;
+  s_cf : bool;
+  s_of : bool;
+  s_fs_base : int;
+  s_gs_base : int;
+  s_pkru : int;
+  s_pc : int;
+  s_instructions : int;
+  s_cycles : int;
+  s_loads : int;
+  s_stores : int;
+  s_code_bytes : int;
+  s_seg_base_writes : int;
+  s_pkru_writes : int;
+  s_dtlb_hits : int;
+  s_dtlb_misses : int;
+  s_dcache_misses : int;
+}
+
+val snapshot : t -> snapshot

@@ -183,10 +183,11 @@ let hostcall_handler e m id =
 
 let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
     ?(allocator = Simple { reservation = 4 * Sfi_util.Units.gib })
-    ?(transition_overhead_cycles = 55) ?(retry_queue_capacity = 64) ?code_base
+    ?(transition_overhead_cycles = 55) ?(retry_queue_capacity = 64) ?code_base ?engine
     (compiled : Codegen.compiled) =
   let space = Space.create ?max_map_count () in
   let machine = Machine.create ?cost ?tlb ~fsgsbase_available ?code_base space in
+  (match engine with Some k -> Machine.set_engine machine k | None -> ());
   Machine.load_program machine compiled.Codegen.program;
   (* Indirect-call tables: code addresses and type ids, host memory. *)
   let cfg = compiled.Codegen.config in

@@ -62,6 +62,7 @@ val create_engine :
   ?transition_overhead_cycles:int ->
   ?retry_queue_capacity:int ->
   ?code_base:int ->
+  ?engine:Sfi_machine.Machine.engine_kind ->
   Sfi_core.Codegen.compiled ->
   engine
 (** Loads the program, maps the indirect-call tables, and prepares the
@@ -69,7 +70,8 @@ val create_engine :
     [transition_overhead_cycles] (default 55 per direction, calibrated to
     the paper's 30.34 ns baseline at 2.2 GHz) models the stack-switch,
     exception-handler and ABI work of a transition besides the instructions
-    the entry sequence itself executes (sec 6.4.1). *)
+    the entry sequence itself executes (sec 6.4.1). [engine] selects the
+    machine's execution engine (default {!Sfi_machine.Machine.Threaded}). *)
 
 val machine : engine -> Sfi_machine.Machine.t
 val space : engine -> Sfi_vmem.Space.t

@@ -11,12 +11,20 @@ type t = {
   pages : (int, Bytes.t) Hashtbl.t;
   max_map_count : int;
   mutable generation : int; (* bumped whenever the VMA layout changes *)
+  mutable data_epoch : int; (* bumped whenever a page's backing store changes *)
 }
 
 let create ?(max_map_count = 65530) () =
-  { vmas = Imap.empty; pages = Hashtbl.create 4096; max_map_count; generation = 0 }
+  {
+    vmas = Imap.empty;
+    pages = Hashtbl.create 4096;
+    max_map_count;
+    generation = 0;
+    data_epoch = 0;
+  }
 
 let generation t = t.generation
+let data_epoch t = t.data_epoch
 
 let vma_count t = Imap.cardinal t.vmas
 let max_map_count t = t.max_map_count
@@ -142,6 +150,7 @@ let unmap t ~addr ~len =
       Hashtbl.remove t.pages p
     done;
     t.generation <- t.generation + 1;
+    t.data_epoch <- t.data_epoch + 1;
     Ok ()
   end
 
@@ -151,6 +160,7 @@ let madvise_dontneed t ~addr ~len =
     for p = page_of_addr addr to page_of_addr (addr + len - 1) do
       Hashtbl.remove t.pages p
     done;
+    t.data_epoch <- t.data_epoch + 1;
     Ok ()
   end
 
@@ -184,7 +194,13 @@ let get_page_rw t p =
   | None ->
       let b = Bytes.make page_size '\000' in
       Hashtbl.replace t.pages p b;
+      (* A fresh backing page replaces the shared zero page for reads too,
+         so any cached read-only view of this page is now stale. *)
+      t.data_epoch <- t.data_epoch + 1;
       b
+
+let page_for_read t ~page = get_page_ro t page
+let page_for_write t ~page = get_page_rw t page
 
 let read8 t addr = Char.code (Bytes.get (get_page_ro t (page_of_addr addr)) (addr land (page_size - 1)))
 

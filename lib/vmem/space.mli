@@ -57,6 +57,12 @@ val generation : t -> int
     translations, exactly as a kernel shoots down TLBs after mapping
     changes. *)
 
+val data_epoch : t -> int
+(** Incremented whenever a page's backing store changes identity — a fresh
+    page is materialized, pages are discarded by [madvise_dontneed], or a
+    range is unmapped. Callers caching a [Bytes.t] from {!page_for_read} /
+    {!page_for_write} must revalidate when this moves. *)
+
 val page_info : t -> addr:int -> (Prot.t * int) option
 (** Protection and pkey covering this address, if mapped. *)
 
@@ -81,6 +87,15 @@ val write8 : t -> int -> int -> unit
 val write16 : t -> int -> int -> unit
 val write32 : t -> int -> int32 -> unit
 val write64 : t -> int -> int64 -> unit
+
+val page_for_read : t -> page:int -> bytes
+(** The backing bytes of [page] for reading. Unmaterialized pages return a
+    shared all-zero page — do {e not} write through this. Valid until
+    {!data_epoch} changes. *)
+
+val page_for_write : t -> page:int -> bytes
+(** The backing bytes of [page], materializing it if needed (which bumps
+    {!data_epoch}). Valid until {!data_epoch} changes again. *)
 
 val read_bytes : t -> addr:int -> len:int -> bytes
 val write_bytes : t -> addr:int -> bytes -> unit

@@ -35,7 +35,7 @@ let create config =
 
 let walk_cost t = t.config.page_walk_levels * t.config.walk_cycles_per_level
 
-let lookup t ~page =
+let lookup_slot t ~page =
   let set = page mod t.sets in
   let base = set * t.config.ways in
   t.clock <- t.clock + 1;
@@ -48,12 +48,15 @@ let lookup t ~page =
   | Some way ->
       t.hits <- t.hits + 1;
       t.stamps.(base + way) <- t.clock;
-      Some t.payloads.(base + way)
+      Some (t.payloads.(base + way), base + way)
   | None ->
       t.misses <- t.misses + 1;
       None
 
-let fill t ~page ~payload =
+let lookup t ~page =
+  match lookup_slot t ~page with Some (payload, _) -> Some payload | None -> None
+
+let fill_slot t ~page ~payload =
   let set = page mod t.sets in
   let base = set * t.config.ways in
   let victim = ref 0 in
@@ -62,7 +65,17 @@ let fill t ~page ~payload =
   done;
   t.tags.(base + !victim) <- page;
   t.payloads.(base + !victim) <- payload;
-  t.stamps.(base + !victim) <- t.clock
+  t.stamps.(base + !victim) <- t.clock;
+  base + !victim
+
+let fill t ~page ~payload = ignore (fill_slot t ~page ~payload)
+
+let holds t ~slot ~page = t.tags.(slot) = page
+
+let touch t ~slot =
+  t.clock <- t.clock + 1;
+  t.hits <- t.hits + 1;
+  t.stamps.(slot) <- t.clock
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

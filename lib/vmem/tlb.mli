@@ -34,6 +34,23 @@ val lookup : t -> page:int -> int option
 val fill : t -> page:int -> payload:int -> unit
 (** Insert a translation, evicting the set's LRU entry if needed. *)
 
+val lookup_slot : t -> page:int -> (int * int) option
+(** Like {!lookup} but also returns the entry's slot index, so callers can
+    pin a hot translation and re-touch it cheaply via {!touch} without a
+    full set scan. Counter effects are identical to {!lookup}. *)
+
+val fill_slot : t -> page:int -> payload:int -> int
+(** Like {!fill} but returns the slot index the translation landed in. *)
+
+val holds : t -> slot:int -> page:int -> bool
+(** Is [slot] still caching the translation for [page]? False once the
+    entry is evicted or the TLB flushed. *)
+
+val touch : t -> slot:int -> unit
+(** Record a repeat hit on a pinned slot: advances the clock, counts a hit
+    and refreshes the entry's LRU stamp — exactly what {!lookup} would do
+    on a hit, minus the set scan. Only call when {!holds} is true. *)
+
 val walk_cost : t -> int
 (** Cycles for one page walk under this configuration. *)
 

@@ -38,9 +38,9 @@ let compile ?(vectorize = false) ~strategy k =
   let cfg = { (Codegen.default_config ~strategy ()) with Codegen.vectorize } in
   Codegen.compile cfg (module_for k strategy)
 
-let run ?cost ?vectorize ~strategy k =
+let run ?cost ?vectorize ?engine ~strategy k =
   let compiled = compile ?vectorize ~strategy k in
-  let engine = Runtime.create_engine ?cost compiled in
+  let engine = Runtime.create_engine ?cost ?engine compiled in
   let inst = Runtime.instantiate engine in
   Runtime.reset_metrics engine;
   match Runtime.invoke inst k.entry k.args with

@@ -46,12 +46,14 @@ type measurement = {
 val run :
   ?cost:Sfi_machine.Cost.t ->
   ?vectorize:bool ->
+  ?engine:Sfi_machine.Machine.engine_kind ->
   strategy:Sfi_core.Strategy.t ->
   t ->
   measurement
 (** Compile under [strategy] (picking the native-layout module for the
     [Direct] strategy when one exists), instantiate, invoke, verify the
     checksum, and return the performance counters of the invocation.
+    [engine] selects the machine execution engine (default [Threaded]).
     Raises [Failure] on a trap or checksum mismatch. *)
 
 val normalized : ?cost:Sfi_machine.Cost.t -> ?vectorize:bool -> Sfi_core.Strategy.t -> t -> float

@@ -17,4 +17,5 @@ let () =
       ("codegen", Test_codegen.tests);
       ("figure1", Test_figure1.tests);
       ("codegen-random", Test_random_programs.tests);
+      ("engine", Test_engine.tests);
     ]
