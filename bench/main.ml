@@ -827,6 +827,33 @@ let bechamel_suite () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzz gate.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz () =
+  section
+    "Fuzz - seeded differential corpus: reference interpreter vs all six SFI strategies on \
+     both engines (sanitizer armed), plus the LFI triple on tame programs";
+  let t0 = Unix.gettimeofday () in
+  let report = Sfi_fuzz.Fuzz.run_corpus ~seed:0xC0FFEEL ~count:150 () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let t = Table.create ~headers:[ "programs"; "executions"; "lfi"; "interp traps"; "wall s" ] in
+  Table.add_row t
+    [
+      string_of_int report.Sfi_fuzz.Fuzz.r_programs;
+      string_of_int report.Sfi_fuzz.Fuzz.r_executions;
+      string_of_int report.Sfi_fuzz.Fuzz.r_lfi_programs;
+      string_of_int report.Sfi_fuzz.Fuzz.r_interp_traps;
+      Printf.sprintf "%.2f" wall;
+    ];
+  print_table t;
+  (match report.Sfi_fuzz.Fuzz.r_divergences with
+  | [] -> note "No divergences: every semantics agrees on the whole corpus."
+  | d :: _ as ds ->
+      Format.printf "%a@." Sfi_fuzz.Fuzz.pp_divergence d;
+      failwith (Printf.sprintf "fuzz: %d divergence(s)" (List.length ds)))
+
+(* ------------------------------------------------------------------ *)
 (* Registry and the domain-parallel runner.                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -848,10 +875,12 @@ let experiments =
     ("mte", mte);
     ("ablations", ablations);
     ("engine", engine_compare);
+    ("fuzz", fuzz);
   ]
 
-(* The CI tier: cheap experiments only, plus the engine cross-check. *)
-let quick_ids = [ "table2"; "table1"; "scaling"; "mte"; "engine" ]
+(* The CI tier: cheap experiments only, plus the engine cross-check and
+   the differential fuzz gate. *)
+let quick_ids = [ "table2"; "table1"; "scaling"; "mte"; "engine"; "fuzz" ]
 
 (* Kernel modules are built lazily and shared between experiments;
    force them all before spawning domains (concurrent Lazy.force of the

@@ -295,9 +295,77 @@ let inject_cmd =
        ~doc:"Run the fault-injection containment harness against the SFI strategies.")
     Term.(const run $ strategy_name $ self_test $ verbose)
 
+let fuzz_cmd =
+  let module Fuzz = Sfi_fuzz.Fuzz in
+  let count =
+    Arg.(value & opt int 100
+         & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of random programs to check.")
+  in
+  let seed =
+    Arg.(value & opt int 0xC0FFEE
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Base seed; program $(i,i) uses seed SEED+$(i,i), so failures replay alone.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"The fixed-seed CI corpus: 500 programs with the default seed, sanitizer on.")
+  in
+  let replay =
+    Arg.(value & opt (some int) None
+         & info [ "replay" ] ~docv:"SEED"
+             ~doc:"Regenerate and print one program from its seed, then re-run the full oracle.")
+  in
+  let self_test =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"Weaken the isolation deliberately (guard-region hole; swapped ColorGuard \
+                   PKRU image) and verify the sanitizer reports the faulting instruction.")
+  in
+  let no_sanitizer =
+    Arg.(value & flag
+         & info [ "no-sanitizer" ] ~doc:"Run compiled programs without the SFI sanitizer armed.")
+  in
+  let no_minimize =
+    Arg.(value & flag & info [ "no-minimize" ] ~doc:"Report divergences without shrinking them.")
+  in
+  let run count seed quick replay self_test no_sanitizer no_minimize =
+    let sanitizer = not no_sanitizer in
+    if self_test then begin
+      match Fuzz.self_test () with
+      | Ok msg -> print_endline ("self-test passed: " ^ msg)
+      | Error msg ->
+          prerr_endline ("self-test FAILED: " ^ msg);
+          exit 1
+    end
+    else
+      match replay with
+      | Some s ->
+          let r = Fuzz.replay ~sanitizer Format.std_formatter (Int64.of_int s) in
+          if r.Fuzz.failure <> None then exit 1
+      | None ->
+          let count, seed = if quick then (500, 0xC0FFEE) else (count, seed) in
+          let report =
+            Fuzz.run_corpus ~sanitizer ~minimize_failures:(not no_minimize)
+              ~progress:(fun i ->
+                if i > 0 && i mod 100 = 0 then Printf.eprintf "... %d programs\n%!" i)
+              ~seed:(Int64.of_int seed) ~count ()
+          in
+          Format.printf "%a" Fuzz.pp_report report;
+          if report.Fuzz.r_divergences <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz every execution path: reference interpreter vs all six SFI \
+          strategies on both machine engines (plus the LFI rewriter on tame programs), with \
+          the SFI sanitizer shadow-checking every access.")
+    Term.(const run $ count $ seed $ quick $ replay $ self_test $ no_sanitizer $ no_minimize)
+
 let () =
   let doc = "Segue & ColorGuard SFI toolchain (simulated x86-64)" in
   let info = Cmd.info "sfi" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; disasm_cmd; run_cmd; layout_cmd; simulate_cmd; inject_cmd ]))
+       (Cmd.group info
+          [ list_cmd; disasm_cmd; run_cmd; layout_cmd; simulate_cmd; inject_cmd; fuzz_cmd ]))

@@ -1474,10 +1474,24 @@ let compile_func cfg m fresh code (f : W.func) =
 let emit_builtins code =
   let e i = ignore (Vec.push code i) in
   let mem = X.mem in
-  (* __bulk_copy(dst=RDI, src=RSI, len=RDX): converts the sandbox offsets
-     to absolute pointers once, then runs a 16-byte vector loop with a byte
-     tail. memmove semantics (backward copy when dst > src). *)
+  (* __bulk_copy(dst=RDI, src=RSI, len=RDX): bounds-checks both ranges
+     against the current memory size, converts the sandbox offsets to
+     absolute pointers once, then runs a 16-byte vector loop with a byte
+     tail. memmove semantics (backward copy when dst > src).
+
+     The explicit range checks are required for correctness, not merely
+     defence in depth: a zero-length copy performs no access, so the guard
+     region can never catch [dst > memory_bytes] when [len = 0] — yet the
+     spec traps whenever [dst + len] or [src + len] exceeds the memory
+     size. The offsets arrive zero-extended from 32 bits, so the 64-bit
+     address computation cannot wrap. *)
   e (X.Label "__bulk_copy");
+  e (X.Lea (X.W64, X.R15, mem ~base:X.RDI ~index:(X.RDX, X.S1) ()));
+  e (X.Cmp (X.W64, X.Reg X.R15, X.Mem (mem ~seg:X.FS ~disp:vmctx_memory_bytes ())));
+  e (X.Jcc (X.A, "__trap_oob"));
+  e (X.Lea (X.W64, X.R15, mem ~base:X.RSI ~index:(X.RDX, X.S1) ()));
+  e (X.Cmp (X.W64, X.Reg X.R15, X.Mem (mem ~seg:X.FS ~disp:vmctx_memory_bytes ())));
+  e (X.Jcc (X.A, "__trap_oob"));
   e (X.Mov (X.W64, X.Reg X.R15, X.Mem (mem ~seg:X.FS ~disp:vmctx_heap_base ())));
   e (X.Alu (X.Add, X.W64, X.Reg X.RDI, X.Reg X.R15));
   e (X.Alu (X.Add, X.W64, X.Reg X.RSI, X.Reg X.R15));
@@ -1518,8 +1532,13 @@ let emit_builtins code =
   e (X.Label "__bc_done");
   e X.Ret;
   (* __bulk_fill(dst=RDI, byte=RSI, len=RDX): 8-byte stores of a replicated
-     byte pattern plus a byte tail. *)
+     byte pattern plus a byte tail. The range check mirrors __bulk_copy's:
+     without it a zero-length fill at an out-of-bounds address would
+     silently succeed. *)
   e (X.Label "__bulk_fill");
+  e (X.Lea (X.W64, X.R15, mem ~base:X.RDI ~index:(X.RDX, X.S1) ()));
+  e (X.Cmp (X.W64, X.Reg X.R15, X.Mem (mem ~seg:X.FS ~disp:vmctx_memory_bytes ())));
+  e (X.Jcc (X.A, "__trap_oob"));
   e (X.Mov (X.W64, X.Reg X.R15, X.Mem (mem ~seg:X.FS ~disp:vmctx_heap_base ())));
   e (X.Alu (X.Add, X.W64, X.Reg X.RDI, X.Reg X.R15));
   e (X.Alu (X.And, X.W64, X.Reg X.RSI, X.Imm 0xFFL));

@@ -10,6 +10,18 @@ let segue_loads_only = { addressing = Segment_loads_only; bounds = Guard_region 
 let wasm_bounds_checked = { addressing = Reserved_base; bounds = Explicit_check }
 let segue_bounds_checked = { addressing = Segment; bounds = Explicit_check }
 
+let masked = { addressing = Reserved_base; bounds = Mask }
+
+let all_sfi =
+  [
+    wasm_default;
+    segue;
+    segue_loads_only;
+    wasm_bounds_checked;
+    segue_bounds_checked;
+    masked;
+  ]
+
 let reserves_base_register t =
   match t.addressing with
   | Reserved_base | Segment_loads_only -> true

@@ -50,6 +50,14 @@ val segue_loads_only : t
 val wasm_bounds_checked : t
 val segue_bounds_checked : t
 
+val masked : t
+(** [Reserved_base] + [Mask]: Wahbe-style masking (wrap-around, no trap). *)
+
+val all_sfi : t list
+(** The six sandboxing strategies (everything except {!native}), in
+    canonical order — the oracle set the differential fuzzer runs every
+    program through. *)
+
 val reserves_base_register : t -> bool
 (** Does this strategy keep a GPR pinned to the heap base? True for
     [Reserved_base] and [Segment_loads_only]. *)

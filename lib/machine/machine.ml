@@ -26,6 +26,16 @@ exception Halt_exn
 
 type engine_kind = Threaded | Reference
 
+(* SFI sanitizer hook. [San_read]/[San_write] fire after an access passed
+   every architectural check (mapping, protection, PKRU) — i.e. for
+   accesses that would silently succeed; a policy installed by the runtime
+   can then flag accesses that are architecturally legal but outside the
+   owning sandbox's slot. [San_branch] fires when an indirect branch target
+   is about to be resolved, before the machine's own code-bounds check, so
+   a wild target is attributed to the faulting instruction rather than to a
+   generic out-of-bounds trap. *)
+type sanitizer_access = San_read | San_write | San_branch
+
 type loaded = {
   program : program;
   offsets : int array; (* byte offset of each instruction *)
@@ -64,6 +74,11 @@ and t = {
   mutable last_fault : fault_info option;
   mutable hostcall : t -> int -> unit;
   mutable engine : engine_kind;
+  (* Shadow-checker consulted on successful data accesses and on indirect
+     branch resolution; [None] (the default) costs one predictable branch
+     on the access path. The callback must not mutate machine state — both
+     execution engines run it and must stay bit-identical. *)
+  mutable sanitizer : (t -> kind:sanitizer_access -> addr:int -> len:int -> unit) option;
   (* Page access cache: a small direct-mapped table (indexed by
      [page land pc_mask]) that skips the TLB/prot/MPK walk when an access
      hits a recently checked page and nothing that could change the
@@ -137,6 +152,7 @@ let create ?(cost = Cost.default) ?(tlb = Tlb.default_config) ?(code_base = defa
     last_fault = None;
     hostcall = (fun _ n -> invalid_arg (Printf.sprintf "no hostcall handler (hostcall %d)" n));
     engine = Threaded;
+    sanitizer = None;
     pc_tag = Array.make pc_size (-1);
     pc_slot = Array.make pc_size 0;
     pc_read_ok = Array.make pc_size false;
@@ -326,7 +342,14 @@ let check_access t ~addr ~len ~write =
      end);
     if last <> first then ignore (check_page_slow t ~page:last ~write);
     touch_dcache t addr;
-    if (addr + len - 1) lsr 6 <> addr lsr 6 then touch_dcache t (addr + len - 1)
+    if (addr + len - 1) lsr 6 <> addr lsr 6 then touch_dcache t (addr + len - 1);
+    (* Every architectural check passed: give the sanitizer (if armed) a
+       chance to flag an access that is legal for the hardware but illegal
+       for the owning sandbox. An access that trapped above never reaches
+       this point — it is already contained and attributed precisely. *)
+    match t.sanitizer with
+    | None -> ()
+    | Some f -> f t ~kind:(if write then San_write else San_read) ~addr ~len
   with Trap_exn _ as e ->
     t.last_fault <- Some { fault_addr = addr; fault_write = write };
     raise e
@@ -531,6 +554,9 @@ let halt_sentinel = 0L
    flat offset table (first instruction at a given address wins, as labels
    share the address of the instruction that follows them). *)
 let jump_via index_of_off code_base t addr =
+  (match t.sanitizer with
+  | None -> ()
+  | Some f -> f t ~kind:San_branch ~addr ~len:0);
   let off = addr - code_base in
   if off >= 0 && off < Array.length index_of_off && index_of_off.(off) >= 0 then
     t.pc <- index_of_off.(off)
@@ -1248,6 +1274,13 @@ let start t ~entry =
   push64 t halt_sentinel
 
 let last_fault_info t = t.last_fault
+let set_sanitizer t f = t.sanitizer <- f
+let pc t = t.pc
+
+let instr_at t idx =
+  match t.loaded with
+  | Some l when idx >= 0 && idx < Array.length l.program -> Some l.program.(idx)
+  | _ -> None
 
 let run_reference t ~fuel =
   let budget = ref fuel in

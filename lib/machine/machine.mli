@@ -120,6 +120,34 @@ val last_fault_info : t -> fault_info option
 (** Metadata for the most recent access trap, or [None] if no access has
     trapped since the last {!start}. *)
 
+(** {1 SFI sanitizer hook}
+
+    A shadow-checker for escape detection: the runtime installs a policy
+    that knows the owning sandbox's slot bounds and MPK color and flags
+    accesses the hardware would happily perform — e.g. a store that lands
+    in a mapped page of a neighbouring slot. Data checks fire {e after} the
+    architectural checks succeed (a trapped access is already contained);
+    branch checks fire {e before} indirect-target resolution so a wild
+    target is reported at the faulting instruction. The callback must not
+    mutate machine state: both engines run it and must remain bit-identical
+    under {!Lockstep}. It reports violations by raising. *)
+
+type sanitizer_access =
+  | San_read  (** a data load that passed every architectural check *)
+  | San_write  (** a data store that passed every architectural check *)
+  | San_branch  (** an indirect branch target about to be resolved ([len] is 0) *)
+
+val set_sanitizer :
+  t -> (t -> kind:sanitizer_access -> addr:int -> len:int -> unit) option -> unit
+(** Install ([Some f]) or disarm ([None], the default) the sanitizer. *)
+
+val pc : t -> int
+(** Index of the instruction currently executing (or next to execute) —
+    what a sanitizer callback reads to attribute a violation. *)
+
+val instr_at : t -> int -> Sfi_x86.Ast.instr option
+(** The loaded instruction at an index, for violation reports. *)
+
 (** {1 Counters} *)
 
 val counters : t -> counters

@@ -539,6 +539,121 @@ let attribute_address e addr =
     end
   end
 
+(* --- SFI sanitizer ---
+
+   A shadow policy installed into the machine's sanitizer hook: every data
+   access that the hardware accepted must land inside the current
+   instance's own regions (its heap slot up to the current memory bound,
+   its vmctx page, its host stack, the shared indirect-call tables), and
+   under ColorGuard the PKRU in force must be exactly the sandbox's own
+   image. Every indirect branch target must resolve inside the code
+   region. Violations surface as {!Sanitizer_violation} raised at the
+   faulting instruction — strictly stronger than the architectural checks,
+   which happily let a sandbox touch a neighbour's mapped pages. *)
+
+type violation = {
+  v_kind : [ `Read | `Write | `Branch ];
+  v_addr : int;
+  v_len : int;
+  v_pc : int;
+  v_instr : string;
+  v_instr_count : int;
+  v_attribution : [ `Slot of int | `Guard of int | `Host ];
+  v_detail : string;
+}
+
+exception Sanitizer_violation of violation
+
+let kind_name = function `Read -> "read" | `Write -> "write" | `Branch -> "branch"
+
+let attribution_name = function
+  | `Slot n -> Printf.sprintf "slot %d" n
+  | `Guard n -> Printf.sprintf "guard after slot %d" n
+  | `Host -> "host memory"
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "sanitizer: out-of-sandbox %s of %d byte(s) at 0x%x (%s) — instruction #%d `%s` (pc %d): %s"
+    (kind_name v.v_kind) v.v_len v.v_addr (attribution_name v.v_attribution) v.v_instr_count
+    v.v_instr v.v_pc v.v_detail
+
+let table_area_bytes e =
+  Sfi_util.Units.align_up (max 4096 (8 * Array.length e.compiled.Codegen.table_entries)) 4096
+
+let violation e m ~kind ~addr ~len ~detail =
+  let pc = Machine.pc m in
+  let instr =
+    match Machine.instr_at m pc with
+    | Some i -> Format.asprintf "%a" Sfi_x86.Ast.pp_instr i
+    | None -> "<no instruction>"
+  in
+  Sanitizer_violation
+    {
+      v_kind = kind;
+      v_addr = addr;
+      v_len = len;
+      v_pc = pc;
+      v_instr = instr;
+      v_instr_count = (Machine.counters m).Machine.instructions;
+      v_attribution = attribute_address e addr;
+      v_detail = detail;
+    }
+
+let arm_sanitizer e =
+  let cfg = e.compiled.Codegen.config in
+  let tables = table_area_bytes e in
+  Machine.set_sanitizer e.machine
+    (Some
+       (fun m ~kind ~addr ~len ->
+         match e.current with
+         | None -> () (* host-side use of the machine, not sandboxed code *)
+         | Some inst -> (
+             match kind with
+             | Machine.San_branch ->
+                 let base, code_len = Machine.code_bounds m in
+                 if not (addr >= base && addr < base + code_len) then
+                   raise
+                     (violation e m ~kind:`Branch ~addr ~len:0
+                        ~detail:"indirect branch target outside the code region")
+             | Machine.San_read | Machine.San_write ->
+                 let kind' = if kind = Machine.San_write then `Write else `Read in
+                 let lo = addr and hi = addr + max 1 len in
+                 let within a b = lo >= a && hi <= b in
+                 let in_regions =
+                   within inst.heap (inst.heap + (inst.pages * wasm_page))
+                   || within inst.vmctx (inst.vmctx + 4096)
+                   || within (inst.vmctx + host_stack_offset) inst.stack_top
+                   || within cfg.Codegen.table_base (cfg.Codegen.table_base + tables)
+                   || within cfg.Codegen.table_types_base
+                        (cfg.Codegen.table_types_base + tables)
+                 in
+                 if not in_regions then
+                   raise
+                     (violation e m ~kind:kind' ~addr ~len
+                        ~detail:
+                          (Printf.sprintf
+                             "outside the sandbox's slot bounds (heap 0x%x + %d pages)"
+                             inst.heap inst.pages));
+                 if cfg.Codegen.colorguard && inst.inst_color <> 0 then begin
+                   let expected = Mpk.allow_only [ Mpk.default_key; inst.inst_color ] in
+                   if Machine.get_pkru m <> expected then
+                     raise
+                       (violation e m ~kind:kind' ~addr ~len
+                          ~detail:
+                            (Printf.sprintf
+                               "PKRU 0x%x in force instead of the sandbox image 0x%x (color %d)"
+                               (Machine.get_pkru m) expected inst.inst_color))
+                 end)))
+
+let disarm_sanitizer e = Machine.set_sanitizer e.machine None
+
+(* --- debugging accessors used by the fuzz harness --- *)
+
+let read_global inst i =
+  Space.read64 inst.engine.space (inst.vmctx + Codegen.vmctx_globals + (8 * i))
+
+let vmctx_addr inst = inst.vmctx
+
 let transitions e = e.transitions
 let elapsed_ns e = Machine.elapsed_ns e.machine
 

@@ -172,6 +172,45 @@ val attribute_address : engine -> int -> [ `Slot of int | `Guard of int | `Host 
     after a slot, or host memory — turning a faulting address into "which
     tenant misbehaved". *)
 
+(** {1 SFI sanitizer}
+
+    A shadow policy over {!Sfi_machine.Machine.set_sanitizer}: while armed,
+    every data access of the machine must land inside the current
+    instance's own regions (heap slot up to its live memory bound, vmctx
+    page, host stack, the shared indirect-call tables) and — under
+    ColorGuard — run with exactly the sandbox's PKRU image; every indirect
+    branch must resolve inside the code region. Accesses that trap are
+    already contained and never consulted; the sanitizer exists to catch
+    the accesses the hardware would silently allow (e.g. a neighbour's
+    mapped page inside a deliberately weakened guard region). *)
+
+type violation = {
+  v_kind : [ `Read | `Write | `Branch ];
+  v_addr : int;
+  v_len : int;
+  v_pc : int;  (** instruction index at the fault *)
+  v_instr : string;  (** the faulting instruction, printed *)
+  v_instr_count : int;  (** instructions retired when it fired *)
+  v_attribution : [ `Slot of int | `Guard of int | `Host ];
+  v_detail : string;
+}
+
+exception Sanitizer_violation of violation
+(** Raised out of {!invoke} (and friends) at the faulting instruction. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val arm_sanitizer : engine -> unit
+val disarm_sanitizer : engine -> unit
+
+val read_global : instance -> int -> int64
+(** Raw bits of global [i] in the instance's vmctx — the compiled-side
+    counterpart of {!Sfi_wasm.Interp.global_value} for differential
+    checks. *)
+
+val vmctx_addr : instance -> int
+(** Address of the instance's vmctx block (for harnesses that deliberately
+    corrupt runtime state, e.g. the sanitizer self-test). *)
+
 (** {1 Metrics} *)
 
 val transitions : engine -> int

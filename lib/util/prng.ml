@@ -16,8 +16,18 @@ let next_int64 t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  raw mod bound
+  (* Rejection sampling over a 62-bit draw: [2^62 mod bound] residues sit in
+     an incomplete final block, so accepting them would skew small values
+     (visible once [bound] approaches 2^62). Reject draws past the largest
+     multiple of [bound]; for small bounds the rejection probability is
+     ~bound/2^62, so existing seeded streams are preserved in practice. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - rem in
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if raw <= cutoff then raw mod bound else draw ()
+  in
+  draw ()
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Prng.int_in: hi < lo";

@@ -20,8 +20,9 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
-    [bound <= 0]. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via
+    rejection sampling over a 62-bit draw, not modulo reduction. Raises
+    [Invalid_argument] if [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Raises

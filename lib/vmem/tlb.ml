@@ -63,6 +63,11 @@ let fill_slot t ~page ~payload =
   for way = 1 to t.config.ways - 1 do
     if t.stamps.(base + way) < t.stamps.(base + !victim) then victim := way
   done;
+  (* A fill is a recency event of its own: without the increment a
+     just-filled line reuses the last lookup/touch clock, ties with the
+     most-recently-touched line, and can be evicted by the very next fill
+     in the set. *)
+  t.clock <- t.clock + 1;
   t.tags.(base + !victim) <- page;
   t.payloads.(base + !victim) <- payload;
   t.stamps.(base + !victim) <- t.clock;

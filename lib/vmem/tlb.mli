@@ -32,7 +32,9 @@ val lookup : t -> page:int -> int option
     {!walk_cost}, and {!fill}s. *)
 
 val fill : t -> page:int -> payload:int -> unit
-(** Insert a translation, evicting the set's LRU entry if needed. *)
+(** Insert a translation, evicting the set's LRU entry if needed. The fill
+    is itself a recency event: the inserted line is stamped strictly newer
+    than every line touched before it. *)
 
 val lookup_slot : t -> page:int -> (int * int) option
 (** Like {!lookup} but also returns the entry's slot index, so callers can

@@ -17,5 +17,6 @@ let () =
       ("codegen", Test_codegen.tests);
       ("figure1", Test_figure1.tests);
       ("codegen-random", Test_random_programs.tests);
+      ("fuzz", Test_fuzz.tests);
       ("engine", Test_engine.tests);
     ]

@@ -48,6 +48,28 @@ let test_prng_distributions () =
   let big = Prng.poisson t ~mean:5000.0 in
   Alcotest.(check bool) "poisson large mean plausible" true (big > 4000 && big < 6000)
 
+(* Uniformity near the top of the draw range. [Prng.int] draws 62 raw
+   bits; with [bound = 3 * 2^60] the final block [3*2^60, 4*2^60) is
+   incomplete, so plain modulo reduction would map it back onto
+   [0, 2^60) and double that third's frequency: P(v < bound/3) would be
+   1/2 instead of 1/3. Rejection sampling must keep it at 1/3. *)
+let test_prng_uniformity () =
+  let t = Prng.create ~seed:0xB1A5L in
+  let bound = 3 * (1 lsl 60) in
+  let third = bound / 3 in
+  let n = 10_000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let v = Prng.int t bound in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < bound);
+    if v < third then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "low third drawn uniformly (%.3f)" frac)
+    true
+    (frac > 0.30 && frac < 0.37)
+
 let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
@@ -122,6 +144,7 @@ let tests =
     Harness.case "prng copy" test_prng_copy;
     Harness.case "prng ranges" test_prng_ranges;
     Harness.case "prng distributions" test_prng_distributions;
+    Harness.case "prng uniformity at large bounds" test_prng_uniformity;
     Harness.case "stats" test_stats;
     Harness.case "units" test_units;
     QCheck_alcotest.to_alcotest prop_align_up;

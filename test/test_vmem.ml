@@ -151,6 +151,31 @@ let test_tlb () =
   Tlb.reset_counters t;
   Alcotest.(check int) "counters reset" 0 (Tlb.hits t)
 
+(* Each fill must be a recency event of its own. Before the clock bump in
+   [fill_slot], a filled line reused the last lookup's stamp: two
+   back-to-back fills into one set tied at the same stamp and the second
+   evicted the first, and a just-filled line lost LRU ties against lines
+   touched long before it. *)
+let test_tlb_fill_recency () =
+  let t = Tlb.create { Tlb.entries = 2; ways = 2; page_walk_levels = 4; walk_cycles_per_level = 5 }
+  in
+  (* one set, two ways: consecutive fills must occupy distinct ways *)
+  Tlb.fill t ~page:0 ~payload:10;
+  Tlb.fill t ~page:1 ~payload:11;
+  Alcotest.(check (option int)) "first fill survives the second" (Some 10) (Tlb.lookup t ~page:0);
+  Alcotest.(check (option int)) "second fill present" (Some 11) (Tlb.lookup t ~page:1);
+  (* page 1 is now older than page 0 (both were just looked up, page 1
+     first): a fill evicts page 1, and the freshly filled page 2 must in
+     turn survive the next fill while page 0 - older than it - is evicted *)
+  ignore (Tlb.lookup t ~page:1);
+  ignore (Tlb.lookup t ~page:0);
+  Tlb.fill t ~page:2 ~payload:12;
+  Alcotest.(check bool) "lru line evicted" true (Tlb.lookup t ~page:1 = None);
+  Tlb.fill t ~page:3 ~payload:13;
+  Alcotest.(check (option int)) "just-filled line outranks older lines" (Some 12)
+    (Tlb.lookup t ~page:2);
+  Alcotest.(check bool) "older line was the victim" true (Tlb.lookup t ~page:0 = None)
+
 let test_mte () =
   let m = Mte.create () in
   Alcotest.(check int) "untagged is 0" 0 (Mte.tag_of m ~addr:0x100);
@@ -199,6 +224,7 @@ let tests =
     Harness.case "data ops" test_data_ops;
     Harness.case "mpk" test_mpk;
     Harness.case "tlb" test_tlb;
+    Harness.case "tlb fill recency" test_tlb_fill_recency;
     Harness.case "mte" test_mte;
     QCheck_alcotest.to_alcotest prop_space_roundtrip;
   ]
