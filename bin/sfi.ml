@@ -329,8 +329,15 @@ let fuzz_cmd =
   let no_minimize =
     Arg.(value & flag & info [ "no-minimize" ] ~doc:"Report divergences without shrinking them.")
   in
-  let run count seed quick replay self_test no_sanitizer no_minimize =
+  let no_churn =
+    Arg.(value & flag
+         & info [ "no-churn" ]
+             ~doc:"Skip the lifecycle arm (instantiate/kill/recycle, then re-run on the \
+                   recycled slot).")
+  in
+  let run count seed quick replay self_test no_sanitizer no_minimize no_churn =
     let sanitizer = not no_sanitizer in
+    let churn = not no_churn in
     if self_test then begin
       match Fuzz.self_test () with
       | Ok msg -> print_endline ("self-test passed: " ^ msg)
@@ -341,12 +348,12 @@ let fuzz_cmd =
     else
       match replay with
       | Some s ->
-          let r = Fuzz.replay ~sanitizer Format.std_formatter (Int64.of_int s) in
+          let r = Fuzz.replay ~sanitizer ~churn Format.std_formatter (Int64.of_int s) in
           if r.Fuzz.failure <> None then exit 1
       | None ->
           let count, seed = if quick then (500, 0xC0FFEE) else (count, seed) in
           let report =
-            Fuzz.run_corpus ~sanitizer ~minimize_failures:(not no_minimize)
+            Fuzz.run_corpus ~sanitizer ~churn ~minimize_failures:(not no_minimize)
               ~progress:(fun i ->
                 if i > 0 && i mod 100 = 0 then Printf.eprintf "... %d programs\n%!" i)
               ~seed:(Int64.of_int seed) ~count ()
@@ -360,7 +367,9 @@ let fuzz_cmd =
          "Differentially fuzz every execution path: reference interpreter vs all six SFI \
           strategies on both machine engines (plus the LFI rewriter on tame programs), with \
           the SFI sanitizer shadow-checking every access.")
-    Term.(const run $ count $ seed $ quick $ replay $ self_test $ no_sanitizer $ no_minimize)
+    Term.(
+      const run $ count $ seed $ quick $ replay $ self_test $ no_sanitizer $ no_minimize
+      $ no_churn)
 
 let () =
   let doc = "Segue & ColorGuard SFI toolchain (simulated x86-64)" in

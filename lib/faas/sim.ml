@@ -29,10 +29,14 @@ type config = {
   os_switch_ns : float;
   faults : fault_model;
   seed : int64;
+  churn : bool;
+  page_zero_ns : float;
+  legacy_lifecycle : bool;
 }
 
 let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
-    ?(faults = no_faults) () =
+    ?(faults = no_faults) ?(churn = false) ?(page_zero_ns = 0.0)
+    ?(legacy_lifecycle = false) () =
   {
     mode;
     workload;
@@ -43,6 +47,9 @@ let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
     os_switch_ns = 5000.0;
     faults;
     seed = 0x5EEDL;
+    churn;
+    page_zero_ns;
+    legacy_lifecycle;
   }
 
 type result = {
@@ -51,6 +58,7 @@ type result = {
   watchdog_kills : int;
   collateral_aborts : int;
   recycles : int;
+  pages_zeroed : int;
   throughput_rps : float;
   goodput_rps : float;
   availability : float;
@@ -134,6 +142,29 @@ let run cfg =
           seq = 0;
         })
   in
+  (* Lifecycle cost model: instantiation / recycle work in OS pages, priced
+     at [page_zero_ns] each (0.0 = free, the historical behavior). The CoW
+     runtime pays the dirty pages its recycles actually dropped plus one
+     privatized vmctx page per instantiate; [legacy_lifecycle] re-prices
+     every instantiate as the pre-refactor runtime's O(min_pages) work — a
+     whole-heap madvise plus a full data-segment rewrite. *)
+  let heap_os_pages =
+    match m.Sfi_wasm.Ast.memory with
+    | Some mem ->
+        mem.Sfi_wasm.Ast.min_pages * (Sfi_wasm.Ast.page_size / Sfi_vmem.Space.page_size)
+    | None -> 0
+  in
+  let lifecycle_pages proc =
+    let mt = Runtime.metrics engines.(proc) in
+    let instantiates =
+      mt.Runtime.m_instantiations_cold + mt.Runtime.m_instantiations_warm
+    in
+    if cfg.legacy_lifecycle then instantiates * 2 * heap_os_pages
+    else mt.Runtime.m_pages_zeroed_on_recycle + instantiates
+  in
+  (* Startup instantiation is warm-up, not serving time: snapshot after the
+     request array is built so only churn-driven lifecycle work is billed. *)
+  let lifecycle_prev = Array.init nprocs lifecycle_pages in
   let cost = Machine.cost_model (Runtime.machine engines.(0)) in
   let cycles_of_ns ns = Cost.cycles_of_ns cost ns in
   let ns_of_cycles c = Cost.ns_of_cycles cost c in
@@ -157,7 +188,17 @@ let run cfg =
     let delta = ns_of_cycles (c - engine_cycles.(proc)) in
     clock := !clock +. delta;
     busy := !busy +. delta;
-    engine_cycles.(proc) <- c
+    engine_cycles.(proc) <- c;
+    if cfg.page_zero_ns > 0.0 then begin
+      let w = lifecycle_pages proc in
+      let dw = w - lifecycle_prev.(proc) in
+      if dw > 0 then begin
+        let ns = float_of_int dw *. cfg.page_zero_ns in
+        clock := !clock +. ns;
+        busy := !busy +. ns
+      end;
+      lifecycle_prev.(proc) <- w
+    end
   in
   (* Which handler serves this request: the per-request fault model draws
      a misbehaving one with the configured probabilities. *)
@@ -229,6 +270,10 @@ let run cfg =
           checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL);
           r.act <- None;
           r.seq <- r.seq + 1;
+          (* High-churn mode: every request runs on a fresh instance, the
+             §6.4.3 FaaS pattern. Release recycles the slot (dirty pages
+             revert to the image); the next request re-instantiates. *)
+          if cfg.churn then Runtime.release r.inst;
           r.ready_at <- !clock +. io_delay ()
       | `Trapped _ ->
           (* The sandbox crashed; Runtime.step already killed the instance
@@ -304,12 +349,18 @@ let run cfg =
     Array.fold_left (fun acc e -> acc + Machine.dtlb_misses (Runtime.machine e)) 0 engines
   in
   let attempts = !completed + !failed + !collateral in
+  let pages_zeroed =
+    Array.fold_left
+      (fun acc e -> acc + (Runtime.metrics e).Runtime.m_pages_zeroed_on_recycle)
+      0 engines
+  in
   {
     completed = !completed;
     failed = !failed;
     watchdog_kills = !watchdog_kills;
     collateral_aborts = !collateral;
     recycles = !recycles;
+    pages_zeroed;
     throughput_rps = float_of_int attempts /. (!clock /. 1.0e9);
     goodput_rps = float_of_int !completed /. (!clock /. 1.0e9);
     availability =

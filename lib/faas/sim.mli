@@ -48,13 +48,33 @@ type config = {
   os_switch_ns : float;  (** OS context-switch direct cost *)
   faults : fault_model;
   seed : int64;
+  churn : bool;
+      (** release every instance after its request completes, so each
+          request runs on a fresh instantiation — the §6.4.3 FaaS pattern *)
+  page_zero_ns : float;
+      (** price of one OS page of instantiation/recycle work (zeroing or
+          copying); 0.0 (default) makes lifecycle work free, the historical
+          behavior. The paper's 79 us / 64 KiB instance (§7) gives
+          ~4937 ns/page. *)
+  legacy_lifecycle : bool;
+      (** bill every instantiate at the pre-refactor runtime's O(min_pages)
+          cost (whole-heap madvise + data-segment rewrite) instead of the
+          CoW runtime's O(dirty pages); only meaningful with
+          [page_zero_ns > 0] *)
 }
 
 val default_config :
-  ?mode:mode -> ?workload:Workloads.t -> ?faults:fault_model -> unit -> config
+  ?mode:mode ->
+  ?workload:Workloads.t ->
+  ?faults:fault_model ->
+  ?churn:bool ->
+  ?page_zero_ns:float ->
+  ?legacy_lifecycle:bool ->
+  unit ->
+  config
 (** concurrency 128, duration 20 ms, IO mean 5 ms, epoch 1 ms, OS switch
     5 us (direct + indirect cost of a Linux process switch), ColorGuard,
-    hash workload, no faults. *)
+    hash workload, no faults, no churn, free lifecycle work. *)
 
 type result = {
   completed : int;  (** requests that finished successfully *)
@@ -63,7 +83,10 @@ type result = {
   collateral_aborts : int;
       (** in-flight requests aborted because a co-resident tenant crashed
           their shared process — the blast radius; always 0 for ColorGuard *)
-  recycles : int;  (** instances re-created on recycled slots after kills *)
+  recycles : int;  (** instances re-created on recycled slots *)
+  pages_zeroed : int;
+      (** OS pages of dirty state dropped by slot recycles, summed over all
+          engines — the CoW runtime's whole lifecycle cost *)
   throughput_rps : float;
       (** requests retired (successfully or not) per simulated second *)
   goodput_rps : float;  (** successful completions per simulated second *)

@@ -526,6 +526,45 @@ let run_compiled ~sanitizer ~strategy ~kind m args =
       c_dcache = Machine.dcache_misses mach;
     } )
 
+(* Churn arm: exercise the instance lifecycle between runs of the same
+   program. The first instance runs (dirtying heap, vmctx and host-stack
+   pages), a neighbour is instantiated, the first is killed and its slot
+   re-instantiated — so the second run executes on a recycled slot. If
+   recycle misses a dirty page (or drops a clean one), the recycled run
+   diverges from the interpreter. Default codegen config, threaded
+   engine. *)
+let run_churned ~sanitizer m args =
+  let compiled = Codegen.compile (Codegen.default_config ()) m in
+  let eng = Runtime.create_engine ~engine:Machine.Threaded compiled in
+  if sanitizer then Runtime.arm_sanitizer eng;
+  let args64 = List.map value_bits args in
+  let i0 = Runtime.instantiate eng in
+  (match Runtime.invoke i0 "run" args64 with Ok _ | Error _ -> ());
+  let i1 = Runtime.instantiate eng in
+  Runtime.kill i0;
+  let i2 = Runtime.instantiate eng in
+  if Runtime.instance_id i2 <> Runtime.instance_id i0 then
+    failwith "churn: kill did not recycle the slot";
+  Runtime.release i1;
+  let outcome =
+    match Runtime.invoke i2 "run" args64 with
+    | Ok raw -> Ok (mask_result m raw)
+    | Error k -> Error (X.trap_name k)
+  in
+  let pages = Runtime.memory_pages i2 in
+  {
+    x_outcome = outcome;
+    x_memory =
+      (match outcome with
+      | Ok _ -> Runtime.read_memory i2 ~addr:0 ~len:(pages * W.page_size)
+      | Error _ -> "");
+    x_pages = pages;
+    x_globals =
+      Array.mapi
+        (fun i (g : W.global) -> mask_global g.W.gtype (Runtime.read_global i2 i))
+        m.W.globals;
+  }
+
 let traps_agree interp_name mach_name =
   String.equal interp_name mach_name
   || (String.equal interp_name "undefined table element"
@@ -643,7 +682,7 @@ let engine_kinds = [ ("step", Machine.Reference); ("threaded", Machine.Threaded)
 
 exception Found of string * string
 
-let check_module ?(sanitizer = true) ~lfi m args =
+let check_module ?(sanitizer = true) ?(churn = true) ~lfi m args =
   let execs = ref 0 in
   incr execs;
   let interp = run_interp m args in
@@ -685,6 +724,18 @@ let check_module ?(sanitizer = true) ~lfi m args =
                 | None -> ())
             | _ -> assert false)
           Strategy.all_sfi;
+        if churn then begin
+          incr execs;
+          match run_churned ~sanitizer m args with
+          | ex -> (
+              match compare_to_interp interp ex with
+              | Some d -> raise (Found ("churn", d))
+              | None -> ())
+          | exception Runtime.Sanitizer_violation v ->
+              raise (Found ("churn/sanitizer", Format.asprintf "%a" Runtime.pp_violation v))
+          | exception Runtime.Fault f -> raise (Found ("churn/fault", Runtime.fault_name f))
+          | exception Failure msg -> raise (Found ("churn", msg))
+        end;
         if lfi then begin
           execs := !execs + 3;
           match lfi_agreement (lfi_arms m (List.map value_bits args)) with
@@ -697,8 +748,8 @@ let check_module ?(sanitizer = true) ~lfi m args =
     { executions = !execs; interp_trapped; skipped = false; failure }
   end
 
-let check_program ?(sanitizer = true) p =
-  check_module ~sanitizer ~lfi:p.p_tame p.p_module p.p_args
+let check_program ?(sanitizer = true) ?(churn = true) p =
+  check_module ~sanitizer ~churn ~lfi:p.p_tame p.p_module p.p_args
 
 (* --- delta-debugging shrinker ------------------------------------------- *)
 
@@ -847,7 +898,8 @@ type report = {
   r_divergences : divergence list;
 }
 
-let run_corpus ?(sanitizer = true) ?(minimize_failures = true) ?progress ~seed ~count () =
+let run_corpus ?(sanitizer = true) ?(churn = true) ?(minimize_failures = true) ?progress
+    ~seed ~count () =
   let execs = ref 0 and traps = ref 0 and lfi_count = ref 0 and skipped = ref 0 in
   let divs = ref [] in
   for i = 0 to count - 1 do
@@ -855,7 +907,7 @@ let run_corpus ?(sanitizer = true) ?(minimize_failures = true) ?progress ~seed ~
     let pseed = Int64.add seed (Int64.of_int i) in
     let p = generate pseed in
     if p.p_tame then incr lfi_count;
-    let r = check_program ~sanitizer p in
+    let r = check_program ~sanitizer ~churn p in
     execs := !execs + r.executions;
     if r.interp_trapped then incr traps;
     if r.skipped then incr skipped;
@@ -867,7 +919,7 @@ let run_corpus ?(sanitizer = true) ?(minimize_failures = true) ?progress ~seed ~
           else
             minimize
               ~reproduces:(fun m ->
-                match (check_module ~sanitizer ~lfi:p.p_tame m p.p_args).failure with
+                match (check_module ~sanitizer ~churn ~lfi:p.p_tame m p.p_args).failure with
                 | Some (o, _) -> String.equal o oracle
                 | None -> false)
               p.p_module
@@ -906,13 +958,13 @@ let pp_report ppf r =
       Format.fprintf ppf "%d DIVERGENCE(S):@." (List.length l);
       List.iter (fun d -> pp_divergence ppf d) l
 
-let replay ?(sanitizer = true) ppf seed =
+let replay ?(sanitizer = true) ?(churn = true) ppf seed =
   let p = generate seed in
   Format.fprintf ppf "seed %Ld: %s, args [%s]@." p.p_seed
     (if p.p_tame then "tame (LFI oracle on)" else "wild (LFI oracle off)")
     (String.concat "; " (List.map (Format.asprintf "%a" W.pp_value) p.p_args));
   pp_module ppf p.p_module;
-  let r = check_program ~sanitizer p in
+  let r = check_program ~sanitizer ~churn p in
   (match r.failure with
   | None ->
       Format.fprintf ppf "no divergence (%d executions%s)@." r.executions

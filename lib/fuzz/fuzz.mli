@@ -49,16 +49,20 @@ type check_result = {
 
 val check_module :
   ?sanitizer:bool ->
+  ?churn:bool ->
   lfi:bool ->
   Sfi_wasm.Ast.module_ ->
   Sfi_wasm.Ast.value list ->
   check_result
 (** Run one module through every semantics and compare. [sanitizer]
-    (default true) arms the runtime SFI sanitizer on compiled runs. [lfi]
+    (default true) arms the runtime SFI sanitizer on compiled runs.
+    [churn] (default true) adds a lifecycle arm: run, then
+    instantiate/kill/recycle the slot and run again on the recycled slot,
+    which must stay indistinguishable from a fresh instantiation. [lfi]
     adds the native / LFI / LFI+Segue triple (only sound for tame
     programs). *)
 
-val check_program : ?sanitizer:bool -> program -> check_result
+val check_program : ?sanitizer:bool -> ?churn:bool -> program -> check_result
 
 (** {1 Minimization} *)
 
@@ -98,6 +102,7 @@ type report = {
 
 val run_corpus :
   ?sanitizer:bool ->
+  ?churn:bool ->
   ?minimize_failures:bool ->
   ?progress:(int -> unit) ->
   seed:int64 ->
@@ -107,7 +112,7 @@ val run_corpus :
 (** Check [count] programs with per-program seeds [seed + i], so any
     divergence replays from its own seed. *)
 
-val replay : ?sanitizer:bool -> Format.formatter -> int64 -> check_result
+val replay : ?sanitizer:bool -> ?churn:bool -> Format.formatter -> int64 -> check_result
 (** Regenerate the program for a seed, print it, re-run the full oracle,
     and report. *)
 

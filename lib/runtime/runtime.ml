@@ -1,74 +1,14 @@
-module X = Sfi_x86.Ast
-module W = Sfi_wasm.Ast
-module Space = Sfi_vmem.Space
+(* The engine façade. The lifecycle layers live in {!Rt_types} (shared
+   records), {!Instance} (slot claim / CoW instantiate / recycle / kill)
+   and {!Transition} (boundary cost model); this module owns engine
+   creation, hostcall dispatch, the retry queue, the invoke/activation
+   machinery and the SFI sanitizer, and re-exports the lifecycle
+   operations behind the historical [Runtime] interface. *)
+
+include Rt_types
 module Mpk = Sfi_vmem.Mpk
 module Prot = Sfi_vmem.Prot
-module Machine = Sfi_machine.Machine
-module Cost = Sfi_machine.Cost
-module Codegen = Sfi_core.Codegen
-module Pool = Sfi_core.Pool
 module Strategy = Sfi_core.Strategy
-
-type trap = X.trap_kind
-
-type fault =
-  | Trap of trap
-  | Fuel_exhausted
-  | Pool_exhausted
-  | Instance_dead
-
-exception Fault of fault
-
-let fault_name = function
-  | Trap k -> "trap:" ^ X.trap_name k
-  | Fuel_exhausted -> "fuel-exhausted"
-  | Pool_exhausted -> "pool-exhausted"
-  | Instance_dead -> "instance-dead"
-
-type allocator = Simple of { reservation : int } | Pool of Pool.layout
-
-(* Fixed address-space plan (within the 47-bit user space):
-   - tables at the codegen config addresses (~0x3000_0000);
-   - per-instance host blocks (vmctx + host stack) from 1 GiB;
-   - code at 8 GiB (the machine's default);
-   - linear-memory slab from 32 GiB. *)
-let host_area_base = 0x4000_0000
-let host_block_stride = 0x10_0000 (* 1 MiB *)
-let host_stack_offset = 0x1_0000
-let host_stack_bytes = 0x4_0000 (* 256 KiB *)
-let slab_base = 0x8_0000_0000
-let hostcall_halt = 0xFFFF
-
-let wasm_page = W.page_size
-
-type engine = {
-  machine : Machine.t;
-  space : Space.t;
-  compiled : Codegen.compiled;
-  allocator : allocator;
-  max_slots : int;
-  mutable free_slots : int list;
-  mutable next_slot : int;
-  slot_mapped_pages : (int, int) Hashtbl.t; (* slot -> pages ever mapped *)
-  imports : (string, instance -> int64 array -> int64) Hashtbl.t;
-  mutable current : instance option;
-  transition_overhead_cycles : int;
-  mutable transitions : int;
-  retry_capacity : int;
-  waiters : int Queue.t; (* tickets waiting for a slot, FIFO *)
-}
-
-and instance = {
-  engine : engine;
-  id : int;
-  vmctx : int;
-  heap : int;
-  stack_top : int;
-  inst_color : int;
-  mutable pages : int;
-  max_pages : int;
-  mutable live : bool;
-}
 
 let machine e = e.machine
 let space e = e.space
@@ -78,71 +18,7 @@ let heap_base i = i.heap
 let color i = i.inst_color
 let memory_pages i = i.pages
 
-let ok_exn what = function Ok () -> () | Error msg -> failwith (what ^ ": " ^ msg)
-
 let strategy e = e.compiled.Codegen.config.Codegen.strategy
-
-(* --- vmctx accessors --- *)
-
-let write_vmctx64 e inst off v = Space.write64 e.space (inst.vmctx + off) v
-
-let set_memory_bound e inst =
-  write_vmctx64 e inst Codegen.vmctx_memory_bytes (Int64.of_int (inst.pages * wasm_page))
-
-(* --- memory growth --- *)
-
-let slot_capacity_pages e =
-  match e.allocator with
-  | Simple { reservation } -> reservation / wasm_page
-  | Pool layout -> layout.Pool.params.Pool.max_memory_bytes / wasm_page
-
-let map_heap_range e inst ~from_page ~to_page =
-  if to_page > from_page then begin
-    let addr = inst.heap + (from_page * wasm_page) in
-    let len = (to_page - from_page) * wasm_page in
-    ok_exn "map heap" (Space.map e.space ~addr ~len ~prot:Prot.rw);
-    if inst.inst_color <> 0 then
-      ok_exn "color heap" (Space.pkey_protect e.space ~addr ~len ~prot:Prot.rw ~key:inst.inst_color)
-  end
-
-let set_accessible e inst ~pages =
-  let mapped = try Hashtbl.find e.slot_mapped_pages inst.id with Not_found -> 0 in
-  if pages > mapped then begin
-    (* Make the already-mapped prefix accessible again, then extend. *)
-    if mapped > 0 then
-      ok_exn "reprotect heap"
-        (Space.pkey_protect e.space ~addr:inst.heap ~len:(mapped * wasm_page) ~prot:Prot.rw
-           ~key:inst.inst_color);
-    map_heap_range e inst ~from_page:mapped ~to_page:pages;
-    Hashtbl.replace e.slot_mapped_pages inst.id pages
-  end
-  else begin
-    if pages > 0 then
-      ok_exn "reprotect heap"
-        (Space.pkey_protect e.space ~addr:inst.heap ~len:(pages * wasm_page) ~prot:Prot.rw
-           ~key:inst.inst_color);
-    if mapped > pages then
-      ok_exn "fence heap"
-        (Space.pkey_protect e.space
-           ~addr:(inst.heap + (pages * wasm_page))
-           ~len:((mapped - pages) * wasm_page)
-           ~prot:Prot.none ~key:inst.inst_color)
-  end
-
-let grow_memory e inst delta =
-  if delta < 0 then -1
-  else if delta = 0 then inst.pages
-  else begin
-    let new_pages = inst.pages + delta in
-    if new_pages > inst.max_pages || new_pages > slot_capacity_pages e then -1
-    else begin
-      let old = inst.pages in
-      set_accessible e inst ~pages:new_pages;
-      inst.pages <- new_pages;
-      set_memory_bound e inst;
-      old
-    end
-  end
 
 (* --- hostcalls --- *)
 
@@ -153,7 +29,7 @@ let hostcall_handler e m id =
   if id = hostcall_halt then raise (Machine.Hostcall_exit 0)
   else if id = Codegen.hostcall_memory_grow then begin
     let delta = Int64.to_int (Machine.get_reg m X.RDI) in
-    Machine.set_reg m X.RAX (Int64.of_int (grow_memory e inst delta))
+    Machine.set_reg m X.RAX (Int64.of_int (Instance.grow_memory e inst delta))
   end
   else begin
     let imports = e.compiled.Codegen.source.W.imports in
@@ -166,15 +42,12 @@ let hostcall_handler e m id =
           Machine.get_reg m (match k with 0 -> X.RDI | 1 -> X.RSI | _ -> X.RDX))
     in
     match Hashtbl.find_opt e.imports iname with
-    | Some f ->
+    | Some { im_fn; im_class } ->
         (* A hostcall is a transition pair: out of and back into the
-           sandbox. Under ColorGuard each direction pays a pkru switch. *)
-        e.transitions <- e.transitions + 2;
-        if e.compiled.Codegen.config.Codegen.colorguard then begin
-          let c = Machine.counters m in
-          c.Machine.cycles <- c.Machine.cycles + (2 * (Machine.cost_model m).Cost.wrpkru_cycles)
-        end;
-        let result = f inst args in
+           sandbox. What the pair costs depends on the class the import
+           was registered with. *)
+        Transition.charge_hostcall e inst im_class;
+        let result = im_fn inst args in
         Machine.set_reg m X.RAX result
     | None -> failwith ("unresolved import: " ^ iname)
   end
@@ -183,7 +56,8 @@ let hostcall_handler e m id =
 
 let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
     ?(allocator = Simple { reservation = 4 * Sfi_util.Units.gib })
-    ?(transition_overhead_cycles = 55) ?(retry_queue_capacity = 64) ?code_base ?engine
+    ?(transition_overhead_cycles = 55) ?(pure_springboard_cycles = 10)
+    ?(readonly_springboard_cycles = 24) ?(retry_queue_capacity = 64) ?code_base ?engine
     (compiled : Codegen.compiled) =
   let space = Space.create ?max_map_count () in
   let machine = Machine.create ?cost ?tlb ~fsgsbase_available ?code_base space in
@@ -209,6 +83,15 @@ let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
     | Simple _ -> 4096
     | Pool layout -> layout.Pool.params.Pool.num_slots
   in
+  (* Bake the module image once: every instantiation afterwards maps it
+     copy-on-write instead of rewriting data segments and vmctx fields. *)
+  let src = compiled.Codegen.source in
+  let min_pages, decl_max_pages =
+    match src.W.memory with
+    | Some { W.min_pages; max_pages } ->
+        (min_pages, match max_pages with Some mx -> mx | None -> 65536)
+    | None -> (0, 0)
+  in
   let e =
     {
       machine;
@@ -222,168 +105,66 @@ let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
       imports = Hashtbl.create 8;
       current = None;
       transition_overhead_cycles;
-      transitions = 0;
+      pure_springboard_cycles;
+      readonly_springboard_cycles;
+      counters = fresh_counters ();
       retry_capacity = retry_queue_capacity;
       waiters = Queue.create ();
+      waiter_set = Hashtbl.create 64;
+      heap_image = Instance.bake_heap_image src;
+      vmctx_image = Instance.bake_vmctx_image src ~min_pages;
+      min_pages;
+      decl_max_pages;
     }
   in
   Machine.set_hostcall_handler machine (fun m id -> hostcall_handler e m id);
   e
 
-let register_import e name f = Hashtbl.replace e.imports name f
+let register_import ?(clazz = Full) e name f =
+  Hashtbl.replace e.imports name { im_fn = f; im_class = clazz }
 
-(* --- instances --- *)
-
-let slot_heap_base e slot =
-  match e.allocator with
-  | Simple { reservation } ->
-      (* Keep a 4 GiB guard window after each reservation. *)
-      slab_base + (slot * (reservation + (4 * Sfi_util.Units.gib)))
-  | Pool layout -> slab_base + Pool.slot_base layout slot
-
-let slot_color e slot =
-  match e.allocator with Simple _ -> 0 | Pool layout -> Pool.color_of_slot layout slot
-
-let claim_slot e =
-  match e.free_slots with
-  | s :: rest ->
-      e.free_slots <- rest;
-      Some s
-  | [] ->
-      if e.next_slot >= e.max_slots then None
-      else begin
-        let s = e.next_slot in
-        e.next_slot <- s + 1;
-        Some s
-      end
-
-let instantiate_slot e slot =
-  let m = e.compiled.Codegen.source in
-  let min_pages, max_pages =
-    match m.W.memory with
-    | Some { W.min_pages; max_pages } ->
-        (min_pages, match max_pages with Some mx -> mx | None -> 65536)
-    | None -> (0, 0)
-  in
-  let host_block = host_area_base + (slot * host_block_stride) in
-  let inst =
-    {
-      engine = e;
-      id = slot;
-      vmctx = host_block;
-      heap = slot_heap_base e slot;
-      stack_top = host_block + host_stack_offset + host_stack_bytes;
-      inst_color = slot_color e slot;
-      pages = min_pages;
-      max_pages = min max_pages (slot_capacity_pages e);
-      live = true;
-    }
-  in
-  (* Host block: vmctx page + host stack (default pkey 0). First use of the
-     slot maps it; recycled slots keep their mapping. *)
-  if not (Hashtbl.mem e.slot_mapped_pages slot) then begin
-    ok_exn "map vmctx" (Space.map e.space ~addr:host_block ~len:4096 ~prot:Prot.rw);
-    ok_exn "map stack"
-      (Space.map e.space ~addr:(host_block + host_stack_offset) ~len:host_stack_bytes
-         ~prot:Prot.rw);
-    Hashtbl.replace e.slot_mapped_pages slot 0
-  end;
-  set_accessible e inst ~pages:min_pages;
-  (* Zero recycled memory the way Wasmtime does. *)
-  if min_pages > 0 then
-    ok_exn "madvise heap"
-      (Space.madvise_dontneed e.space ~addr:inst.heap ~len:(min_pages * wasm_page));
-  (* vmctx: bound, heap base, pkru images, globals. *)
-  set_memory_bound e inst;
-  write_vmctx64 e inst Codegen.vmctx_heap_base (Int64.of_int inst.heap);
-  let sandbox_pkru =
-    if inst.inst_color = 0 then Mpk.allow_all
-    else Mpk.allow_only [ Mpk.default_key; inst.inst_color ]
-  in
-  write_vmctx64 e inst Codegen.vmctx_pkru_sandbox (Int64.of_int sandbox_pkru);
-  write_vmctx64 e inst Codegen.vmctx_pkru_host (Int64.of_int Mpk.allow_all);
-  (* Stack exhaustion limit: leave a page of headroom above the guard. *)
-  write_vmctx64 e inst Codegen.vmctx_stack_limit
-    (Int64.of_int (host_block + host_stack_offset + 4096));
-  Array.iteri
-    (fun i (g : W.global) ->
-      let bits =
-        match g.W.ginit with
-        | W.V_i32 v -> Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
-        | W.V_i64 v -> v
-      in
-      write_vmctx64 e inst (Codegen.vmctx_globals + (8 * i)) bits)
-    m.W.globals;
-  List.iter
-    (fun { W.doffset; dbytes } ->
-      Space.write_bytes e.space ~addr:(inst.heap + doffset) (Bytes.of_string dbytes))
-    m.W.data;
-  inst
+(* --- instances (lifecycle re-exported from {!Instance}) --- *)
 
 let try_instantiate e =
-  match claim_slot e with
+  match Instance.claim_slot e with
   | None -> Error Pool_exhausted
-  | Some slot -> Ok (instantiate_slot e slot)
+  | Some slot -> Ok (Instance.instantiate_slot e slot)
 
 let instantiate e =
   match try_instantiate e with Ok inst -> inst | Error f -> raise (Fault f)
 
-let queue_contains q ticket = Queue.fold (fun acc t -> acc || t = ticket) false q
-
 let instantiate_queued e ~ticket =
   (* Only the queue head (or a newcomer arriving at an empty queue) may
-     claim a slot; everyone else keeps their FIFO position. *)
-  let queued = queue_contains e.waiters ticket in
+     claim a slot; everyone else keeps their FIFO position. Membership is
+     O(1) via [waiter_set]; the queue itself stays the FIFO order. *)
+  let queued = Hashtbl.mem e.waiter_set ticket in
   let is_head = Queue.peek_opt e.waiters = Some ticket in
+  let enqueue () =
+    if Queue.length e.waiters >= e.retry_capacity then `Rejected
+    else begin
+      Queue.push ticket e.waiters;
+      Hashtbl.replace e.waiter_set ticket ();
+      `Wait
+    end
+  in
   if is_head || ((not queued) && Queue.is_empty e.waiters) then
     match try_instantiate e with
     | Ok inst ->
-        if is_head then ignore (Queue.pop e.waiters);
+        if is_head then begin
+          ignore (Queue.pop e.waiters);
+          Hashtbl.remove e.waiter_set ticket
+        end;
         `Ready inst
-    | Error Pool_exhausted ->
-        if queued then `Wait
-        else if Queue.length e.waiters >= e.retry_capacity then `Rejected
-        else begin
-          Queue.push ticket e.waiters;
-          `Wait
-        end
+    | Error Pool_exhausted -> if queued then `Wait else enqueue ()
     | Error f -> raise (Fault f)
   else if queued then `Wait
-  else if Queue.length e.waiters >= e.retry_capacity then `Rejected
-  else begin
-    Queue.push ticket e.waiters;
-    `Wait
-  end
+  else enqueue ()
 
 let waiting e = Queue.length e.waiters
-
-let release inst =
-  let e = inst.engine in
-  if inst.live then begin
-    inst.live <- false;
-    if inst.pages > 0 then
-      ok_exn "madvise release"
-        (Space.madvise_dontneed e.space ~addr:inst.heap ~len:(inst.pages * wasm_page));
-    (match e.current with Some i when i == inst -> e.current <- None | _ -> ());
-    e.free_slots <- inst.id :: e.free_slots
-  end
-
-let kill inst =
-  let e = inst.engine in
-  if inst.live then begin
-    inst.live <- false;
-    (* Drop page contents first, then fence everything the slot ever mapped
-       to PROT_NONE so a stale activation faults instead of reading the next
-       tenant's memory. A fresh [instantiate] of the slot re-opens it. *)
-    if inst.pages > 0 then
-      ok_exn "madvise kill"
-        (Space.madvise_dontneed e.space ~addr:inst.heap ~len:(inst.pages * wasm_page));
-    set_accessible e inst ~pages:0;
-    (match e.current with Some i when i == inst -> e.current <- None | _ -> ());
-    e.free_slots <- inst.id :: e.free_slots
-  end
-
+let release = Instance.release
+let kill = Instance.kill
 let live inst = inst.live
+let dirty_heap_pages = Instance.dirty_heap_pages
 
 let read_memory inst ~addr ~len =
   Bytes.to_string (Space.read_bytes inst.engine.space ~addr:(inst.heap + addr) ~len)
@@ -392,20 +173,6 @@ let write_memory inst ~addr s =
   Space.write_bytes inst.engine.space ~addr:(inst.heap + addr) (Bytes.of_string s)
 
 (* --- transitions and calls --- *)
-
-let charge_transition e =
-  e.transitions <- e.transitions + 1;
-  let c = Machine.counters e.machine in
-  c.Machine.cycles <- c.Machine.cycles + e.transition_overhead_cycles
-
-let charge_exit e =
-  charge_transition e;
-  if e.compiled.Codegen.config.Codegen.colorguard then begin
-    (* Restore the host PKRU on the way out: the second wrpkru. *)
-    Machine.set_pkru e.machine Mpk.allow_all;
-    let c = Machine.counters e.machine in
-    c.Machine.cycles <- c.Machine.cycles + (Machine.cost_model e.machine).Cost.wrpkru_cycles
-  end
 
 let prepare_call inst name args =
   let e = inst.engine in
@@ -435,23 +202,24 @@ let prepare_call inst name args =
       Space.write64 e.space !rsp a)
     args;
   Machine.set_reg m X.RSP (Int64.of_int !rsp);
-  charge_transition e;
+  Transition.charge_entry e;
   Machine.start m ~entry:(Codegen.entry_label e.compiled name)
 
-let finish e status =
+let finish inst status =
+  let e = inst.engine in
   match status with
   | Machine.Halted ->
-      charge_exit e;
+      Transition.charge_exit e inst;
       `Done (Machine.get_reg e.machine X.RAX)
   | Machine.Trapped k ->
-      charge_exit e;
+      Transition.charge_exit e inst;
       `Trapped k
   | Machine.Yielded -> `More
 
 let invoke ?(fuel = 1 lsl 30) inst name args =
   if not inst.live then raise (Fault Instance_dead);
   prepare_call inst name args;
-  match finish inst.engine (Machine.run inst.engine.machine ~fuel) with
+  match finish inst (Machine.run inst.engine.machine ~fuel) with
   | `Done v -> Ok v
   | `Trapped k -> Error k
   | `More -> raise (Fault Fuel_exhausted)
@@ -460,13 +228,13 @@ let invoke_protected ?(fuel = 1 lsl 30) inst name args =
   if not inst.live then Error Instance_dead
   else begin
     prepare_call inst name args;
-    match finish inst.engine (Machine.run inst.engine.machine ~fuel) with
+    match finish inst (Machine.run inst.engine.machine ~fuel) with
     | `Done v -> Ok v
     | `Trapped k ->
-        kill inst;
+        Instance.kill inst;
         Error (Trap k)
     | `More ->
-        kill inst;
+        Instance.kill inst;
         Error Fuel_exhausted
   end
 
@@ -495,13 +263,13 @@ let step act ~fuel =
     let m = e.machine in
     (match act.ctx with Some c -> Machine.restore_context m c | None -> ());
     e.current <- Some act.act_inst;
-    match finish e (Machine.run m ~fuel) with
+    match finish act.act_inst (Machine.run m ~fuel) with
     | `Done v ->
         act.done_ <- true;
         `Done v
     | `Trapped k ->
         act.done_ <- true;
-        kill act.act_inst;
+        Instance.kill act.act_inst;
         `Trapped k
     | `More -> (
         act.ctx <- Some (Machine.save_context m);
@@ -511,7 +279,7 @@ let step act ~fuel =
         match act.deadline with
         | Some limit when act.spent >= limit ->
             act.done_ <- true;
-            kill act.act_inst;
+            Instance.kill act.act_inst;
             `Fault Fuel_exhausted
         | _ -> `More)
   end
@@ -654,9 +422,35 @@ let read_global inst i =
 
 let vmctx_addr inst = inst.vmctx
 
-let transitions e = e.transitions
+(* --- metrics --- *)
+
+type metrics = {
+  m_transitions : int;
+  m_calls_pure : int;
+  m_calls_readonly : int;
+  m_calls_full : int;
+  m_pkru_writes_elided : int;
+  m_pages_zeroed_on_recycle : int;
+  m_instantiations_cold : int;
+  m_instantiations_warm : int;
+}
+
+let metrics e =
+  let c = e.counters in
+  {
+    m_transitions = c.transitions;
+    m_calls_pure = c.calls_pure;
+    m_calls_readonly = c.calls_readonly;
+    m_calls_full = c.calls_full;
+    m_pkru_writes_elided = c.pkru_writes_elided;
+    m_pages_zeroed_on_recycle = c.pages_zeroed_on_recycle;
+    m_instantiations_cold = c.instantiations_cold;
+    m_instantiations_warm = c.instantiations_warm;
+  }
+
+let transitions e = e.counters.transitions
 let elapsed_ns e = Machine.elapsed_ns e.machine
 
 let reset_metrics e =
   Machine.reset_counters e.machine;
-  e.transitions <- 0
+  reset_counters e.counters

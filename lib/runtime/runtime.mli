@@ -60,35 +60,57 @@ val create_engine :
   ?max_map_count:int ->
   ?allocator:allocator ->
   ?transition_overhead_cycles:int ->
+  ?pure_springboard_cycles:int ->
+  ?readonly_springboard_cycles:int ->
   ?retry_queue_capacity:int ->
   ?code_base:int ->
   ?engine:Sfi_machine.Machine.engine_kind ->
   Sfi_core.Codegen.compiled ->
   engine
-(** Loads the program, maps the indirect-call tables, and prepares the
-    allocator. [allocator] defaults to [Simple] with a 4 GiB reservation;
+(** Loads the program, maps the indirect-call tables, prepares the
+    allocator, and bakes the module's pre-initialized image (data segments
+    + vmctx template) that every instantiation maps copy-on-write.
+    [allocator] defaults to [Simple] with a 4 GiB reservation;
     [transition_overhead_cycles] (default 55 per direction, calibrated to
     the paper's 30.34 ns baseline at 2.2 GHz) models the stack-switch,
     exception-handler and ABI work of a transition besides the instructions
-    the entry sequence itself executes (sec 6.4.1). [engine] selects the
-    machine's execution engine (default {!Sfi_machine.Machine.Threaded}). *)
+    the entry sequence itself executes (sec 6.4.1).
+    [pure_springboard_cycles] (default 10) and
+    [readonly_springboard_cycles] (default 24) price the thin hostcall
+    springboards of the corresponding {!hostcall_class}es, per Kolosick et
+    al.'s zero-cost transitions. [engine] selects the machine's execution
+    engine (default {!Sfi_machine.Machine.Threaded}). *)
 
 val machine : engine -> Sfi_machine.Machine.t
 val space : engine -> Sfi_vmem.Space.t
 val compiled : engine -> Sfi_core.Codegen.compiled
 
-val register_import : engine -> string -> (instance -> int64 array -> int64) -> unit
+(** How much boundary work a hostcall actually needs (Kolosick et al.,
+    {e Isolation Without Taxation}), declared at registration:
+    - [Pure]: touches no sandbox memory and cannot fault — direct call
+      through a minimal springboard; no stack switch, no PKRU write.
+    - [Readonly]: may read sandbox memory; runs on the sandbox stack under
+      the sandbox's own PKRU image (pkey 0 keeps the host block
+      reachable), so both [wrpkru]s are elided.
+    - [Full]: the general case — stack switch, exception-handler setup,
+      and under ColorGuard a PKRU write each way. *)
+type hostcall_class = Pure | Readonly | Full
+
+val register_import :
+  ?clazz:hostcall_class -> engine -> string -> (instance -> int64 array -> int64) -> unit
 (** Provide a host (WASI-style) function for a module import; arity comes
-    from the import's type. Calls transition out of the sandbox (the
-    machine charges hostcall cost). *)
+    from the import's type. Calls transition out of the sandbox, charged
+    according to [clazz] (default [Full], the conservative price). *)
 
 (** {1 Instances} *)
 
 val instantiate : engine -> instance
-(** Allocate the next free slot, map the initial linear memory (colored
-    under a striped pool), write the vmctx, copy data segments, and run the
-    start function if any. Raises {!Fault}[ Pool_exhausted] when no slot is
-    free, [Failure] if mapping fails. *)
+(** Allocate the next free slot and bring it up copy-on-write: the slot's
+    heap and host block are backed by the engine's baked module image
+    (data segments, vmctx template), so instantiation performs only O(1)
+    per-slot vmctx writes — a cold slot additionally maps its host block
+    and registers the backing. Raises {!Fault}[ Pool_exhausted] when no
+    slot is free, [Failure] if mapping fails. *)
 
 val try_instantiate : engine -> (instance, fault) result
 (** Like {!instantiate} but returns [Error Pool_exhausted] instead of
@@ -106,18 +128,26 @@ val waiting : engine -> int
 (** Tickets currently parked in the retry queue. *)
 
 val release : instance -> unit
-(** Recycle the instance's slot: [madvise(MADV_DONTNEED)] the memory (MPK
-    colors survive in the PTEs — the §7 contrast with MTE) and return it to
-    the allocator's free list. *)
+(** Recycle the instance's slot: drop only the pages this tenant actually
+    dirtied — heap {e and} host block (vmctx page + host stack), so nothing
+    leaks to the next tenant — reverting them to the pristine module image,
+    and return the slot to the allocator's free list. O(dirty pages), not
+    O(heap size); MPK colors survive in the PTEs (the §7 contrast with
+    MTE). *)
 
 val kill : instance -> unit
-(** Crash-recovery teardown: drop the slot's page contents, fence every
-    page it ever mapped to PROT_NONE (so a stale activation faults rather
-    than touching the next tenant), and recycle slot and color. Idempotent;
-    the engine keeps serving other instances. *)
+(** Crash-recovery teardown: drop the tenant's dirty pages as {!release}
+    does, fence every page the slot ever mapped to PROT_NONE (so a stale
+    activation faults rather than touching the next tenant), and recycle
+    slot and color. Idempotent; the engine keeps serving other
+    instances. *)
 
 val live : instance -> bool
 (** False once the instance has been released or killed. *)
+
+val dirty_heap_pages : instance -> int
+(** OS pages of this instance's heap privatized (written) since the slot
+    was last recycled — the exact page count the next recycle will pay. *)
 
 val instance_id : instance -> int
 val heap_base : instance -> int
@@ -215,6 +245,23 @@ val vmctx_addr : instance -> int
 
 val transitions : engine -> int
 (** One-way transitions performed (in + out). *)
+
+(** Immutable snapshot of the engine's lifecycle and transition counters,
+    all monotonic until {!reset_metrics}. *)
+type metrics = {
+  m_transitions : int;  (** one-way sandbox crossings *)
+  m_calls_pure : int;  (** hostcalls through the [Pure] springboard *)
+  m_calls_readonly : int;  (** hostcalls through the [Readonly] springboard *)
+  m_calls_full : int;  (** hostcalls through the full springboard *)
+  m_pkru_writes_elided : int;
+      (** [wrpkru]s a full transition would have executed but the fast path
+          skipped (cheap-class hostcalls, unchanged-PKRU exits) *)
+  m_pages_zeroed_on_recycle : int;  (** total dirty pages dropped by recycles *)
+  m_instantiations_cold : int;  (** first-use slot bring-ups *)
+  m_instantiations_warm : int;  (** recycled-slot reuses *)
+}
+
+val metrics : engine -> metrics
 
 val elapsed_ns : engine -> float
 val reset_metrics : engine -> unit

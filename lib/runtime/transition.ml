@@ -1,0 +1,64 @@
+(* The sandbox-boundary cost model.
+
+   Every crossing is counted; what it costs depends on which springboard
+   handles it. Invokes always take the full path (stack switch, exception
+   handler, PKRU restore on the way out). Hostcalls are classified at
+   registration (see {!Rt_types.hostcall_class}) and the cheap classes
+   skip most of the work — in particular both [wrpkru]s, the dominant
+   term under ColorGuard (§6.1). A [wrpkru] is also elided whenever the
+   write would not change the PKRU image (a color-0 sandbox runs under
+   the host image already). *)
+
+open Rt_types
+module Mpk = Sfi_vmem.Mpk
+module Cost = Sfi_machine.Cost
+
+let colorguard e = e.compiled.Codegen.config.Codegen.colorguard
+let wrpkru_cycles e = (Machine.cost_model e.machine).Cost.wrpkru_cycles
+
+let charge_cycles e n =
+  let c = Machine.counters e.machine in
+  c.Machine.cycles <- c.Machine.cycles + n
+
+(* Entry half of an invoke: fixed stack-switch / exception-handler setup.
+   The entry-sequence [wrpkru] is real compiled code, charged by the
+   machine as it executes. *)
+let charge_entry e =
+  e.counters.transitions <- e.counters.transitions + 1;
+  charge_cycles e e.transition_overhead_cycles
+
+(* Exit half of an invoke: same fixed overhead, plus restoring the host
+   PKRU image — unless the sandbox image {e is} the host image (color 0),
+   where the springboard skips the second [wrpkru]. *)
+let charge_exit e inst =
+  e.counters.transitions <- e.counters.transitions + 1;
+  charge_cycles e e.transition_overhead_cycles;
+  if colorguard e then begin
+    Machine.set_pkru e.machine Mpk.allow_all;
+    if inst.inst_color <> 0 then charge_cycles e (wrpkru_cycles e)
+    else e.counters.pkru_writes_elided <- e.counters.pkru_writes_elided + 1
+  end
+
+(* A hostcall is a round trip: two crossings, charged by class. [Full]
+   pays the general springboard both ways; [Pure]/[Readonly] pay only a
+   thin call shim and skip both PKRU writes entirely ([Readonly] runs
+   under the sandbox's own image — pkey 0 keeps the host block
+   reachable). *)
+let charge_hostcall e inst clazz =
+  let c = e.counters in
+  c.transitions <- c.transitions + 2;
+  let elide n = c.pkru_writes_elided <- c.pkru_writes_elided + n in
+  match clazz with
+  | Pure ->
+      c.calls_pure <- c.calls_pure + 1;
+      charge_cycles e e.pure_springboard_cycles;
+      if colorguard e then elide 2
+  | Readonly ->
+      c.calls_readonly <- c.calls_readonly + 1;
+      charge_cycles e e.readonly_springboard_cycles;
+      if colorguard e then elide 2
+  | Full ->
+      c.calls_full <- c.calls_full + 1;
+      charge_cycles e (2 * e.transition_overhead_cycles);
+      if colorguard e then
+        if inst.inst_color <> 0 then charge_cycles e (2 * wrpkru_cycles e) else elide 2

@@ -6,9 +6,28 @@ let page_of_addr addr = addr lsr page_shift
 
 type vma = { start : int; len : int; prot : Prot.t; pkey : int }
 
+(* A frozen page store shared by every region backed by it: page index
+   relative to the region start -> pristine contents. Pages absent from the
+   image read as zeros, like the untouched parts of an anonymous mapping. *)
+type image = { img_pages : (int, Bytes.t) Hashtbl.t }
+
+(* A copy-on-write region: reads fall through to the (shared, immutable)
+   image; the first write to a page copies it into the space's private page
+   store and records it in [r_private], so recycling the region is
+   O(dirtied pages) — drop the private copies and reads revert to the
+   image, exactly what madvise(MADV_DONTNEED) does to a MAP_PRIVATE file
+   mapping. *)
+type region = {
+  r_start : int;
+  r_len : int;
+  r_image : image;
+  r_private : (int, unit) Hashtbl.t; (* absolute page numbers dirtied *)
+}
+
 type t = {
   mutable vmas : vma Imap.t; (* keyed by start address *)
   pages : (int, Bytes.t) Hashtbl.t;
+  mutable regions : region Imap.t; (* keyed by start address *)
   max_map_count : int;
   mutable generation : int; (* bumped whenever the VMA layout changes *)
   mutable data_epoch : int; (* bumped whenever a page's backing store changes *)
@@ -18,6 +37,7 @@ let create ?(max_map_count = 65530) () =
   {
     vmas = Imap.empty;
     pages = Hashtbl.create 4096;
+    regions = Imap.empty;
     max_map_count;
     generation = 0;
     data_epoch = 0;
@@ -41,6 +61,22 @@ let page_info t ~addr =
 
 let aligned addr len =
   addr >= 0 && len > 0 && addr mod page_size = 0 && len mod page_size = 0
+
+let region_of_page t p =
+  if Imap.is_empty t.regions then None
+  else
+    let addr = p lsl page_shift in
+    match Imap.find_last_opt (fun s -> s <= addr) t.regions with
+    | Some (_, r) when addr < r.r_start + r.r_len -> Some r
+    | Some _ | None -> None
+
+let image_page r p = Hashtbl.find_opt r.r_image.img_pages (p - (r.r_start lsr page_shift))
+
+(* Forget a page's private copy; if a COW region covers it, its dirty set
+   must forget it too (the next write re-privatizes from the image). *)
+let drop_page t p =
+  Hashtbl.remove t.pages p;
+  match region_of_page t p with Some r -> Hashtbl.remove r.r_private p | None -> ()
 
 (* Any existing VMA overlapping [addr, addr+len)? *)
 let overlapping t addr len =
@@ -147,8 +183,11 @@ let unmap t ~addr ~len =
     t.vmas <- Imap.filter (fun s v -> not (s >= addr && vma_end v <= finish)) t.vmas;
     (* Drop page contents. *)
     for p = page_of_addr addr to page_of_addr (finish - 1) do
-      Hashtbl.remove t.pages p
+      drop_page t p
     done;
+    (* Backing registrations fully inside the range die with the mapping. *)
+    t.regions <-
+      Imap.filter (fun s r -> not (s >= addr && s + r.r_len <= finish)) t.regions;
     t.generation <- t.generation + 1;
     t.data_epoch <- t.data_epoch + 1;
     Ok ()
@@ -158,7 +197,7 @@ let madvise_dontneed t ~addr ~len =
   if not (aligned addr len) then Error "madvise: unaligned or empty range"
   else begin
     for p = page_of_addr addr to page_of_addr (addr + len - 1) do
-      Hashtbl.remove t.pages p
+      drop_page t p
     done;
     t.data_epoch <- t.data_epoch + 1;
     Ok ()
@@ -186,16 +225,31 @@ let check_access t ~pkru ~addr ~len ~write =
 
 let zero_page = Bytes.make page_size '\000'
 
-let get_page_ro t p = match Hashtbl.find_opt t.pages p with Some b -> b | None -> zero_page
+let get_page_ro t p =
+  match Hashtbl.find_opt t.pages p with
+  | Some b -> b
+  | None -> (
+      match region_of_page t p with
+      | Some r -> ( match image_page r p with Some b -> b | None -> zero_page)
+      | None -> zero_page)
 
 let get_page_rw t p =
   match Hashtbl.find_opt t.pages p with
   | Some b -> b
   | None ->
-      let b = Bytes.make page_size '\000' in
+      let b =
+        match region_of_page t p with
+        | Some r ->
+            (* Copy-on-write fault: privatize the image page. *)
+            Hashtbl.replace r.r_private p ();
+            (match image_page r p with
+            | Some img -> Bytes.copy img
+            | None -> Bytes.make page_size '\000')
+        | None -> Bytes.make page_size '\000'
+      in
       Hashtbl.replace t.pages p b;
-      (* A fresh backing page replaces the shared zero page for reads too,
-         so any cached read-only view of this page is now stale. *)
+      (* A fresh backing page replaces the shared zero/image page for reads
+         too, so any cached read-only view of this page is now stale. *)
       t.data_epoch <- t.data_epoch + 1;
       b
 
@@ -296,3 +350,69 @@ let copy t ~src ~dst ~len =
   end
 
 let resident_pages t = Hashtbl.length t.pages
+
+(* --- Copy-on-write backing images --- *)
+
+let image_of_data segments =
+  let img_pages = Hashtbl.create 16 in
+  let page_for p =
+    match Hashtbl.find_opt img_pages p with
+    | Some b -> b
+    | None ->
+        let b = Bytes.make page_size '\000' in
+        Hashtbl.replace img_pages p b;
+        b
+  in
+  List.iter
+    (fun (off, s) ->
+      if off < 0 then invalid_arg "image_of_data: negative offset";
+      let len = String.length s in
+      let pos = ref 0 in
+      while !pos < len do
+        let a = off + !pos in
+        let in_page = a land (page_size - 1) in
+        let chunk = min (len - !pos) (page_size - in_page) in
+        Bytes.blit_string s !pos (page_for (a lsr page_shift)) in_page chunk;
+        pos := !pos + chunk
+      done)
+    segments;
+  { img_pages }
+
+let image_pages img = Hashtbl.length img.img_pages
+
+let find_region_exact t ~addr ~len =
+  match Imap.find_opt addr t.regions with
+  | Some r when r.r_len = len -> Some r
+  | Some _ | None -> None
+
+let set_backing t ~addr ~len image =
+  if not (aligned addr len) then Error "set_backing: unaligned or empty range"
+  else if
+    Imap.exists (fun s r -> s < addr + len && s + r.r_len > addr) t.regions
+  then Error "set_backing: overlaps an existing backing region"
+  else begin
+    t.regions <-
+      Imap.add addr
+        { r_start = addr; r_len = len; r_image = image; r_private = Hashtbl.create 16 }
+        t.regions;
+    (* Reads in the range change from zeros to the image contents. *)
+    t.data_epoch <- t.data_epoch + 1;
+    Ok ()
+  end
+
+let dirty_pages t ~addr =
+  match Imap.find_opt addr t.regions with
+  | Some r -> Hashtbl.length r.r_private
+  | None -> 0
+
+let recycle t ~addr ~len =
+  match find_region_exact t ~addr ~len with
+  | None -> Error "recycle: no backing region registered for this range"
+  | Some r ->
+      let n = Hashtbl.length r.r_private in
+      if n > 0 then begin
+        Hashtbl.iter (fun p () -> Hashtbl.remove t.pages p) r.r_private;
+        Hashtbl.reset r.r_private;
+        t.data_epoch <- t.data_epoch + 1
+      end;
+      Ok n

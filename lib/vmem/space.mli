@@ -106,4 +106,45 @@ val copy : t -> src:int -> dst:int -> len:int -> unit
 val resident_pages : t -> int
 (** Number of materialized pages — a proxy for RSS, used to show that Wasm
     FaaS instances "rarely exceed a few hundred megabytes" of the 8 GiB
-    reservation (§2). *)
+    reservation (§2). Pages served straight from a backing {!image} are
+    shared, not resident. *)
+
+(** {1 Copy-on-write backing images}
+
+    How Wasmtime's pooling allocator gets its cold-start numbers: the
+    pre-initialized module image (data segments, vmctx template) is mapped
+    [MAP_PRIVATE] behind every slot. Reads hit the shared image; the first
+    write to a page takes a CoW fault and privatizes it; recycling a slot
+    is [madvise(MADV_DONTNEED)] over {e only the privatized pages}, after
+    which reads see the pristine image again — O(dirtied pages), not
+    O(heap size). *)
+
+type image
+(** An immutable page store shared by every region backed by it. *)
+
+val image_of_data : (int * string) list -> image
+(** Build an image from [(byte_offset, bytes)] segments, offsets relative
+    to the start of the region the image will back. Untouched bytes read as
+    zeros. *)
+
+val image_pages : image -> int
+(** Pages materialized in the image itself. *)
+
+val set_backing : t -> addr:int -> len:int -> image -> (unit, string) result
+(** Register [image] as the copy-on-write backing of [\[addr, addr+len)]
+    and start dirty-page tracking for the range. Orthogonal to the VMA
+    layer (map/protect the range separately); must not overlap another
+    backing region, and must be registered before any page in the range is
+    materialized (pages materialized earlier would escape the dirty
+    tracking). An empty image gives a zero-backed tracked region. *)
+
+val dirty_pages : t -> addr:int -> int
+(** Privatized (dirtied) page count of the backing region starting at
+    [addr]; 0 if none is registered. O(1). *)
+
+val recycle : t -> addr:int -> len:int -> (int, string) result
+(** Drop every private page of the backing region exactly covering
+    [\[addr, addr+len)], so reads revert to the pristine image. Returns the
+    number of pages dropped — the recycle's whole cost, O(dirty pages).
+    Mapping, protection and pkeys are untouched (MPK colors survive, §7
+    Observation 2). *)

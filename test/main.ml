@@ -9,6 +9,7 @@ let () =
       ("pool", Test_pool.tests);
       ("checked", Test_checked.tests);
       ("runtime", Test_runtime.tests);
+      ("lifecycle", Test_lifecycle.tests);
       ("inject", Test_inject.tests);
       ("lfi", Test_lfi.tests);
       ("vectorize", Test_vectorize.tests);
