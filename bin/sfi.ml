@@ -7,6 +7,8 @@
      dune exec bin/sfi.exe -- run spec2006/429_mcf --strategy segue
      dune exec bin/sfi.exe -- layout --slots 64 --max-mem 408 --guard 8192 --keys 15 --stripe
      dune exec bin/sfi.exe -- simulate --workload regex --processes 8
+     dune exec bin/sfi.exe -- trace sightglass/matrix -o trace.json --check
+     dune exec bin/sfi.exe -- top --workload hash --trap-rate 0.01
 *)
 
 open Cmdliner
@@ -17,6 +19,9 @@ module Pool = Sfi_core.Pool
 module Invariants = Sfi_core.Invariants
 module Units = Sfi_util.Units
 module Sim = Sfi_faas.Sim
+module Runtime = Sfi_runtime.Runtime
+module Machine = Sfi_machine.Machine
+module Trace = Sfi_trace.Trace
 
 let all_kernels : Kernel.t list =
   Sfi_workloads.Spec2006.all @ Sfi_workloads.Sightglass.all @ Sfi_workloads.Polybench.all
@@ -101,11 +106,58 @@ let engine_arg =
            ~doc:"Execution engine: threaded (pre-translated closures, default) or reference \
                  (the AST interpreter used as the differential oracle).")
 
+(* The unified Prometheus-style snapshot: machine counters of one
+   measurement plus the domain-local runtime aggregate (transitions by
+   class, PKRU elisions, lifecycle work) accumulated since the matching
+   [reset_domain_metrics]. *)
+let prometheus_snapshot (m : Kernel.measurement) (dm : Runtime.metrics) =
+  let f = float_of_int in
+  Trace.prometheus
+    [
+      ("sfi_instructions_total", "simulated instructions retired", f m.Kernel.instructions);
+      ("sfi_cycles_total", "simulated machine cycles", f m.Kernel.cycles);
+      ("sfi_ns_total", "simulated nanoseconds at the modeled clock", m.Kernel.ns);
+      ("sfi_code_bytes_static", "static compiled code size", f m.Kernel.code_bytes);
+      ( "sfi_code_bytes_fetched",
+        "dynamic code bytes through the frontend",
+        f m.Kernel.fetched_bytes );
+      ("sfi_dtlb_misses_total", "simulated dTLB misses", f m.Kernel.dtlb_misses);
+      ("sfi_dcache_misses_total", "simulated dcache misses", f m.Kernel.dcache_misses);
+      ("sfi_transitions_total", "one-way sandbox crossings", f dm.Runtime.m_transitions);
+      ( "sfi_hostcalls_pure_total",
+        "hostcalls through the pure springboard",
+        f dm.Runtime.m_calls_pure );
+      ( "sfi_hostcalls_readonly_total",
+        "hostcalls through the read-only springboard",
+        f dm.Runtime.m_calls_readonly );
+      ( "sfi_hostcalls_full_total",
+        "hostcalls through the full springboard",
+        f dm.Runtime.m_calls_full );
+      ( "sfi_pkru_writes_elided_total",
+        "PKRU writes skipped by the elision rules",
+        f dm.Runtime.m_pkru_writes_elided );
+      ( "sfi_pages_zeroed_on_recycle_total",
+        "dirty pages dropped by slot recycles",
+        f dm.Runtime.m_pages_zeroed_on_recycle );
+      ( "sfi_instantiations_cold_total",
+        "first-use slot bring-ups",
+        f dm.Runtime.m_instantiations_cold );
+      ( "sfi_instantiations_warm_total",
+        "recycled-slot reuses",
+        f dm.Runtime.m_instantiations_warm );
+    ]
+
 let run_cmd =
   let arg_override =
     Arg.(value & opt (some int) None & info [ "arg" ] ~docv:"N" ~doc:"Override the scale argument.")
   in
-  let run name strategy vectorize arg engine =
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write a Prometheus text-exposition snapshot of the run's machine and \
+                   runtime counters to $(docv).")
+  in
+  let run name strategy vectorize arg engine metrics_out =
     match find_kernel name with
     | Error (`Msg m) -> prerr_endline m; exit 1
     | Ok k ->
@@ -114,6 +166,7 @@ let run_cmd =
           | Some n -> { k with Kernel.args = [ Int64.of_int n ] }
           | None -> k
         in
+        Runtime.reset_domain_metrics ();
         let m = Kernel.run ~vectorize ~engine ~strategy k in
         Printf.printf "%s under %s (args %s)\n" (kernel_id k) (Strategy.name strategy)
           (String.concat "," (List.map Int64.to_string k.Kernel.args));
@@ -124,10 +177,127 @@ let run_cmd =
         Printf.printf "  code size     %d bytes (static), %d fetched\n" m.Kernel.code_bytes
           m.Kernel.fetched_bytes;
         Printf.printf "  dTLB misses   %d\n" m.Kernel.dtlb_misses;
-        Printf.printf "  dcache misses %d\n" m.Kernel.dcache_misses
+        Printf.printf "  dcache misses %d\n" m.Kernel.dcache_misses;
+        match metrics_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (prometheus_snapshot m (Runtime.domain_metrics ()));
+            close_out oc;
+            Printf.printf "  metrics       -> %s\n" path
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a kernel on the simulated machine and print its counters.")
-    Term.(const run $ kernel_arg $ strategy_arg $ vectorize_arg $ arg_override $ engine_arg)
+    Term.(const run $ kernel_arg $ strategy_arg $ vectorize_arg $ arg_override $ engine_arg
+          $ metrics_out)
+
+(* --- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Chrome trace_event JSON output path (Perfetto-loadable).")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate the captured stream (span nesting, per-track time order) and the \
+                   emitted JSON against the event schema; exit non-zero on any failure or if \
+                   a core event category is missing.")
+  in
+  let capacity =
+    Arg.(value & opt int 65536
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Ring-buffer capacity in events; on overflow the earliest events are kept.")
+  in
+  let interval =
+    Arg.(value & opt int 64
+         & info [ "profile-interval" ] ~docv:"N"
+             ~doc:"Hot-PC profiler sampling period in simulated instructions.")
+  in
+  let run name strategy vectorize engine out check capacity interval =
+    match find_kernel name with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok k ->
+        let cfg = { (Codegen.default_config ~strategy ()) with Codegen.vectorize } in
+        let compiled = Codegen.compile cfg (Lazy.force k.Kernel.wasm) in
+        let eng = Runtime.create_engine ~engine compiled in
+        let sink = Trace.create_ring ~capacity () in
+        Runtime.set_trace eng sink;
+        Machine.arm_profiler ~interval (Runtime.machine eng);
+        let inst = Runtime.instantiate eng in
+        (* A deliberately fuel-starved probe on a second slot exercises the
+           watchdog-kill path, so the capture always carries fault and kill
+           events on their own sandbox track. *)
+        let probe = Runtime.instantiate eng in
+        (match Runtime.invoke_protected ~fuel:32 probe k.Kernel.entry k.Kernel.args with
+        | Ok _ | Error _ -> ());
+        (match Runtime.invoke inst k.Kernel.entry k.Kernel.args with
+        | Error trap ->
+            Printf.eprintf "trap: %s\n" (Sfi_x86.Ast.trap_name trap);
+            exit 1
+        | Ok result ->
+            let json = Trace.to_chrome_json ~process_name:(kernel_id k) sink in
+            let oc = open_out out in
+            output_string oc json;
+            close_out oc;
+            Printf.printf "%s under %s: result %Ld\n" (kernel_id k) (Strategy.name strategy)
+              result;
+            Printf.printf "  %d events captured (%d dropped, capacity %d) -> %s\n"
+              (Trace.length sink) (Trace.dropped sink) (Trace.capacity sink) out;
+            Printf.printf "  categories: %s\n" (String.concat ", " (Trace.categories sink));
+            List.iter
+              (fun (nm, s) ->
+                Printf.printf "  %-18s n=%-6d p50=%-9.0f p95=%-9.0f p99=%-9.0f total=%.0f\n"
+                  nm s.Trace.s_count s.Trace.s_p50 s.Trace.s_p95 s.Trace.s_p99
+                  s.Trace.s_total)
+              (Trace.summaries sink);
+            let mach = Runtime.machine eng in
+            let samples = Machine.profile_samples mach in
+            if samples > 0 then begin
+              Printf.printf "  hot regions (%d samples, 1 per %d instructions):\n" samples
+                interval;
+              List.iteri
+                (fun i (label, n) ->
+                  if i < 10 then
+                    Printf.printf "    %5.1f%% %6d  %s\n"
+                      (100.0 *. float_of_int n /. float_of_int samples)
+                      n label)
+                (Machine.hot_regions mach)
+            end;
+            if check then begin
+              (match Trace.validate sink with
+              | Ok () -> print_endline "  stream: well-formed (nesting, per-track time order)"
+              | Error msg ->
+                  Printf.eprintf "stream INVALID: %s\n" msg;
+                  exit 1);
+              match Trace.validate_chrome_json json with
+              | Error msg ->
+                  Printf.eprintf "json INVALID: %s\n" msg;
+                  exit 1
+              | Ok r ->
+                  Printf.printf "  json: %d events, schema OK, categories: %s\n"
+                    r.Trace.json_events
+                    (String.concat ", " r.Trace.json_cats);
+                  let missing =
+                    List.filter
+                      (fun c -> not (List.mem c r.Trace.json_cats))
+                      [ "transition"; "lifecycle"; "fault"; "tlb" ]
+                  in
+                  if missing <> [] then begin
+                    Printf.eprintf "missing categories: %s\n" (String.concat ", " missing);
+                    exit 1
+                  end
+            end)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a kernel with structured tracing and the hot-PC profiler armed; export a \
+          Chrome trace_event JSON (one track per sandbox plus the machine track) and print \
+          per-class latency summaries.")
+    Term.(const run $ kernel_arg $ strategy_arg $ vectorize_arg $ engine_arg $ out $ check
+          $ capacity $ interval)
 
 (* --- layout ---------------------------------------------------------- *)
 
@@ -177,20 +347,21 @@ let layout_cmd =
 
 (* --- simulate --------------------------------------------------------- *)
 
+let workload_conv =
+  Arg.conv
+    ( (function
+      | "hash" -> Ok Sfi_faas.Workloads.Hash_balance
+      | "regex" -> Ok Sfi_faas.Workloads.Regex_filter
+      | "template" -> Ok Sfi_faas.Workloads.Templating
+      | s -> Error (`Msg ("unknown workload " ^ s ^ " (hash|regex|template)"))),
+      fun ppf w -> Format.pp_print_string ppf (Sfi_faas.Workloads.name w) )
+
+let workload_arg =
+  Arg.(value & opt workload_conv Sfi_faas.Workloads.Hash_balance
+       & info [ "workload"; "w" ] ~docv:"W" ~doc:"hash, regex or template.")
+
 let simulate_cmd =
-  let workload =
-    let workload_conv =
-      Arg.conv
-        ( (function
-          | "hash" -> Ok Sfi_faas.Workloads.Hash_balance
-          | "regex" -> Ok Sfi_faas.Workloads.Regex_filter
-          | "template" -> Ok Sfi_faas.Workloads.Templating
-          | s -> Error (`Msg ("unknown workload " ^ s ^ " (hash|regex|template)"))),
-          fun ppf w -> Format.pp_print_string ppf (Sfi_faas.Workloads.name w) )
-    in
-    Arg.(value & opt workload_conv Sfi_faas.Workloads.Hash_balance
-         & info [ "workload"; "w" ] ~docv:"W" ~doc:"hash, regex or template.")
-  in
+  let workload = workload_arg in
   let processes =
     Arg.(value & opt int 8 & info [ "processes"; "p" ] ~docv:"K" ~doc:"Process count to compare.")
   in
@@ -230,6 +401,75 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Compare ColorGuard vs multiprocess FaaS scaling.")
     Term.(const run $ workload $ processes $ trap_rate $ runaway_rate)
+
+(* --- top -------------------------------------------------------------- *)
+
+let top_cmd =
+  let processes =
+    Arg.(value & opt (some int) None
+         & info [ "processes"; "p" ] ~docv:"K"
+             ~doc:"Simulate K-process OS scaling instead of ColorGuard.")
+  in
+  let duration =
+    Arg.(value & opt float 20.0
+         & info [ "duration" ] ~docv:"MS" ~doc:"Simulated wall-clock to run for (ms).")
+  in
+  let trap_rate =
+    Arg.(value & opt float 0.0
+         & info [ "trap-rate" ] ~docv:"P" ~doc:"Per-request probability of a trapping handler.")
+  in
+  let runaway_rate =
+    Arg.(value & opt float 0.0
+         & info [ "runaway-rate" ] ~docv:"P"
+             ~doc:"Per-request probability of a runaway (watchdog-killed) handler.")
+  in
+  let rows =
+    Arg.(value & opt int 16
+         & info [ "rows"; "n" ] ~docv:"N" ~doc:"Tenants to show (busiest first).")
+  in
+  let run workload processes duration trap_rate runaway_rate rows =
+    let faults = { Sim.no_faults with Sim.trap_rate; runaway_rate } in
+    let mode =
+      match processes with None -> Sim.Colorguard | Some p -> Sim.Multiprocess p
+    in
+    let cfg =
+      { (Sim.default_config ~mode ~workload ~faults ()) with
+        Sim.duration_ns = duration *. 1e6 }
+    in
+    let r = Sim.run cfg in
+    Printf.printf "%s, %s, %d tenants, %.0f ms simulated\n"
+      (Sfi_faas.Workloads.name workload)
+      (match mode with
+      | Sim.Colorguard -> "ColorGuard"
+      | Sim.Multiprocess p -> Printf.sprintf "%d processes" p)
+      cfg.Sim.concurrency (cfg.Sim.duration_ns /. 1e6);
+    Printf.printf
+      "%d completed, %d failed, %.0f req/s-core, availability %.4f, %d transitions\n\n"
+      r.Sim.completed r.Sim.failed r.Sim.capacity_rps r.Sim.availability
+      r.Sim.user_transitions;
+    Printf.printf "%6s %8s %6s %10s %10s %10s\n" "TENANT" "OK" "FAIL" "P50(ms)" "P95(ms)"
+      "P99(ms)";
+    let tenants = Array.copy r.Sim.tenants in
+    Array.sort
+      (fun a b ->
+        match compare b.Sim.t_completed a.Sim.t_completed with
+        | 0 -> compare a.Sim.t_id b.Sim.t_id
+        | c -> c)
+      tenants;
+    Array.iteri
+      (fun i t ->
+        if i < rows then
+          Printf.printf "%6d %8d %6d %10.2f %10.2f %10.2f\n" t.Sim.t_id t.Sim.t_completed
+            t.Sim.t_failed (t.Sim.t_p50_ns /. 1e6) (t.Sim.t_p95_ns /. 1e6)
+            (t.Sim.t_p99_ns /. 1e6))
+      tenants
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the FaaS simulation and print a per-tenant breakdown (completions, failures, \
+          request-latency percentiles), busiest tenants first.")
+    Term.(const run $ workload_arg $ processes $ duration $ trap_rate $ runaway_rate $ rows)
 
 (* --- inject ----------------------------------------------------------- *)
 
@@ -377,4 +617,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; disasm_cmd; run_cmd; layout_cmd; simulate_cmd; inject_cmd; fuzz_cmd ]))
+          [
+            list_cmd; disasm_cmd; run_cmd; trace_cmd; layout_cmd; simulate_cmd; top_cmd;
+            inject_cmd; fuzz_cmd;
+          ]))

@@ -6,6 +6,8 @@ module Strategy = Sfi_core.Strategy
 module Pool = Sfi_core.Pool
 module Prng = Sfi_util.Prng
 module Units = Sfi_util.Units
+module Stats = Sfi_util.Stats
+module Trace = Sfi_trace.Trace
 
 type mode = Colorguard | Multiprocess of int
 
@@ -32,6 +34,7 @@ type config = {
   churn : bool;
   page_zero_ns : float;
   legacy_lifecycle : bool;
+  trace : Trace.t;
 }
 
 let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
@@ -50,7 +53,17 @@ let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
     churn;
     page_zero_ns;
     legacy_lifecycle;
+    trace = Trace.null;
   }
+
+type tenant_stat = {
+  t_id : int;
+  t_completed : int;
+  t_failed : int;
+  t_p50_ns : float;
+  t_p95_ns : float;
+  t_p99_ns : float;
+}
 
 type result = {
   completed : int;
@@ -69,6 +82,7 @@ type result = {
   checksum : int64;
   simulated_ns : float;
   cpu_busy_ns : float;
+  tenants : tenant_stat array;
 }
 
 type request = {
@@ -78,6 +92,7 @@ type request = {
   mutable ready_at : float;
   mutable act : Runtime.activation option;
   mutable seq : int; (* per-slot completion count, seeds the next request *)
+  mutable started_at : float; (* sim time the current activation started *)
 }
 
 (* A server-class second-level dTLB (1536 entries, as on the paper's
@@ -140,6 +155,7 @@ let run cfg =
           ready_at = io_delay ();
           act = None;
           seq = 0;
+          started_at = 0.0;
         })
   in
   (* Lifecycle cost model: instantiation / recycle work in OS pages, priced
@@ -172,6 +188,13 @@ let run cfg =
   let deadline_fuel = if has_faults then Some (f.deadline_epochs * epoch_fuel) else None in
   let clock = ref 0.0 in
   let busy = ref 0.0 in
+  (* Request spans run on the simulated clock, one trace track per request
+     slot (= tenant), so a Perfetto load shows each tenant's activations as
+     nested bars over sim time. *)
+  Trace.set_clock cfg.trace (fun () -> int_of_float !clock);
+  let t_completed = Array.make cfg.concurrency 0 in
+  let t_failed = Array.make cfg.concurrency 0 in
+  let t_lat = Array.make cfg.concurrency [] in
   let completed = ref 0 in
   let failed = ref 0 in
   let watchdog_kills = ref 0 in
@@ -235,6 +258,8 @@ let run cfg =
         if r2.proc = proc && r2.id <> except then begin
           if r2.act <> None then begin
             incr collateral;
+            t_failed.(r2.id) <- t_failed.(r2.id) + 1;
+            Trace.request_end cfg.trace ~tenant:r2.id ~ok:false;
             r2.act <- None
           end;
           if Runtime.live r2.inst then Runtime.kill r2.inst;
@@ -246,6 +271,8 @@ let run cfg =
   in
   let fail_request r ~is_crash =
     incr failed;
+    t_failed.(r.id) <- t_failed.(r.id) + 1;
+    Trace.request_end cfg.trace ~tenant:r.id ~ok:false;
     r.act <- None;
     r.seq <- r.seq + 1;
     (match cfg.mode with
@@ -255,6 +282,7 @@ let run cfg =
   in
   let run_request r =
     if ensure_instance r then begin
+      let completed_now = ref false in
       let act =
         match r.act with
         | Some a -> a
@@ -262,12 +290,15 @@ let run cfg =
             let seed = Int64.of_int (1 + r.id + (r.seq * 8191)) in
             let a = Runtime.start_call ?deadline_fuel r.inst (draw_entry ()) [ seed ] in
             r.act <- Some a;
+            r.started_at <- !clock;
+            Trace.request_begin cfg.trace ~tenant:r.id;
             a
       in
       (match Runtime.step act ~fuel:epoch_fuel with
       | `Done v ->
           incr completed;
           checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL);
+          completed_now := true;
           r.act <- None;
           r.seq <- r.seq + 1;
           (* High-churn mode: every request runs on a fresh instance, the
@@ -289,7 +320,15 @@ let run cfg =
              crash); retry on a fresh instance. *)
           fail_request r ~is_crash:false
       | `More -> () (* preempted; stays ready *));
-      charge r.proc
+      charge r.proc;
+      (* Latency is measured after [charge] so it includes the execution
+         time the engine just billed; the failure paths above keep their
+         pre-charge timestamps (ready_at, respawn) unchanged. *)
+      if !completed_now then begin
+        t_completed.(r.id) <- t_completed.(r.id) + 1;
+        t_lat.(r.id) <- (!clock -. r.started_at) :: t_lat.(r.id);
+        Trace.request_end cfg.trace ~tenant:r.id ~ok:true
+      end
     end
   in
   let ready_in proc =
@@ -342,6 +381,24 @@ let run cfg =
             | Some p -> switch_to p
             | None -> clock := max !clock (min (next_ready_time ()) cfg.duration_ns)))
   done;
+  (* Balance the trace: activations still in flight when the simulated
+     duration expires get their span closed (not counted as failures). *)
+  Array.iter
+    (fun r -> if r.act <> None then Trace.request_end cfg.trace ~tenant:r.id ~ok:false)
+    requests;
+  let tenants =
+    Array.init cfg.concurrency (fun id ->
+        let lat = t_lat.(id) in
+        let pct p = if lat = [] then 0.0 else Stats.percentile lat p in
+        {
+          t_id = id;
+          t_completed = t_completed.(id);
+          t_failed = t_failed.(id);
+          t_p50_ns = pct 50.0;
+          t_p95_ns = pct 95.0;
+          t_p99_ns = pct 99.0;
+        })
+  in
   let user_transitions =
     Array.fold_left (fun acc e -> acc + Runtime.transitions e) 0 engines
   in
@@ -372,6 +429,7 @@ let run cfg =
     checksum = !checksum;
     simulated_ns = !clock;
     cpu_busy_ns = !busy;
+    tenants;
   }
 
 let throughput_gain ~workload ~processes cfg =

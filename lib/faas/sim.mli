@@ -61,6 +61,13 @@ type config = {
           cost (whole-heap madvise + data-segment rewrite) instead of the
           CoW runtime's O(dirty pages); only meaningful with
           [page_zero_ns > 0] *)
+  trace : Sfi_trace.Trace.t;
+      (** structured-event sink for per-tenant request spans
+          ([Trace.null] by default, a no-op). The sim installs the simulated
+          clock on the sink and emits one [request] span per activation on
+          track [id] — so a Chrome/Perfetto export shows one lane per
+          tenant. Spans still open when the simulated duration expires are
+          closed without being counted as failures. *)
 }
 
 val default_config :
@@ -74,7 +81,19 @@ val default_config :
   config
 (** concurrency 128, duration 20 ms, IO mean 5 ms, epoch 1 ms, OS switch
     5 us (direct + indirect cost of a Linux process switch), ColorGuard,
-    hash workload, no faults, no churn, free lifecycle work. *)
+    hash workload, no faults, no churn, free lifecycle work, no tracing. *)
+
+type tenant_stat = {
+  t_id : int;  (** the request slot — one closed-loop tenant *)
+  t_completed : int;
+  t_failed : int;  (** kills, watchdog stops and collateral aborts *)
+  t_p50_ns : float;  (** request latency percentiles over completed
+                         activations (activation start to completion, in
+                         simulated ns); 0 when the tenant completed
+                         nothing *)
+  t_p95_ns : float;
+  t_p99_ns : float;
+}
 
 type result = {
   completed : int;  (** requests that finished successfully *)
@@ -103,6 +122,9 @@ type result = {
   checksum : int64;  (** folded request results, for validation *)
   simulated_ns : float;
   cpu_busy_ns : float;
+  tenants : tenant_stat array;
+      (** per-tenant breakdown, indexed by request slot — the [sfi top]
+          table *)
 }
 
 val run : config -> result

@@ -98,6 +98,17 @@ and t = {
   (* Direct-mapped dcache line fast path. *)
   lc_tag : int array;
   lc_slot : int array;
+  (* Structured tracing. [Trace.null] (the default) keeps every emission
+     site down to one load-and-branch; [set_trace] also points the sink's
+     clock at this machine's cycle counter. *)
+  mutable trace : Sfi_trace.Trace.t;
+  (* Sampling hot-PC profiler: every [prof_interval] executed instructions
+     (0 = disarmed) the current pc is bucketed into [prof_counts]. The
+     sampling run loops are separate from the untraced ones, so the
+     default path keeps its tight dispatch. *)
+  mutable prof_interval : int;
+  mutable prof_credit : int;
+  mutable prof_counts : int array;
 }
 
 (* Cache geometries: big enough that kernels alternating between a few hot
@@ -162,6 +173,10 @@ let create ?(cost = Cost.default) ?(tlb = Tlb.default_config) ?(code_base = defa
     pc_bwritable = Array.make pc_size false;
     lc_tag = Array.make lc_size (-1);
     lc_slot = Array.make lc_size 0;
+    trace = Sfi_trace.Trace.null;
+    prof_interval = 0;
+    prof_credit = 0;
+    prof_counts = [||];
   }
 
 let space t = t.space
@@ -230,6 +245,17 @@ let set_pkru t v =
 let set_hostcall_handler t f = t.hostcall <- f
 let engine t = t.engine
 let set_engine t k = t.engine <- k
+let trace t = t.trace
+
+let set_trace t sink =
+  t.trace <- sink;
+  (* Timestamps are simulated nanoseconds derived from the cycle counter,
+     so trace emission never perturbs the counters both engines must agree
+     on. The dTLB shares the sink (fill/evict events on the machine
+     track). *)
+  Sfi_trace.Trace.set_clock sink (fun () ->
+      int_of_float (Cost.ns_of_cycles t.cost t.counters.cycles));
+  Tlb.set_trace t.tlb sink
 
 (* --- Effective addresses --- *)
 
@@ -1004,6 +1030,8 @@ let compile_instr ~labels ~index_of_off ~code_base ~len ~next ~ret_addr (instr :
         t.counters.pkru_writes <- t.counters.pkru_writes + 1;
         t.pkru <- Int64.to_int (Int64.logand (reg_get t rax) 0xFFFFFFFFL);
         invalidate_pcache t;
+        if Sfi_trace.Trace.enabled t.trace then
+          Sfi_trace.Trace.pkru_write t.trace ~value:t.pkru;
         t.pc <- next
   | Rdpkru ->
       let rax = gpr_index RAX and rdx = gpr_index RDX in
@@ -1093,6 +1121,9 @@ let load_program t program =
   done;
   t.loaded <-
     Some { program; offsets; labels; code_len; lengths; targets; ret_addrs; index_of_off; exec };
+  (* Resize the profiler histogram to the new program (index n = off-end
+     sentinel), dropping samples of the program it replaced. *)
+  if t.prof_interval > 0 then t.prof_counts <- Array.make (n + 1) 0;
   t.pc <- 0
 
 let step t =
@@ -1245,7 +1276,9 @@ let step t =
       charge t cost.Cost.wrpkru_cycles;
       t.counters.pkru_writes <- t.counters.pkru_writes + 1;
       t.pkru <- Int64.to_int (Int64.logand (get_reg t RAX) 0xFFFFFFFFL);
-      invalidate_pcache t
+      invalidate_pcache t;
+      if Sfi_trace.Trace.enabled t.trace then
+        Sfi_trace.Trace.pkru_write t.trace ~value:t.pkru
   | Rdpkru ->
       charge t cost.Cost.alu_cycles;
       set_reg t RAX (Int64.of_int t.pkru);
@@ -1282,15 +1315,29 @@ let instr_at t idx =
   | Some l when idx >= 0 && idx < Array.length l.program -> Some l.program.(idx)
   | _ -> None
 
+(* Bucket the pc the sampling loops stopped at. Counter effects: none —
+   the profiler observes execution without perturbing it, so armed and
+   disarmed runs stay bit-identical under {!Lockstep}. *)
+let[@inline] prof_sample t =
+  t.prof_credit <- t.prof_credit - 1;
+  if t.prof_credit <= 0 then begin
+    t.prof_credit <- t.prof_interval;
+    let pc = t.pc in
+    if pc >= 0 && pc < Array.length t.prof_counts then
+      t.prof_counts.(pc) <- t.prof_counts.(pc) + 1
+  end
+
 let run_reference t ~fuel =
   let budget = ref fuel in
   let result = ref None in
+  let sampling = t.prof_interval > 0 in
   (try
      while !result = None do
        if !budget <= 0 then result := Some Yielded
        else begin
          decr budget;
-         step t
+         step t;
+         if sampling then prof_sample t
        end
      done
    with
@@ -1310,11 +1357,23 @@ let run_threaded t ~fuel =
   else begin
     let budget = ref fuel in
     try
-      while !budget > 0 do
-        decr budget;
-        code.(t.pc) t
-      done;
-      Yielded
+      if t.prof_interval > 0 then begin
+        (* Separate sampling loop so the default path below keeps its
+           tight two-load dispatch. *)
+        while !budget > 0 do
+          decr budget;
+          code.(t.pc) t;
+          prof_sample t
+        done;
+        Yielded
+      end
+      else begin
+        while !budget > 0 do
+          decr budget;
+          code.(t.pc) t
+        done;
+        Yielded
+      end
     with
     | Halt_exn | Hostcall_exit _ -> Halted
     | Trap_exn k -> Trapped k
@@ -1335,13 +1394,31 @@ let run t ~fuel =
   in
   let r = Domain.DLS.get retired_key in
   r := !r + (t.counters.instructions - before);
+  if status = Yielded && Sfi_trace.Trace.enabled t.trace then
+    Sfi_trace.Trace.fuel_checkpoint t.trace ~sandbox:(-1)
+      ~executed:t.counters.instructions;
   status
 
 let execute t ~entry ?(fuel = 1 lsl 30) () =
   start t ~entry;
   run t ~fuel
 
-let counters t = t.counters
+(* An immutable snapshot: callers get a private copy, so further execution
+   (or the runtime's transition cost charges) cannot mutate a value a test
+   or report already captured. *)
+let counters t =
+  let c = t.counters in
+  {
+    instructions = c.instructions;
+    cycles = c.cycles;
+    loads = c.loads;
+    stores = c.stores;
+    code_bytes = c.code_bytes;
+    seg_base_writes = c.seg_base_writes;
+    pkru_writes = c.pkru_writes;
+  }
+
+let charge_extra_cycles t n = t.counters.cycles <- t.counters.cycles + n
 
 let reset_counters t =
   let c = t.counters in
@@ -1355,6 +1432,36 @@ let reset_counters t =
   t.fetch_accum <- 0;
   Tlb.reset_counters t.tlb;
   Tlb.reset_counters t.dcache
+
+(* --- Sampling hot-PC profiler --- *)
+
+let arm_profiler ?(interval = 64) t =
+  if interval <= 0 then invalid_arg "Machine.arm_profiler: interval must be > 0";
+  t.prof_interval <- interval;
+  t.prof_credit <- interval;
+  let n = match t.loaded with Some l -> Array.length l.program + 1 | None -> 1 in
+  t.prof_counts <- Array.make n 0
+
+let disarm_profiler t = t.prof_interval <- 0
+let profile_samples t = Array.fold_left ( + ) 0 t.prof_counts
+
+let hot_regions t =
+  match t.loaded with
+  | None -> []
+  | Some l ->
+      let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let current = ref "<entry>" in
+      let n = Array.length l.program in
+      Array.iteri
+        (fun idx count ->
+          if idx < n then (match l.program.(idx) with Label lbl -> current := lbl | _ -> ());
+          if count > 0 then
+            Hashtbl.replace tbl !current
+              ((match Hashtbl.find_opt tbl !current with Some c -> c | None -> 0) + count))
+        t.prof_counts;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (la, a) (lb, b) ->
+             if a <> b then compare b a else compare la lb)
 
 type context = {
   c_regs : Bytes.t;

@@ -148,9 +148,50 @@ val pc : t -> int
 val instr_at : t -> int -> Sfi_x86.Ast.instr option
 (** The loaded instruction at an index, for violation reports. *)
 
+(** {1 Tracing and profiling} *)
+
+val trace : t -> Sfi_trace.Trace.t
+(** The attached trace sink ({!Sfi_trace.Trace.null} by default). *)
+
+val set_trace : t -> Sfi_trace.Trace.t -> unit
+(** Attach a trace sink. Its clock is pointed at this machine's cycle
+    counter (simulated nanoseconds), and the dTLB is wired to emit
+    fill/evict events into it. The machine itself emits [pkru.write]
+    on every [wrpkru] (both engines, identically) and a
+    [fuel.checkpoint] each time {!run} yields. Trace emission never
+    touches the performance counters, so traced and untraced runs stay
+    bit-identical under {!Lockstep}. *)
+
+val arm_profiler : ?interval:int -> t -> unit
+(** Start sampling the program counter every [interval] (default 64)
+    executed instructions into a per-instruction histogram. Arming
+    clears previous samples; {!load_program} resizes the histogram for
+    the new program. Sampling runs in a dedicated dispatch loop so the
+    disarmed hot path is unchanged, and it perturbs no architectural
+    state or counters. *)
+
+val disarm_profiler : t -> unit
+(** Stop sampling. Collected samples remain readable. *)
+
+val profile_samples : t -> int
+(** Total samples collected since the profiler was last armed. *)
+
+val hot_regions : t -> (string * int) list
+(** Samples aggregated by code region — each instruction is attributed
+    to the nearest preceding label (["<entry>"] before the first) —
+    sorted by sample count, hottest first. *)
+
 (** {1 Counters} *)
 
 val counters : t -> counters
+(** A snapshot: the returned record is a private copy, immutable with
+    respect to further execution. *)
+
+val charge_extra_cycles : t -> int -> unit
+(** Add cycles to the live counter — how the runtime charges modeled
+    transition costs (springboard sequences, context switches) that do
+    not correspond to executed instructions. *)
+
 val reset_counters : t -> unit
 (** Also resets TLB hit/miss counters. *)
 

@@ -13,6 +13,7 @@
 open Rt_types
 module Mpk = Sfi_vmem.Mpk
 module Prot = Sfi_vmem.Prot
+module Trace = Sfi_trace.Trace
 
 let slot_capacity_pages e =
   match e.allocator with
@@ -160,12 +161,19 @@ let instantiate_slot e slot =
        ok_exn "back heap"
          (Space.set_backing e.space ~addr:inst.heap ~len:(cap * wasm_page) e.heap_image);
      Hashtbl.replace e.slot_mapped_pages slot 0;
-     e.counters.instantiations_cold <- e.counters.instantiations_cold + 1
+     e.counters.instantiations_cold <- e.counters.instantiations_cold + 1;
+     (domain_counters ()).instantiations_cold <-
+       (domain_counters ()).instantiations_cold + 1;
+     Trace.instantiate e.trace ~sandbox:slot ~warm:false
    end
-   else
+   else begin
      (* Warm slot: the recycle at release/kill time already reverted every
         page the dead tenant dirtied back to the image. *)
-     e.counters.instantiations_warm <- e.counters.instantiations_warm + 1);
+     e.counters.instantiations_warm <- e.counters.instantiations_warm + 1;
+     (domain_counters ()).instantiations_warm <-
+       (domain_counters ()).instantiations_warm + 1;
+     Trace.instantiate e.trace ~sandbox:slot ~warm:true
+   end);
   set_accessible e inst ~pages:e.min_pages;
   (* Per-slot vmctx fields — the only writes an instantiation performs.
      Memory bound, host PKRU image and global initial values come from the
@@ -192,7 +200,10 @@ let recycle_slot e inst =
     if cap = 0 then 0
     else dropped "heap" (Space.recycle e.space ~addr:inst.heap ~len:(cap * wasm_page))
   in
-  e.counters.pages_zeroed_on_recycle <- e.counters.pages_zeroed_on_recycle + host + heap
+  e.counters.pages_zeroed_on_recycle <- e.counters.pages_zeroed_on_recycle + host + heap;
+  (domain_counters ()).pages_zeroed_on_recycle <-
+    (domain_counters ()).pages_zeroed_on_recycle + host + heap;
+  Trace.recycle e.trace ~sandbox:inst.id ~pages:(host + heap)
 
 let release inst =
   let e = inst.engine in
@@ -214,7 +225,8 @@ let kill inst =
     recycle_slot e inst;
     set_accessible e inst ~pages:0;
     (match e.current with Some i when i == inst -> e.current <- None | _ -> ());
-    e.free_slots <- inst.id :: e.free_slots
+    e.free_slots <- inst.id :: e.free_slots;
+    Trace.kill e.trace ~sandbox:inst.id
   end
 
 let dirty_heap_pages inst = Space.dirty_pages inst.engine.space ~addr:inst.heap

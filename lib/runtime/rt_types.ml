@@ -92,6 +92,15 @@ let reset_counters c =
   c.instantiations_cold <- 0;
   c.instantiations_warm <- 0
 
+(* Domain-local aggregate of the same counters across every engine created
+   on the calling domain. Engines are often created, exercised and dropped
+   inside a single workload run (e.g. {!Sfi_workloads.Kernel.run}), so a
+   harness that only sees the run's result can still report
+   transition/lifecycle totals. Every per-engine counter bump mirrors into
+   this record. *)
+let domain_counters_key = Domain.DLS.new_key fresh_counters
+let domain_counters () = Domain.DLS.get domain_counters_key
+
 type engine = {
   machine : Machine.t;
   space : Space.t;
@@ -118,6 +127,10 @@ type engine = {
   vmctx_image : Space.image;
   min_pages : int; (* the module's declared initial memory *)
   decl_max_pages : int; (* the module's declared maximum *)
+  (* Structured-event sink shared with the machine; [Trace.null] by
+     default. Transition spans, hostcall classes, lifecycle and fault
+     events are emitted here. *)
+  mutable trace : Sfi_trace.Trace.t;
 }
 
 and instance = {

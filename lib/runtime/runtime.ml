@@ -115,10 +115,22 @@ let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
       vmctx_image = Instance.bake_vmctx_image src ~min_pages;
       min_pages;
       decl_max_pages;
+      trace = Sfi_trace.Trace.null;
     }
   in
   Machine.set_hostcall_handler machine (fun m id -> hostcall_handler e m id);
   e
+
+(* --- tracing --- *)
+
+let trace e = e.trace
+
+let set_trace e sink =
+  e.trace <- sink;
+  (* The machine wires the sink's clock to its cycle counter and the dTLB
+     to its fill/evict events; the runtime layers read [e.trace] on every
+     transition, lifecycle and fault path. *)
+  Machine.set_trace e.machine sink
 
 let register_import ?(clazz = Full) e name f =
   Hashtbl.replace e.imports name { im_fn = f; im_class = clazz }
@@ -202,8 +214,20 @@ let prepare_call inst name args =
       Space.write64 e.space !rsp a)
     args;
   Machine.set_reg m X.RSP (Int64.of_int !rsp);
-  Transition.charge_entry e;
+  Transition.charge_entry e inst;
   Machine.start m ~entry:(Codegen.entry_label e.compiled name)
+
+(* Emit a [fault] event carrying the machine's trap attribution (the
+   faulting address and direction for access traps, [-1] otherwise). *)
+let trace_fault e inst =
+  if Sfi_trace.Trace.enabled e.trace then begin
+    let addr, write =
+      match Machine.last_fault_info e.machine with
+      | Some { Machine.fault_addr; fault_write } -> (fault_addr, fault_write)
+      | None -> (-1, false)
+    in
+    Sfi_trace.Trace.fault e.trace ~sandbox:inst.id ~addr ~write
+  end
 
 let finish inst status =
   let e = inst.engine in
@@ -212,6 +236,9 @@ let finish inst status =
       Transition.charge_exit e inst;
       `Done (Machine.get_reg e.machine X.RAX)
   | Machine.Trapped k ->
+      (* Fault first, exit-charge second: the instant then falls inside
+         the transition span it aborted. *)
+      trace_fault e inst;
       Transition.charge_exit e inst;
       `Trapped k
   | Machine.Yielded -> `More
@@ -234,6 +261,11 @@ let invoke_protected ?(fuel = 1 lsl 30) inst name args =
         Instance.kill inst;
         Error (Trap k)
     | `More ->
+        (* The activation ran out of fuel mid-call: the transition span is
+           still open; record the fault, close the span, then kill. *)
+        Sfi_trace.Trace.fault inst.engine.trace ~sandbox:inst.id ~addr:(-1)
+          ~write:false;
+        Sfi_trace.Trace.call_end inst.engine.trace ~sandbox:inst.id;
         Instance.kill inst;
         Error Fuel_exhausted
   end
@@ -279,6 +311,9 @@ let step act ~fuel =
         match act.deadline with
         | Some limit when act.spent >= limit ->
             act.done_ <- true;
+            Sfi_trace.Trace.fault e.trace ~sandbox:act.act_inst.id ~addr:(-1)
+              ~write:false;
+            Sfi_trace.Trace.call_end e.trace ~sandbox:act.act_inst.id;
             Instance.kill act.act_inst;
             `Fault Fuel_exhausted
         | _ -> `More)
@@ -435,8 +470,7 @@ type metrics = {
   m_instantiations_warm : int;
 }
 
-let metrics e =
-  let c = e.counters in
+let metrics_of_counters c =
   {
     m_transitions = c.transitions;
     m_calls_pure = c.calls_pure;
@@ -448,9 +482,16 @@ let metrics e =
     m_instantiations_warm = c.instantiations_warm;
   }
 
+let metrics e = metrics_of_counters e.counters
 let transitions e = e.counters.transitions
 let elapsed_ns e = Machine.elapsed_ns e.machine
 
 let reset_metrics e =
   Machine.reset_counters e.machine;
   reset_counters e.counters
+
+(* Domain-local aggregate across every engine this domain has run —
+   including engines created and dropped inside workload helpers, which a
+   bench harness never sees directly. *)
+let domain_metrics () = metrics_of_counters (domain_counters ())
+let reset_domain_metrics () = reset_counters (domain_counters ())

@@ -85,6 +85,22 @@ val machine : engine -> Sfi_machine.Machine.t
 val space : engine -> Sfi_vmem.Space.t
 val compiled : engine -> Sfi_core.Codegen.compiled
 
+(** {1 Tracing}
+
+    The runtime emits structured events into a {!Sfi_trace.Trace.t} sink:
+    per-sandbox transition spans ([call] begin/end around every invoke,
+    closed on trap and watchdog kill too), per-class [hostcall] instants
+    with their modeled cycle cost, lifecycle events ([instantiate.cold] /
+    [instantiate.warm] / [recycle] / [kill]), and [fault] instants
+    carrying {!last_fault_info}'s address attribution. Attaching a sink
+    also wires the machine (pkru writes, fuel checkpoints, dTLB
+    fill/evict) to it. The default sink is {!Sfi_trace.Trace.null}: every
+    emission site reduces to one load-and-branch, and trace emission
+    never perturbs counters or architectural state. *)
+
+val trace : engine -> Sfi_trace.Trace.t
+val set_trace : engine -> Sfi_trace.Trace.t -> unit
+
 (** How much boundary work a hostcall actually needs (Kolosick et al.,
     {e Isolation Without Taxation}), declared at registration:
     - [Pure]: touches no sandbox memory and cannot fault — direct call
@@ -265,3 +281,13 @@ val metrics : engine -> metrics
 
 val elapsed_ns : engine -> float
 val reset_metrics : engine -> unit
+
+val domain_metrics : unit -> metrics
+(** Aggregate of the same counters across {e every} engine the calling
+    domain has exercised since the last {!reset_domain_metrics} —
+    including engines created and discarded inside workload helpers
+    (e.g. {!Sfi_workloads.Kernel.run}), which the caller never sees.
+    This is what lets a bench harness attach a metrics snapshot to any
+    experiment that runs an engine. *)
+
+val reset_domain_metrics : unit -> unit

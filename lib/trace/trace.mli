@@ -1,0 +1,176 @@
+(** Low-overhead structured tracing for the simulated SFI stack.
+
+    A {!t} is an event sink. The default sink, {!null}, is permanently
+    disabled: every emitter is a single load-and-branch, so instrumented
+    code pays nothing when tracing is off. {!create_ring} builds an
+    enabled sink backed by preallocated integer arrays — emitting an
+    event is a handful of array stores and never allocates. When the
+    ring fills up the earliest events are kept and later ones are
+    counted in {!dropped}, so span nesting of the captured prefix stays
+    well-formed.
+
+    Timestamps come from a settable {e clock} closure returning
+    monotonic simulated nanoseconds. The machine installs a clock
+    derived from its cycle counter; the FaaS simulator installs its own
+    global clock for request spans. Tracks identify sandboxes (or
+    tenants): track [-1] is the machine itself, tracks [>= 0] are
+    sandbox slot ids.
+
+    The event vocabulary is fixed (see the emitters below):
+    transition spans and hostcall classes, instance lifecycle,
+    faults with address attribution, pkru writes, TLB fill/evict, fuel
+    checkpoints, and FaaS request spans. Exports: Chrome
+    [trace_event] JSON loadable in Perfetto ({!to_chrome_json}),
+    span-latency percentiles ({!summaries}), and Prometheus-style text
+    exposition ({!prometheus}). *)
+
+type t
+(** An event sink: either the disabled {!null} sink or a ring buffer. *)
+
+val null : t
+(** The disabled sink. Emitting into it is a no-op; [enabled null] is
+    [false]. This is the default everywhere tracing can be attached. *)
+
+val create_ring : ?capacity:int -> unit -> t
+(** A fresh enabled ring sink. [capacity] (default [65536]) bounds the
+    number of retained events; all storage is allocated up front. *)
+
+val enabled : t -> bool
+(** [true] iff events emitted into this sink are recorded. Hot paths
+    check this before computing event arguments. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the simulated-time source (monotonic nanoseconds). Events
+    emitted before any [set_clock] are stamped [0]. *)
+
+val now : t -> int
+(** Current reading of the sink's clock. *)
+
+val clear : t -> unit
+(** Drop all recorded events (and the dropped-event count). *)
+
+val length : t -> int
+(** Number of retained events. *)
+
+val capacity : t -> int
+(** Ring capacity ([0] for {!null}). *)
+
+val dropped : t -> int
+(** Events discarded because the ring was full. *)
+
+(** {1 Emitters}
+
+    All emitters are no-ops on a disabled sink. Timestamps are read
+    from the sink clock at emission time. *)
+
+val call_begin : t -> sandbox:int -> unit
+(** Transition span open: control enters sandbox [sandbox]. *)
+
+val call_end : t -> sandbox:int -> unit
+(** Transition span close: control returns to the host. *)
+
+val hostcall : t -> sandbox:int -> cls:int -> cycles:int -> unit
+(** A hostcall transition of class [cls] ([0] pure, [1] read-only,
+    [2] full) that cost [cycles] machine cycles. *)
+
+val instantiate : t -> sandbox:int -> warm:bool -> unit
+(** Lifecycle: slot [sandbox] was instantiated (cold or warm). *)
+
+val recycle : t -> sandbox:int -> pages:int -> unit
+(** Lifecycle: slot [sandbox] was released and recycled; [pages] dirty
+    pages were scrubbed. *)
+
+val kill : t -> sandbox:int -> unit
+(** Lifecycle: slot [sandbox] was killed after a fault. *)
+
+val fault : t -> sandbox:int -> addr:int -> write:bool -> unit
+(** A containment fault attributed to [sandbox]. [addr] is the faulting
+    address ([-1] when the trap carries no address, e.g. fuel
+    exhaustion); [write] distinguishes store from load faults. *)
+
+val pkru_write : t -> value:int -> unit
+(** The machine executed [wrpkru] with [value]. Machine track. *)
+
+val tlb_fill : t -> page:int -> unit
+(** The simulated dTLB filled a slot with [page]. Machine track. *)
+
+val tlb_evict : t -> page:int -> unit
+(** The fill displaced valid entry [page]. Machine track. *)
+
+val fuel_checkpoint : t -> sandbox:int -> executed:int -> unit
+(** An activation yielded at an epoch boundary with [executed]
+    instructions retired so far. *)
+
+val request_begin : t -> tenant:int -> unit
+(** FaaS: tenant [tenant]'s request entered service. *)
+
+val request_end : t -> tenant:int -> ok:bool -> unit
+(** FaaS: the request completed ([ok]) or failed. *)
+
+(** {1 Inspection} *)
+
+type event = {
+  ev_ts : int;  (** simulated nanoseconds *)
+  ev_cat : string;
+      (** one of ["transition"], ["lifecycle"], ["fault"], ["pkru"],
+          ["tlb"], ["fuel"], ["request"] *)
+  ev_name : string;  (** e.g. ["call"], ["hostcall.pure"], ["tlb.fill"] *)
+  ev_phase : char;  (** ['B'] span begin, ['E'] span end, ['i'] instant *)
+  ev_track : int;  (** [-1] machine, [>= 0] sandbox/tenant id *)
+  ev_a0 : int;  (** first event argument (meaning depends on [ev_name]) *)
+  ev_a1 : int;  (** second event argument *)
+}
+
+val events : t -> event list
+(** Decoded retained events, in emission order. *)
+
+val categories : t -> string list
+(** Distinct categories present, sorted. *)
+
+val validate : t -> (unit, string) result
+(** Structural check of the retained stream: timestamps are
+    non-decreasing per track, every span end matches the innermost open
+    span begin of the same name on its track, and (when no events were
+    dropped) every span is closed. *)
+
+(** {1 Aggregation} *)
+
+type summary = {
+  s_count : int;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+  s_total : float;
+}
+(** Latency distribution of one event class. Units are simulated
+    nanoseconds for spans and machine cycles for hostcall classes. *)
+
+val summaries : t -> (string * summary) list
+(** Per-class latency summaries: paired [call] / [request] span
+    durations and per-class hostcall costs, keyed by event name,
+    sorted by name. Percentiles via {!Sfi_util.Stats.percentile}. *)
+
+(** {1 Export} *)
+
+val to_chrome_json : ?process_name:string -> t -> string
+(** Render the retained events as Chrome [trace_event] JSON (the
+    ["traceEvents"] array form understood by Perfetto and
+    [chrome://tracing]). One thread per track — tid [0] is the machine
+    track, tid [id + 1] is sandbox [id] — with thread-name metadata
+    records. Timestamps are exported in microseconds. *)
+
+type json_report = { json_events : int; json_cats : string list }
+(** Result of {!validate_chrome_json}: number of non-metadata events
+    and the distinct categories seen, sorted. *)
+
+val validate_chrome_json : string -> (json_report, string) result
+(** Parse a Chrome trace JSON document (self-contained minimal JSON
+    parser) and check it against the event schema: a top-level
+    ["traceEvents"] array whose elements carry [name]/[ph]/[pid]/[tid],
+    a numeric [ts] and a known [cat] on every non-metadata event, and a
+    phase in [B]/[E]/[i]/[M]. *)
+
+val prometheus : (string * string * float) list -> string
+(** [prometheus [(name, help, value); ...]] renders Prometheus text
+    exposition format: a [# HELP] and [# TYPE ... gauge] line followed
+    by the sample for each metric. *)

@@ -16,6 +16,7 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  mutable trace : Sfi_trace.Trace.t;
 }
 
 let create config =
@@ -31,7 +32,10 @@ let create config =
     clock = 0;
     hits = 0;
     misses = 0;
+    trace = Sfi_trace.Trace.null;
   }
+
+let set_trace t sink = t.trace <- sink
 
 let walk_cost t = t.config.page_walk_levels * t.config.walk_cycles_per_level
 
@@ -68,6 +72,11 @@ let fill_slot t ~page ~payload =
      most-recently-touched line, and can be evicted by the very next fill
      in the set. *)
   t.clock <- t.clock + 1;
+  if Sfi_trace.Trace.enabled t.trace then begin
+    let displaced = t.tags.(base + !victim) in
+    if displaced >= 0 then Sfi_trace.Trace.tlb_evict t.trace ~page:displaced;
+    Sfi_trace.Trace.tlb_fill t.trace ~page
+  end;
   t.tags.(base + !victim) <- page;
   t.payloads.(base + !victim) <- payload;
   t.stamps.(base + !victim) <- t.clock;

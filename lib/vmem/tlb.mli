@@ -63,3 +63,10 @@ val flush : t -> unit
 val misses : t -> int
 val hits : t -> int
 val reset_counters : t -> unit
+
+val set_trace : t -> Sfi_trace.Trace.t -> unit
+(** Attach a trace sink. Fills then emit a [tlb.fill] event (and a
+    [tlb.evict] for the displaced entry when the victim way was valid)
+    on the machine track; the sink's clock supplies timestamps. The
+    default sink is {!Sfi_trace.Trace.null}, which costs one branch per
+    fill. *)

@@ -38,9 +38,10 @@ let compile ?(vectorize = false) ~strategy k =
   let cfg = { (Codegen.default_config ~strategy ()) with Codegen.vectorize } in
   Codegen.compile cfg (module_for k strategy)
 
-let run ?cost ?vectorize ?engine ~strategy k =
+let run ?cost ?vectorize ?engine ?trace ~strategy k =
   let compiled = compile ?vectorize ~strategy k in
   let engine = Runtime.create_engine ?cost ?engine compiled in
+  (match trace with Some sink -> Runtime.set_trace engine sink | None -> ());
   let inst = Runtime.instantiate engine in
   Runtime.reset_metrics engine;
   match Runtime.invoke inst k.entry k.args with

@@ -47,6 +47,7 @@ val run :
   ?cost:Sfi_machine.Cost.t ->
   ?vectorize:bool ->
   ?engine:Sfi_machine.Machine.engine_kind ->
+  ?trace:Sfi_trace.Trace.t ->
   strategy:Sfi_core.Strategy.t ->
   t ->
   measurement
@@ -54,7 +55,9 @@ val run :
     [Direct] strategy when one exists), instantiate, invoke, verify the
     checksum, and return the performance counters of the invocation.
     [engine] selects the machine execution engine (default [Threaded]).
-    Raises [Failure] on a trap or checksum mismatch. *)
+    [trace] installs a structured-event sink on the engine before the
+    invocation (see {!Sfi_trace.Trace}); omitted, tracing stays the no-op
+    [Trace.null]. Raises [Failure] on a trap or checksum mismatch. *)
 
 val normalized : ?cost:Sfi_machine.Cost.t -> ?vectorize:bool -> Sfi_core.Strategy.t -> t -> float
 (** Runtime (cycles) normalized to the native baseline — the y-axis of

@@ -5,6 +5,7 @@ let () =
       ("x86", Test_x86.tests);
       ("vmem", Test_vmem.tests);
       ("machine", Test_machine.tests);
+      ("trace", Test_trace.tests);
       ("wasm", Test_wasm.tests);
       ("pool", Test_pool.tests);
       ("checked", Test_checked.tests);

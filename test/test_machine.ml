@@ -337,6 +337,61 @@ let test_counters_and_costs () =
   Machine.reset_counters m;
   Alcotest.(check int) "reset" 0 (Machine.counters m).Machine.cycles
 
+(* machine.mli documents that reset_counters also clears the TLB
+   hit/miss counters — pin it. Repeated access to the same page gives
+   hits; the first touches give misses. *)
+let test_reset_counters_resets_tlb () =
+  let m, st =
+    run_program
+      [
+        X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~disp:(2 * mb) ()));
+        X.Mov (X.W32, X.Mem (X.mem ~disp:(2 * mb) ()), X.Reg X.RAX);
+        X.Mov (X.W32, X.Reg X.RCX, X.Mem (X.mem ~disp:(2 * mb) ()));
+      ]
+  in
+  check_halted st;
+  Alcotest.(check bool) "misses before reset" true (Machine.dtlb_misses m > 0);
+  Alcotest.(check bool) "hits before reset" true (Machine.dtlb_hits m > 0);
+  Machine.reset_counters m;
+  Alcotest.(check int) "misses reset" 0 (Machine.dtlb_misses m);
+  Alcotest.(check int) "hits reset" 0 (Machine.dtlb_hits m)
+
+(* [Machine.counters] returns a snapshot: further execution must not
+   mutate a record already handed out. *)
+let qcheck_counters_snapshot_immutable =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"counters snapshot immutable under further execution" ~count:50
+       QCheck.(int_range 1 8)
+       (fun reruns ->
+         let m, st =
+           run_program
+             [
+               X.Mov (X.W32, X.Reg X.RAX, X.Mem (X.mem ~disp:(2 * mb) ()));
+               X.Mov (X.W32, X.Mem (X.mem ~disp:(2 * mb) ()), X.Reg X.RAX);
+             ]
+         in
+         (match st with Machine.Halted -> () | _ -> QCheck.Test.fail_report "setup run did not halt");
+         let snap = Machine.counters m in
+         let saved =
+           ( snap.Machine.instructions,
+             snap.Machine.cycles,
+             snap.Machine.loads,
+             snap.Machine.stores,
+             snap.Machine.code_bytes )
+         in
+         for _ = 1 to reruns do
+           Machine.set_reg m X.RSP (Int64.of_int (mb + (8 * Space.page_size)));
+           ignore (Machine.execute m ~entry:"entry" ())
+         done;
+         let live = Machine.counters m in
+         live.Machine.instructions > snap.Machine.instructions
+         && saved
+            = ( snap.Machine.instructions,
+                snap.Machine.cycles,
+                snap.Machine.loads,
+                snap.Machine.stores,
+                snap.Machine.code_bytes )))
+
 let test_fsgsbase_fallback_cost () =
   let run_with avail =
     let space = Space.create () in
@@ -366,5 +421,7 @@ let tests =
     Harness.case "fuel and resume" test_fuel_and_resume;
     Harness.case "context save/restore" test_context_switch;
     Harness.case "counters" test_counters_and_costs;
+    Harness.case "reset_counters clears TLB counters" test_reset_counters_resets_tlb;
+    qcheck_counters_snapshot_immutable;
     Harness.case "fsgsbase fallback cost" test_fsgsbase_fallback_cost;
   ]
