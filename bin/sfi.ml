@@ -145,6 +145,19 @@ let prometheus_snapshot (m : Kernel.measurement) (dm : Runtime.metrics) =
       ( "sfi_instantiations_warm_total",
         "recycled-slot reuses",
         f dm.Runtime.m_instantiations_warm );
+      ("sfi_admission_admitted_total", "slot grants through admission", f dm.Runtime.m_admitted);
+      ( "sfi_admission_queued_total",
+        "tickets parked by the admission controller",
+        f dm.Runtime.m_adm_queued );
+      ( "sfi_admission_shed_sojourn_total",
+        "CoDel / ticket-deadline sheds",
+        f dm.Runtime.m_shed_sojourn );
+      ( "sfi_admission_shed_rate_limited_total",
+        "per-tenant token-bucket sheds",
+        f dm.Runtime.m_shed_rate_limited );
+      ( "sfi_admission_shed_queue_full_total",
+        "queue-at-capacity sheds",
+        f dm.Runtime.m_shed_queue_full );
     ]
 
 let run_cmd =
@@ -427,13 +440,44 @@ let top_cmd =
     Arg.(value & opt int 16
          & info [ "rows"; "n" ] ~docv:"N" ~doc:"Tenants to show (busiest first).")
   in
-  let run workload processes duration trap_rate runaway_rate rows =
+  let resilient =
+    Arg.(value & flag
+         & info [ "resilient" ]
+             ~doc:"Arm the overload-resilience stack: adaptive admission over a quarter-size \
+                   slot pool and per-tenant circuit breakers. Adds SHED/BRKOPEN/BRK columns.")
+  in
+  let crash_tenants =
+    Arg.(value & opt_all int []
+         & info [ "crash-tenant" ] ~docv:"ID"
+             ~doc:"Make tenant $(docv) crash-loop (every request traps). Repeatable. \
+                   Implies nothing else; combine with $(b,--resilient) to watch its breaker \
+                   open while healthy tenants keep their p99.")
+  in
+  let run workload processes duration trap_rate runaway_rate rows resilient crash_tenants =
     let faults = { Sim.no_faults with Sim.trap_rate; runaway_rate } in
     let mode =
       match processes with None -> Sim.Colorguard | Some p -> Sim.Multiprocess p
     in
+    let overload =
+      if not (resilient || crash_tenants <> []) then Sim.no_overload
+      else
+        {
+          Sim.no_overload with
+          Sim.crash_tenants;
+          pool_slots = (if resilient then Some 32 else None);
+          admission = (if resilient then Some Runtime.default_admission else None);
+          breaker = (if resilient then Some Sfi_faas.Breaker.default_config else None);
+          degradation = resilient;
+          hedged_retries = resilient;
+        }
+    in
+    (* Churn when the resilience stack is armed: released slots keep
+       admission continuously contested, so sheds, breaker trips and
+       recoveries actually show up in a short run. *)
+    let churn = resilient || crash_tenants <> [] in
     let cfg =
-      { (Sim.default_config ~mode ~workload ~faults ()) with
+      { (Sim.default_config ~mode ~workload ~faults ~overload ~churn
+           ~fair_scheduling:churn ()) with
         Sim.duration_ns = duration *. 1e6 }
     in
     let r = Sim.run cfg in
@@ -444,11 +488,26 @@ let top_cmd =
       | Sim.Multiprocess p -> Printf.sprintf "%d processes" p)
       cfg.Sim.concurrency (cfg.Sim.duration_ns /. 1e6);
     Printf.printf
-      "%d completed, %d failed, %.0f req/s-core, availability %.4f, %d transitions\n\n"
+      "%d completed, %d failed, %.0f req/s-core, availability %.4f, %d transitions\n"
       r.Sim.completed r.Sim.failed r.Sim.capacity_rps r.Sim.availability
       r.Sim.user_transitions;
-    Printf.printf "%6s %8s %6s %10s %10s %10s\n" "TENANT" "OK" "FAIL" "P50(ms)" "P95(ms)"
-      "P99(ms)";
+    if resilient then
+      Printf.printf
+        "admitted %d, shed %d (sojourn %d, rate %d, queue %d), breaker opens %d, \
+         fast-fails %d\n"
+        r.Sim.admitted
+        (r.Sim.shed_sojourn + r.Sim.shed_rate_limited + r.Sim.shed_queue_full
+       + r.Sim.shed_priority)
+        r.Sim.shed_sojourn r.Sim.shed_rate_limited r.Sim.shed_queue_full r.Sim.breaker_opens
+        r.Sim.breaker_fast_fails;
+    print_newline ();
+    let show_breakers = resilient || crash_tenants <> [] in
+    if show_breakers then
+      Printf.printf "%6s %8s %6s %6s %8s %10s %10s %10s %10s\n" "TENANT" "OK" "FAIL" "SHED"
+        "BRKOPEN" "BRK" "P50(ms)" "P95(ms)" "P99(ms)"
+    else
+      Printf.printf "%6s %8s %6s %10s %10s %10s\n" "TENANT" "OK" "FAIL" "P50(ms)" "P95(ms)"
+        "P99(ms)";
     let tenants = Array.copy r.Sim.tenants in
     Array.sort
       (fun a b ->
@@ -459,17 +518,25 @@ let top_cmd =
     Array.iteri
       (fun i t ->
         if i < rows then
-          Printf.printf "%6d %8d %6d %10.2f %10.2f %10.2f\n" t.Sim.t_id t.Sim.t_completed
-            t.Sim.t_failed (t.Sim.t_p50_ns /. 1e6) (t.Sim.t_p95_ns /. 1e6)
-            (t.Sim.t_p99_ns /. 1e6))
+          if show_breakers then
+            Printf.printf "%6d %8d %6d %6d %8d %10s %10.2f %10.2f %10.2f\n" t.Sim.t_id
+              t.Sim.t_completed t.Sim.t_failed t.Sim.t_shed t.Sim.t_breaker_opens
+              t.Sim.t_breaker_state (t.Sim.t_p50_ns /. 1e6) (t.Sim.t_p95_ns /. 1e6)
+              (t.Sim.t_p99_ns /. 1e6)
+          else
+            Printf.printf "%6d %8d %6d %10.2f %10.2f %10.2f\n" t.Sim.t_id t.Sim.t_completed
+              t.Sim.t_failed (t.Sim.t_p50_ns /. 1e6) (t.Sim.t_p95_ns /. 1e6)
+              (t.Sim.t_p99_ns /. 1e6))
       tenants
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Run the FaaS simulation and print a per-tenant breakdown (completions, failures, \
-          request-latency percentiles), busiest tenants first.")
-    Term.(const run $ workload_arg $ processes $ duration $ trap_rate $ runaway_rate $ rows)
+          shed/breaker state with --resilient, request-latency percentiles), busiest \
+          tenants first.")
+    Term.(const run $ workload_arg $ processes $ duration $ trap_rate $ runaway_rate $ rows
+          $ resilient $ crash_tenants)
 
 (* --- inject ----------------------------------------------------------- *)
 
@@ -611,6 +678,127 @@ let fuzz_cmd =
       const run $ count $ seed $ quick $ replay $ self_test $ no_sanitizer $ no_minimize
       $ no_churn)
 
+(* --- chaos ------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let module Chaos = Sfi_inject.Chaos in
+  let seed =
+    Arg.(value & opt int 0xC4A05
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Plan seed. Same seed, same schedule, same counters — byte-identical runs.")
+  in
+  let perturbations =
+    Arg.(value & opt int 200
+         & info [ "perturbations"; "n" ] ~docv:"N" ~doc:"Perturbations in the schedule.")
+  in
+  let duration =
+    Arg.(value & opt float 50.0
+         & info [ "duration" ] ~docv:"MS" ~doc:"Simulated wall-clock to run for (ms).")
+  in
+  let floor =
+    Arg.(value & opt float 0.90
+         & info [ "floor" ] ~docv:"A" ~doc:"Availability floor invariant (0-1).")
+  in
+  let repeat =
+    Arg.(value & flag
+         & info [ "repeat" ]
+             ~doc:"Run the plan twice and fail unless schedule digest and sim counters match.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write a Prometheus snapshot of the chaos run's serving counters to $(docv).")
+  in
+  let run workload engine seed perturbations duration floor repeat metrics_out =
+    let cfg =
+      {
+        (Chaos.default_config ~seed:(Int64.of_int seed) ~perturbations ()) with
+        Chaos.workload;
+        duration_ns = duration *. 1e6;
+        availability_floor = floor;
+        engine = Some engine;
+      }
+    in
+    let r = Chaos.run cfg in
+    let s = r.Chaos.sim in
+    Printf.printf "chaos: %d perturbations over %.0f ms (%s, seed %#x)\n" perturbations
+      duration (Sfi_faas.Workloads.name workload) seed;
+    Printf.printf "  schedule digest   %s\n" r.Chaos.digest;
+    Printf.printf "  applied           %d (%d kills found an in-flight victim)\n"
+      s.Sim.chaos_applied s.Sim.chaos_kills;
+    Printf.printf "  completed         %d (%d failed, availability %.4f >= %.2f)\n"
+      s.Sim.completed s.Sim.failed s.Sim.availability floor;
+    Printf.printf "  admission         %d admitted, shed %d/%d/%d (sojourn/rate/queue)\n"
+      s.Sim.admitted s.Sim.shed_sojourn s.Sim.shed_rate_limited s.Sim.shed_queue_full;
+    Printf.printf "  breakers          %d opened, %d fast-fails, %d open at end\n"
+      s.Sim.breaker_opens s.Sim.breaker_fast_fails s.Sim.breakers_open_at_end;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let f = float_of_int in
+        let oc = open_out path in
+        output_string oc
+          (Trace.prometheus
+             [
+               ("sfi_chaos_perturbations_total", "perturbations applied", f s.Sim.chaos_applied);
+               ("sfi_chaos_kills_total", "chaos kills with a victim", f s.Sim.chaos_kills);
+               ("sfi_requests_completed_total", "requests completed", f s.Sim.completed);
+               ("sfi_requests_failed_total", "requests failed", f s.Sim.failed);
+               ("sfi_availability", "completions / attempts", s.Sim.availability);
+               ("sfi_admission_admitted_total", "slot grants through admission", f s.Sim.admitted);
+               ( "sfi_admission_shed_sojourn_total",
+                 "CoDel / ticket-deadline sheds",
+                 f s.Sim.shed_sojourn );
+               ( "sfi_admission_shed_rate_limited_total",
+                 "per-tenant token-bucket sheds",
+                 f s.Sim.shed_rate_limited );
+               ( "sfi_admission_shed_queue_full_total",
+                 "queue-at-capacity sheds",
+                 f s.Sim.shed_queue_full );
+               ("sfi_breaker_opens_total", "circuit-breaker trips", f s.Sim.breaker_opens);
+               ( "sfi_breaker_fast_fails_total",
+                 "requests refused by an open breaker",
+                 f s.Sim.breaker_fast_fails );
+               ( "sfi_breakers_open",
+                 "breakers not closed at end of run",
+                 f s.Sim.breakers_open_at_end );
+             ]);
+        close_out oc;
+        Printf.printf "  metrics           -> %s\n" path);
+    let ok = ref (r.Chaos.violations = []) in
+    List.iter
+      (fun v ->
+        Printf.printf "  VIOLATION [%d] %s: %s\n" v.Chaos.v_index v.Chaos.v_kind
+          v.Chaos.v_detail)
+      r.Chaos.violations;
+    if r.Chaos.violations = [] then Printf.printf "  invariants        all held\n";
+    if repeat then begin
+      let r2 = Chaos.run cfg in
+      let same =
+        r.Chaos.digest = r2.Chaos.digest
+        && Chaos.fingerprint r = Chaos.fingerprint r2
+        && r2.Chaos.violations = []
+      in
+      if same then Printf.printf "  repeat            deterministic (digest + counters match)\n"
+      else begin
+        Printf.printf "  repeat            MISMATCH\n    run1 %s\n    run2 %s\n"
+          (Chaos.fingerprint r) (Chaos.fingerprint r2);
+        ok := false
+      end
+    end;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Perturb a live FaaS sim on a seeded schedule (kill in-flight instances, spike IO \
+          latency, fail instantiations) with admission control and circuit breakers armed, \
+          and check resilience invariants: no cross-tenant blast radius, availability floor, \
+          all breakers re-closed at quiescence. Deterministic per seed.")
+    Term.(
+      const run $ workload_arg $ engine_arg $ seed $ perturbations $ duration $ floor
+      $ repeat $ metrics_out)
+
 let () =
   let doc = "Segue & ColorGuard SFI toolchain (simulated x86-64)" in
   let info = Cmd.info "sfi" ~version:"1.0.0" ~doc in
@@ -619,5 +807,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; disasm_cmd; run_cmd; trace_cmd; layout_cmd; simulate_cmd; top_cmd;
-            inject_cmd; fuzz_cmd;
+            inject_cmd; fuzz_cmd; chaos_cmd;
           ]))

@@ -1,0 +1,110 @@
+(* Per-tenant circuit breaker: closed / open / half-open with jittered
+   exponential backoff. Pure state machine over the caller's simulated
+   clock — no wall time, no global state — so sim runs stay reproducible
+   from their seed. *)
+
+module Prng = Sfi_util.Prng
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  failure_threshold : int;
+  base_backoff_ns : float;
+  max_backoff_ns : float;
+  backoff_jitter : float;
+  latency_threshold_ns : float option;
+}
+
+let default_config =
+  {
+    failure_threshold = 5;
+    base_backoff_ns = 1e6;
+    max_backoff_ns = 64e6;
+    backoff_jitter = 0.2;
+    latency_threshold_ns = None;
+  }
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  mutable st : state;
+  mutable failures : int; (* consecutive failures while closed *)
+  mutable streak : int; (* consecutive opens without a closing probe *)
+  mutable until : float; (* open: when the next probe is allowed *)
+  mutable opens : int;
+}
+
+let create ?(seed = 0xB4EA4E4L) cfg =
+  if cfg.failure_threshold <= 0 then
+    invalid_arg "Breaker.create: failure_threshold must be positive";
+  if cfg.base_backoff_ns <= 0.0 || cfg.max_backoff_ns < cfg.base_backoff_ns then
+    invalid_arg "Breaker.create: need 0 < base_backoff_ns <= max_backoff_ns";
+  if cfg.backoff_jitter < 0.0 || cfg.backoff_jitter > 1.0 then
+    invalid_arg "Breaker.create: backoff_jitter must be in [0, 1]";
+  {
+    cfg;
+    rng = Prng.create ~seed;
+    st = Closed;
+    failures = 0;
+    streak = 0;
+    until = 0.0;
+    opens = 0;
+  }
+
+let state b = b.st
+let opens b = b.opens
+let retry_at b = b.until
+
+(* backoff = min(max, base * 2^(streak-1)), scattered by a uniform draw
+   from [1 - j/2, 1 + j/2] so a cohort of breakers tripped by the same
+   incident doesn't hammer the pool with synchronized probes. *)
+let backoff b =
+  let exp = Float.min 62.0 (float_of_int (b.streak - 1)) in
+  let raw = Float.min b.cfg.max_backoff_ns (b.cfg.base_backoff_ns *. (2.0 ** exp)) in
+  let j = b.cfg.backoff_jitter in
+  raw *. (1.0 -. (j /. 2.0) +. Prng.float b.rng j)
+
+let trip b ~now =
+  b.st <- Open;
+  b.streak <- b.streak + 1;
+  b.opens <- b.opens + 1;
+  b.failures <- 0;
+  b.until <- now +. backoff b
+
+let allow b ~now =
+  match b.st with
+  | Closed -> true
+  | Half_open -> false (* one probe outstanding *)
+  | Open ->
+      if now >= b.until then begin
+        b.st <- Half_open;
+        true
+      end
+      else false
+
+let on_success b ~now:_ =
+  match b.st with
+  | Closed -> b.failures <- 0
+  | Half_open ->
+      b.st <- Closed;
+      b.failures <- 0;
+      b.streak <- 0
+  | Open -> () (* stale report from before the trip *)
+
+let on_failure b ~now =
+  match b.st with
+  | Closed ->
+      b.failures <- b.failures + 1;
+      if b.failures >= b.cfg.failure_threshold then trip b ~now
+  | Half_open -> trip b ~now
+  | Open -> ()
+
+let on_slow b ~now ~elapsed_ns =
+  match b.cfg.latency_threshold_ns with
+  | Some limit when elapsed_ns > limit -> on_failure b ~now
+  | _ -> on_success b ~now

@@ -1,0 +1,76 @@
+(** Per-tenant circuit breaker with jittered exponential backoff.
+
+    A breaker guards one tenant's access to the serving path. It is a
+    three-state machine driven by the tenant's own outcomes:
+
+    - {b Closed} — requests flow normally. [failure_threshold]
+      consecutive failures (traps, watchdog kills, or — when
+      [latency_threshold_ns] is set — slow successes) trip it open.
+    - {b Open} — requests fast-fail without touching the pool. After a
+      backoff of [base_backoff_ns * 2^(streak-1)], capped at
+      [max_backoff_ns] and scattered by deterministic jitter, the next
+      {!allow} moves to half-open.
+    - {b Half_open} — exactly one probe request is admitted. Success
+      closes the breaker; failure re-opens it with a doubled streak.
+
+    All time is the caller's simulated clock (nanoseconds). Jitter comes
+    from a {!Sfi_util.Prng} seeded at {!create}, so a run is
+    reproducible from its seed. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+(** ["closed"] / ["open"] / ["half-open"]. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that trip the breaker *)
+  base_backoff_ns : float;  (** first open interval *)
+  max_backoff_ns : float;  (** backoff growth cap *)
+  backoff_jitter : float;
+      (** jitter width [j] in [[0, 1]]: each backoff is scaled by a
+          uniform draw from [[1 - j/2, 1 + j/2]] so breakers tripped
+          together don't probe in lockstep *)
+  latency_threshold_ns : float option;
+      (** when set, a success slower than this counts as a failure *)
+}
+
+val default_config : config
+(** Threshold 5, base 1 ms, cap 64 ms, jitter 0.2, no latency signal. *)
+
+type t
+
+val create : ?seed:int64 -> config -> t
+(** A fresh closed breaker. [seed] (default a fixed constant) seeds the
+    jitter PRNG; two breakers created with the same seed and config
+    behave identically. Raises [Invalid_argument] on a non-positive
+    threshold/backoff or jitter outside [[0, 1]]. *)
+
+val state : t -> state
+val opens : t -> int
+(** Times the breaker has transitioned into [Open]. *)
+
+val retry_at : t -> float
+(** When [Open]: the simulated time at which the next {!allow} will move
+    to half-open. Meaningless (0) otherwise. *)
+
+val allow : t -> now:float -> bool
+(** May a request proceed at time [now]? [Closed]: always. [Open]: if
+    the backoff has elapsed, transition to [Half_open] and admit this
+    single probe; otherwise refuse. [Half_open]: refuse while the probe
+    is outstanding. *)
+
+val on_success : t -> now:float -> unit
+(** Report a successful request that {!allow} admitted. If the latency
+    signal is armed, call {!on_slow} instead when the request exceeded
+    the threshold. Half-open probe success closes the breaker and resets
+    the failure streak. *)
+
+val on_failure : t -> now:float -> unit
+(** Report a failed request (trap, watchdog kill, chaos kill). In
+    [Closed], [failure_threshold] consecutive failures trip the breaker;
+    a half-open probe failure re-opens it with a doubled backoff. *)
+
+val on_slow : t -> now:float -> elapsed_ns:float -> unit
+(** Report a request that succeeded after [elapsed_ns]. Counts as a
+    failure when [latency_threshold_ns] is set and exceeded, as a
+    success otherwise. *)

@@ -21,6 +21,53 @@ type fault_model = {
 let no_faults =
   { trap_rate = 0.0; runaway_rate = 0.0; deadline_epochs = 8; respawn_ns = 500_000.0 }
 
+(* Overload-resilience policy: adaptive admission over a slot pool that
+   may be smaller than the closed-loop population, per-tenant circuit
+   breakers, a graceful-degradation ladder, and deliberately misbehaving
+   tenants to aim them at. All off by default ([no_overload]), in which
+   case the sim behaves exactly as before. *)
+type overload = {
+  pool_slots : int option;
+  admission : Sfi_runtime.Runtime.admission_config option;
+  breaker : Breaker.config option;
+  degradation : bool;
+  hedged_retries : bool;
+  request_deadline_ns : float option;
+  crash_tenants : int list;
+  runaway_tenants : int list;
+  low_priority : int -> bool;
+}
+
+let no_overload =
+  {
+    pool_slots = None;
+    admission = None;
+    breaker = None;
+    degradation = false;
+    hedged_retries = false;
+    request_deadline_ns = None;
+    crash_tenants = [];
+    runaway_tenants = [];
+    low_priority = (fun _ -> false);
+  }
+
+(* Chaos perturbations applied to the live run on a schedule the caller
+   supplies (see {!Sfi_inject.Chaos} for the seeded planner). *)
+type chaos_action =
+  | Chaos_kill
+  | Chaos_latency of { factor : float; window_ns : float }
+  | Chaos_instantiate_fail of int
+
+type chaos_event = { at_ns : float; action : chaos_action }
+
+type chaos_report = {
+  cr_index : int;
+  cr_at_ns : float;
+  cr_action : chaos_action;
+  cr_victim : int;
+  cr_failed : int array;
+}
+
 type config = {
   mode : mode;
   workload : Workloads.t;
@@ -35,11 +82,17 @@ type config = {
   page_zero_ns : float;
   legacy_lifecycle : bool;
   trace : Trace.t;
+  overload : overload;
+  engine : Machine.engine_kind option;
+  chaos : chaos_event list;
+  on_perturbation : (chaos_report -> unit) option;
+  fair_scheduling : bool;
 }
 
 let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
     ?(faults = no_faults) ?(churn = false) ?(page_zero_ns = 0.0)
-    ?(legacy_lifecycle = false) () =
+    ?(legacy_lifecycle = false) ?(overload = no_overload) ?engine ?(chaos = [])
+    ?on_perturbation ?(fair_scheduling = false) () =
   {
     mode;
     workload;
@@ -54,15 +107,24 @@ let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
     page_zero_ns;
     legacy_lifecycle;
     trace = Trace.null;
+    overload;
+    engine;
+    chaos;
+    on_perturbation;
+    fair_scheduling;
   }
 
 type tenant_stat = {
   t_id : int;
   t_completed : int;
   t_failed : int;
+  t_shed : int;
+  t_breaker_opens : int;
+  t_breaker_state : string;
   t_p50_ns : float;
   t_p95_ns : float;
   t_p99_ns : float;
+  t_p99_e2e_ns : float;
 }
 
 type result = {
@@ -72,6 +134,19 @@ type result = {
   collateral_aborts : int;
   recycles : int;
   pages_zeroed : int;
+  admitted : int;
+  shed_sojourn : int;
+  shed_rate_limited : int;
+  shed_queue_full : int;
+  shed_priority : int;
+  deadline_misses : int;
+  breaker_opens : int;
+  breaker_fast_fails : int;
+  breakers_open_at_end : int;
+  degrade_steps : int;
+  max_degrade_level : int;
+  chaos_applied : int;
+  chaos_kills : int;
   throughput_rps : float;
   goodput_rps : float;
   availability : float;
@@ -88,8 +163,12 @@ type result = {
 type request = {
   id : int;
   proc : int;
-  mutable inst : Runtime.instance;
+  mutable inst : Runtime.instance option;
+  mutable had_inst : bool; (* ever held a slot (recycle accounting) *)
   mutable ready_at : float;
+  mutable arrived_at : float; (* when the current logical request arrived *)
+  mutable parked : bool; (* ticket parked in the admission queue *)
+  mutable bk_admitted : bool; (* breaker already admitted this request *)
   mutable act : Runtime.activation option;
   mutable seq : int; (* per-slot completion count, seeds the next request *)
   mutable started_at : float; (* sim time the current activation started *)
@@ -107,11 +186,16 @@ let fresh_engines cfg m =
       if n < 1 then invalid_arg "Sim: process count must be >= 1";
       List.init n (fun _ ->
           let compiled = Codegen.compile (Codegen.default_config ()) m in
-          Runtime.create_engine ~tlb:server_tlb compiled)
+          Runtime.create_engine ~tlb:server_tlb ?engine:cfg.engine compiled)
   | Colorguard ->
       let params =
         {
-          Pool.num_slots = cfg.concurrency;
+          Pool.num_slots =
+            (match cfg.overload.pool_slots with
+            | Some n ->
+                if n < 1 then invalid_arg "Sim: pool_slots must be >= 1";
+                n
+            | None -> cfg.concurrency);
           max_memory_bytes = 4 * Units.mib;
           expected_slot_bytes = 4 * Units.mib;
           guard_bytes = 32 * Units.mib;
@@ -130,29 +214,66 @@ let fresh_engines cfg m =
       let compiled =
         Codegen.compile { (Codegen.default_config ()) with Codegen.colorguard = true } m
       in
-      [ Runtime.create_engine ~tlb:server_tlb ~allocator:(Runtime.Pool layout) compiled ]
+      [
+        Runtime.create_engine ~tlb:server_tlb ~allocator:(Runtime.Pool layout)
+          ?engine:cfg.engine compiled;
+      ]
 
 let run cfg =
   let m = Workloads.module_of cfg.workload in
   let engines = Array.of_list (fresh_engines cfg m) in
   let nprocs = Array.length engines in
   let rng = Prng.create ~seed:cfg.seed in
+  let ov = cfg.overload in
+  (* Chaos draws its own PRNG stream so perturbation policy (victim
+     choice, respawn delays) never perturbs the workload's stream. *)
+  let chaos_rng = Prng.create ~seed:(Int64.logxor cfg.seed 0xC4A05C4A05L) in
+  let latency_until = ref 0.0 in
+  let latency_factor = ref 1.0 in
   let io_delay () =
     (* "The value of the delay is drawn from a Poisson distribution at
        5ms": delays of a Poisson arrival process, i.e. exponential with a
        5 ms mean — "to model typical network request patterns". *)
-    Prng.exponential rng ~mean:cfg.io_mean_ns
+    let d = Prng.exponential rng ~mean:cfg.io_mean_ns in
+    if !latency_factor > 1.0 then d *. !latency_factor else d
+  in
+  Array.iter (fun e -> Runtime.set_admission e ov.admission) engines;
+  if ov.admission <> None then
+    (* Admission/breaker decisions are trace-worthy: route the engines'
+       event streams into the sim's sink so Perfetto shows shed/grant
+       markers on the tenant lanes. Legacy runs keep engine tracing off. *)
+    Array.iter (fun e -> Runtime.set_trace e cfg.trace) engines;
+  let breakers =
+    match ov.breaker with
+    | None -> None
+    | Some bc ->
+        Some
+          (Array.init cfg.concurrency (fun id ->
+               Breaker.create
+                 ~seed:(Int64.logxor cfg.seed (Int64.of_int ((id + 1) * 0x9E3779B9)))
+                 bc))
   in
   let f = cfg.faults in
   let has_faults = f.trap_rate > 0.0 || f.runaway_rate > 0.0 in
+  (* With a slot pool smaller than the closed-loop population, slots are a
+     contended resource acquired through admission; otherwise every
+     request gets its instance up front (the historical behavior). *)
+  let prewarm =
+    match ov.pool_slots with None -> true | Some n -> n >= cfg.concurrency
+  in
   let requests =
     Array.init cfg.concurrency (fun id ->
         let proc = id mod nprocs in
+        let ready_at = io_delay () in
         {
           id;
           proc;
-          inst = Runtime.instantiate engines.(proc);
-          ready_at = io_delay ();
+          inst = (if prewarm then Some (Runtime.instantiate engines.(proc)) else None);
+          had_inst = prewarm;
+          ready_at;
+          arrived_at = ready_at;
+          parked = false;
+          bk_admitted = false;
           act = None;
           seq = 0;
           started_at = 0.0;
@@ -185,7 +306,10 @@ let run cfg =
   let cycles_of_ns ns = Cost.cycles_of_ns cost ns in
   let ns_of_cycles c = Cost.ns_of_cycles cost c in
   let epoch_fuel = cycles_of_ns cfg.epoch_ns in
-  let deadline_fuel = if has_faults then Some (f.deadline_epochs * epoch_fuel) else None in
+  (* The watchdog deadline bounds every request, not only fault-injected
+     runs: a runaway guest must be stopped even when the fault model is
+     off (e.g. a chaos run or a deliberately misbehaving tenant). *)
+  let deadline_fuel = Some (f.deadline_epochs * epoch_fuel) in
   let clock = ref 0.0 in
   let busy = ref 0.0 in
   (* Request spans run on the simulated clock, one trace track per request
@@ -194,12 +318,25 @@ let run cfg =
   Trace.set_clock cfg.trace (fun () -> int_of_float !clock);
   let t_completed = Array.make cfg.concurrency 0 in
   let t_failed = Array.make cfg.concurrency 0 in
+  let t_shed = Array.make cfg.concurrency 0 in
+  let t_breaker_opens = Array.make cfg.concurrency 0 in
   let t_lat = Array.make cfg.concurrency [] in
+  let t_e2e = Array.make cfg.concurrency [] in
   let completed = ref 0 in
   let failed = ref 0 in
   let watchdog_kills = ref 0 in
   let collateral = ref 0 in
   let recycles = ref 0 in
+  let shed_sojourn = ref 0 in
+  let shed_rate_limited = ref 0 in
+  let shed_queue_full = ref 0 in
+  let shed_priority = ref 0 in
+  let deadline_misses = ref 0 in
+  let breaker_opens = ref 0 in
+  let breaker_fast_fails = ref 0 in
+  let chaos_applied = ref 0 in
+  let chaos_kills = ref 0 in
+  let inst_fail_budget = ref 0 in
   let checksum = ref 0L in
   let context_switches = ref 0 in
   let current_proc = ref 0 in
@@ -223,10 +360,13 @@ let run cfg =
       lifecycle_prev.(proc) <- w
     end
   in
-  (* Which handler serves this request: the per-request fault model draws
-     a misbehaving one with the configured probabilities. *)
-  let draw_entry () =
-    if not has_faults then "handle"
+  (* Which handler serves this request: deliberately misbehaving tenants
+     (overload policy) crash-loop or spin on every request; otherwise the
+     per-request fault model draws one with the configured probabilities. *)
+  let draw_entry id =
+    if List.mem id ov.crash_tenants then "misbehave_trap"
+    else if List.mem id ov.runaway_tenants then "misbehave_spin"
+    else if not has_faults then "handle"
     else begin
       let x = Prng.float rng 1.0 in
       if x < f.trap_rate then "misbehave_trap"
@@ -234,20 +374,166 @@ let run cfg =
       else "handle"
     end
   in
-  (* Crash recovery: the request's instance is dead; get a fresh slot via
-     the bounded retry queue. Returns false while the request must wait. *)
+  (* --- circuit breakers: transition tracking + trace emission --- *)
+  let note_breaker_transition id b prev =
+    let st = Breaker.state b in
+    if st <> prev then
+      match st with
+      | Breaker.Open ->
+          incr breaker_opens;
+          t_breaker_opens.(id) <- t_breaker_opens.(id) + 1;
+          Trace.breaker_open cfg.trace ~tenant:id
+            ~backoff:(int_of_float (Breaker.retry_at b -. !clock))
+      | Breaker.Half_open -> Trace.breaker_half_open cfg.trace ~tenant:id
+      | Breaker.Closed -> Trace.breaker_close cfg.trace ~tenant:id
+  in
+  let with_breaker id fn =
+    match breakers with
+    | None -> ()
+    | Some arr ->
+        let b = arr.(id) in
+        let prev = Breaker.state b in
+        fn b;
+        note_breaker_transition id b prev
+  in
+  (* May tenant [id]'s next request proceed? An open breaker fast-fails it
+     without touching the pool; the refusal parks the request until the
+     breaker's next probe time. Fast-fails are not serving failures — the
+     request never entered service — so they are counted separately. The
+     breaker is consulted once per logical request ([bk_admitted]): a
+     request it admitted that then waits on admission or a transient
+     instantiate failure is not re-asked — in particular a half-open
+     probe delayed that way must not fast-fail its own tenant forever. *)
+  let breaker_allow r =
+    match breakers with
+    | None -> true
+    | Some arr ->
+        let b = arr.(r.id) in
+        let prev = Breaker.state b in
+        let ok = Breaker.allow b ~now:!clock in
+        note_breaker_transition r.id b prev;
+        if ok then r.bk_admitted <- true
+        else begin
+          incr breaker_fast_fails;
+          r.ready_at <-
+            (match Breaker.state b with
+            | Breaker.Open -> Float.max (Breaker.retry_at b) (!clock +. cfg.epoch_ns)
+            | _ -> !clock +. cfg.epoch_ns)
+        end;
+        ok
+  in
+  (* --- graceful-degradation ladder --- *)
+  let ladder_level = ref 0 in
+  let degrade_steps = ref 0 in
+  let max_degrade_level = ref 0 in
+  let hedged = ref ov.hedged_retries in
+  let window_len = 4.0 *. cfg.epoch_ns in
+  let window_end = ref window_len in
+  let window_sheds = ref 0 in
+  let over_windows = ref 0 in
+  let calm_windows = ref 0 in
+  let apply_level lvl =
+    ladder_level := lvl;
+    max_degrade_level := max !max_degrade_level lvl;
+    incr degrade_steps;
+    (* L1: tighten admission and keep recycle headroom. L2: + stop hedging
+       failed requests. L3 additionally sheds low-priority arrivals (in
+       [run_request]). Stepping down unwinds in the same order. *)
+    let pressure = if lvl >= 1 then 0.5 else 1.0 in
+    Array.iter
+      (fun e ->
+        Runtime.set_admission_pressure e pressure;
+        let slots = Runtime.num_slots e in
+        let reserve = if lvl >= 1 then min (slots - 1) (max 1 (slots / 8)) else 0 in
+        Runtime.set_slot_reserve e reserve)
+      engines;
+    hedged := ov.hedged_retries && lvl < 2;
+    Trace.degrade_step cfg.trace ~level:lvl
+  in
+  let ladder_tick () =
+    if ov.degradation && !clock >= !window_end then begin
+      let overloaded = !window_sheds > 0 in
+      window_sheds := 0;
+      while !window_end <= !clock do
+        window_end := !window_end +. window_len
+      done;
+      if overloaded then begin
+        incr over_windows;
+        calm_windows := 0
+      end
+      else begin
+        incr calm_windows;
+        over_windows := 0
+      end;
+      if !over_windows >= 2 && !ladder_level < 3 then begin
+        over_windows := 0;
+        apply_level (!ladder_level + 1)
+      end
+      else if !calm_windows >= 2 && !ladder_level > 0 then begin
+        calm_windows := 0;
+        apply_level (!ladder_level - 1)
+      end
+    end
+  in
+  (* The client behind a shed ticket gives up and issues a fresh request
+     later; a half-open breaker whose probe was shed re-opens. *)
+  let note_shed r reason =
+    t_shed.(r.id) <- t_shed.(r.id) + 1;
+    (match reason with
+    | Runtime.Shed_sojourn ->
+        incr shed_sojourn;
+        incr window_sheds
+    | Runtime.Shed_rate_limited -> incr shed_rate_limited
+    | Runtime.Shed_queue_full ->
+        incr shed_queue_full;
+        incr window_sheds);
+    (match breakers with
+    | Some arr when Breaker.state arr.(r.id) = Breaker.Half_open ->
+        with_breaker r.id (Breaker.on_failure ~now:!clock)
+    | _ -> ());
+    r.parked <- false;
+    r.bk_admitted <- false;
+    r.ready_at <- !clock +. io_delay ();
+    r.arrived_at <- r.ready_at
+  in
+  (* Crash recovery / slot acquisition: get a slot through admission (the
+     CoDel path when armed, the bounded FIFO retry queue otherwise).
+     Returns false while the request must wait or was shed. *)
   let ensure_instance r =
-    if Runtime.live r.inst then true
-    else begin
-      match Runtime.instantiate_queued engines.(r.proc) ~ticket:r.id with
-      | `Ready inst ->
-          incr recycles;
-          r.inst <- inst;
-          true
-      | `Wait | `Rejected ->
+    match r.inst with
+    | Some i when Runtime.live i -> true
+    | _ ->
+        if !inst_fail_budget > 0 then begin
+          (* Chaos: transient instantiate failure — behaves like a full
+             pool; the request retries next epoch. *)
+          decr inst_fail_budget;
           r.ready_at <- !clock +. cfg.epoch_ns;
           false
-    end
+        end
+        else begin
+          match Runtime.admit engines.(r.proc) ~ticket:r.id ~tenant:r.id ~now:!clock with
+          | `Ready inst ->
+              if r.had_inst then incr recycles;
+              r.had_inst <- true;
+              r.parked <- false;
+              r.inst <- Some inst;
+              true
+          | `Wait ->
+              if ov.admission <> None then r.parked <- true;
+              r.ready_at <- !clock +. cfg.epoch_ns;
+              false
+          | `Shed reason ->
+              if ov.admission = None then begin
+                (* Legacy FIFO reject: keep the historical epoch retry (and
+                   its PRNG stream) byte-for-byte. *)
+                r.ready_at <- !clock +. cfg.epoch_ns;
+                false
+              end
+              else begin
+                note_shed r reason;
+                false
+              end
+        end
   in
   (* Blast radius of a crash. Under multiprocess scaling a trap is a process
      death: every co-resident instance dies and its in-flight request is
@@ -262,7 +548,9 @@ let run cfg =
             Trace.request_end cfg.trace ~tenant:r2.id ~ok:false;
             r2.act <- None
           end;
-          if Runtime.live r2.inst then Runtime.kill r2.inst;
+          (match r2.inst with
+          | Some i when Runtime.live i -> Runtime.kill i
+          | _ -> ());
           r2.ready_at <- !clock +. f.respawn_ns
         end)
       requests;
@@ -273,71 +561,196 @@ let run cfg =
     incr failed;
     t_failed.(r.id) <- t_failed.(r.id) + 1;
     Trace.request_end cfg.trace ~tenant:r.id ~ok:false;
+    with_breaker r.id (Breaker.on_failure ~now:!clock);
     r.act <- None;
     r.seq <- r.seq + 1;
+    r.bk_admitted <- false;
     (match cfg.mode with
     | Multiprocess _ when is_crash -> crash_process r.proc ~except:r.id
     | _ -> ());
-    r.ready_at <- !clock +. io_delay ()
+    (* Hedged retry (until the ladder downgrades it at L2): resubmit the
+       failed request next epoch instead of after a full IO round-trip. *)
+    r.ready_at <- (if !hedged then !clock +. cfg.epoch_ns else !clock +. io_delay ());
+    r.arrived_at <- r.ready_at
   in
   let run_request r =
-    if ensure_instance r then begin
-      let completed_now = ref false in
-      let act =
-        match r.act with
-        | Some a -> a
-        | None ->
-            let seed = Int64.of_int (1 + r.id + (r.seq * 8191)) in
-            let a = Runtime.start_call ?deadline_fuel r.inst (draw_entry ()) [ seed ] in
-            r.act <- Some a;
-            r.started_at <- !clock;
-            Trace.request_begin cfg.trace ~tenant:r.id;
-            a
-      in
-      (match Runtime.step act ~fuel:epoch_fuel with
-      | `Done v ->
-          incr completed;
-          checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL);
-          completed_now := true;
-          r.act <- None;
-          r.seq <- r.seq + 1;
-          (* High-churn mode: every request runs on a fresh instance, the
-             §6.4.3 FaaS pattern. Release recycles the slot (dirty pages
-             revert to the image); the next request re-instantiates. *)
-          if cfg.churn then Runtime.release r.inst;
-          r.ready_at <- !clock +. io_delay ()
-      | `Trapped _ ->
-          (* The sandbox crashed; Runtime.step already killed the instance
-             and recycled its slot. The request failed — count it, never
-             abort the simulation. *)
-          fail_request r ~is_crash:true
-      | `Fault Runtime.Fuel_exhausted ->
-          (* Watchdog kill: runaway loop exceeded its deadline. *)
-          incr watchdog_kills;
-          fail_request r ~is_crash:false
-      | `Fault _ ->
-          (* Instance died under us (e.g. collateral of a neighbour's
-             crash); retry on a fresh instance. *)
-          fail_request r ~is_crash:false
-      | `More -> () (* preempted; stays ready *));
-      charge r.proc;
-      (* Latency is measured after [charge] so it includes the execution
-         time the engine just billed; the failure paths above keep their
-         pre-charge timestamps (ready_at, respawn) unchanged. *)
-      if !completed_now then begin
-        t_completed.(r.id) <- t_completed.(r.id) + 1;
-        t_lat.(r.id) <- (!clock -. r.started_at) :: t_lat.(r.id);
-        Trace.request_end cfg.trace ~tenant:r.id ~ok:true
+    if
+      !ladder_level >= 3 && r.act = None && (not r.parked) && ov.low_priority r.id
+    then begin
+      (* L3: shed low-priority arrivals outright. Reason code 3 in the
+         trace = priority shed (the runtime codes cover 0-2). *)
+      incr shed_priority;
+      t_shed.(r.id) <- t_shed.(r.id) + 1;
+      Trace.admission_shed cfg.trace ~tenant:r.id ~sojourn:0 ~reason:3;
+      r.bk_admitted <- false;
+      r.ready_at <- !clock +. io_delay ();
+      r.arrived_at <- r.ready_at
+    end
+    else if r.act <> None || r.parked || r.bk_admitted || breaker_allow r then begin
+      if ensure_instance r then begin
+        let inst = match r.inst with Some i -> i | None -> assert false in
+        let arrival = r.arrived_at in
+        let completed_now = ref false in
+        let act =
+          match r.act with
+          | Some a -> a
+          | None ->
+              let seed = Int64.of_int (1 + r.id + (r.seq * 8191)) in
+              let a = Runtime.start_call ?deadline_fuel inst (draw_entry r.id) [ seed ] in
+              r.act <- Some a;
+              r.started_at <- !clock;
+              Trace.request_begin cfg.trace ~tenant:r.id;
+              a
+        in
+        (match Runtime.step act ~fuel:epoch_fuel with
+        | `Done v ->
+            incr completed;
+            checksum := Int64.add !checksum (Int64.logand v 0xFFFFFFFFL);
+            completed_now := true;
+            r.act <- None;
+            r.seq <- r.seq + 1;
+            (* High-churn mode: every request runs on a fresh instance, the
+               §6.4.3 FaaS pattern. Release recycles the slot (dirty pages
+               revert to the image); the next request re-instantiates. *)
+            if cfg.churn then Runtime.release inst;
+            r.bk_admitted <- false;
+            r.ready_at <- !clock +. io_delay ();
+            r.arrived_at <- r.ready_at
+        | `Trapped _ ->
+            (* The sandbox crashed; Runtime.step already killed the instance
+               and recycled its slot. The request failed — count it, never
+               abort the simulation. *)
+            fail_request r ~is_crash:true
+        | `Fault Runtime.Fuel_exhausted ->
+            (* Watchdog kill: runaway loop exceeded its deadline. *)
+            incr watchdog_kills;
+            fail_request r ~is_crash:false
+        | `Fault _ ->
+            (* Instance died under us (e.g. collateral of a neighbour's
+               crash); retry on a fresh instance. *)
+            fail_request r ~is_crash:false
+        | `More -> () (* preempted; stays ready *));
+        charge r.proc;
+        (* Latency is measured after [charge] so it includes the execution
+           time the engine just billed; the failure paths above keep their
+           pre-charge timestamps (ready_at, respawn) unchanged. *)
+        if !completed_now then begin
+          t_completed.(r.id) <- t_completed.(r.id) + 1;
+          t_lat.(r.id) <- (!clock -. r.started_at) :: t_lat.(r.id);
+          let e2e = !clock -. arrival in
+          t_e2e.(r.id) <- e2e :: t_e2e.(r.id);
+          (match ov.request_deadline_ns with
+          | Some d when e2e > d -> incr deadline_misses
+          | _ -> ());
+          with_breaker r.id (fun b ->
+              Breaker.on_slow b ~now:!clock ~elapsed_ns:(!clock -. r.started_at));
+          Trace.request_end cfg.trace ~tenant:r.id ~ok:true
+        end
       end
     end
   in
+  (* --- chaos: seeded perturbations applied to the live run --- *)
+  let chaos_pending =
+    ref (List.sort (fun a b -> compare a.at_ns b.at_ns) cfg.chaos)
+  in
+  let next_chaos_time () =
+    match !chaos_pending with ev :: _ -> ev.at_ns | [] -> infinity
+  in
+  let chaos_index = ref 0 in
+  let apply_chaos ev =
+    let victim = ref (-1) in
+    (match ev.action with
+    | Chaos_kill -> (
+        (* Kill a random in-flight instance: the victim's request fails
+           (attributed to the victim alone — that's the blast-radius
+           invariant the harness checks) and the slot recycles. *)
+        let candidates =
+          Array.to_list requests
+          |> List.filter (fun r ->
+                 r.act <> None
+                 && match r.inst with Some i -> Runtime.live i | None -> false)
+        in
+        match candidates with
+        | [] -> ()
+        | l ->
+            let r = List.nth l (Prng.int chaos_rng (List.length l)) in
+            victim := r.id;
+            incr chaos_kills;
+            incr failed;
+            t_failed.(r.id) <- t_failed.(r.id) + 1;
+            Trace.request_end cfg.trace ~tenant:r.id ~ok:false;
+            with_breaker r.id (Breaker.on_failure ~now:!clock);
+            (match r.inst with
+            | Some i when Runtime.live i -> Runtime.kill i
+            | _ -> ());
+            r.act <- None;
+            r.seq <- r.seq + 1;
+            r.parked <- false;
+            r.bk_admitted <- false;
+            r.ready_at <- !clock +. Prng.exponential chaos_rng ~mean:cfg.io_mean_ns;
+            r.arrived_at <- r.ready_at)
+    | Chaos_latency { factor; window_ns } ->
+        latency_factor := factor;
+        latency_until := !clock +. window_ns
+    | Chaos_instantiate_fail n -> inst_fail_budget := !inst_fail_budget + n);
+    incr chaos_applied;
+    (match cfg.on_perturbation with
+    | Some fn ->
+        fn
+          {
+            cr_index = !chaos_index;
+            cr_at_ns = ev.at_ns;
+            cr_action = ev.action;
+            cr_victim = !victim;
+            cr_failed = Array.copy t_failed;
+          }
+    | None -> ());
+    incr chaos_index
+  in
+  let chaos_tick () =
+    if !latency_until > 0.0 && !clock >= !latency_until then begin
+      latency_factor := 1.0;
+      latency_until := 0.0
+    end;
+    let rec drain () =
+      match !chaos_pending with
+      | ev :: rest when ev.at_ns <= !clock ->
+          chaos_pending := rest;
+          apply_chaos ev;
+          drain ()
+      | _ -> ()
+    in
+    drain ()
+  in
+  (* Scheduler. The legacy scan picks the lowest-index ready request, so a
+     started request runs to completion before anything behind it starts:
+     slots are barely contended and overload shows up as silent starvation
+     of high-index tenants. [fair_scheduling] switches to a round-robin
+     cursor (processor sharing): every ready request gets an epoch in
+     turn, in-flight requests hold their slots across preemption, and
+     excess demand queues at admission — the regime the overload stack is
+     built for. Off by default to keep earlier figures reproducible. *)
+  let rr_cursor = ref 0 in
+  let n_requests = Array.length requests in
   let ready_in proc =
     let found = ref None in
-    Array.iter
-      (fun r ->
-        if !found = None && (proc < 0 || r.proc = proc) && r.ready_at <= !clock then
-          found := Some r)
-      requests;
+    if cfg.fair_scheduling then begin
+      let i = ref 0 in
+      while !found = None && !i < n_requests do
+        let r = requests.((!rr_cursor + !i) mod n_requests) in
+        if (proc < 0 || r.proc = proc) && r.ready_at <= !clock then begin
+          found := Some r;
+          rr_cursor := (!rr_cursor + !i + 1) mod n_requests
+        end;
+        incr i
+      done
+    end
+    else
+      Array.iter
+        (fun r ->
+          if !found = None && (proc < 0 || r.proc = proc) && r.ready_at <= !clock then
+            found := Some r)
+        requests;
     !found
   in
   let next_ready_time () =
@@ -353,12 +766,16 @@ let run cfg =
     current_proc := proc;
     slice_start := !clock
   in
+  let idle_jump () =
+    clock :=
+      max !clock (min (min (next_ready_time ()) (next_chaos_time ())) cfg.duration_ns)
+  in
   while !clock < cfg.duration_ns do
+    chaos_tick ();
+    ladder_tick ();
     match cfg.mode with
     | Colorguard -> (
-        match ready_in (-1) with
-        | Some r -> run_request r
-        | None -> clock := max !clock (min (next_ready_time ()) cfg.duration_ns))
+        match ready_in (-1) with Some r -> run_request r | None -> idle_jump ())
     | Multiprocess _ -> (
         (* A timeslice expires: move on if someone else has work. *)
         let other_with_work () =
@@ -379,7 +796,7 @@ let run cfg =
         | None -> (
             match other_with_work () with
             | Some p -> switch_to p
-            | None -> clock := max !clock (min (next_ready_time ()) cfg.duration_ns)))
+            | None -> idle_jump ()))
   done;
   (* Balance the trace: activations still in flight when the simulated
      duration expires get their span closed (not counted as failures). *)
@@ -390,14 +807,35 @@ let run cfg =
     Array.init cfg.concurrency (fun id ->
         let lat = t_lat.(id) in
         let pct p = if lat = [] then 0.0 else Stats.percentile lat p in
+        let e2e = t_e2e.(id) in
         {
           t_id = id;
           t_completed = t_completed.(id);
           t_failed = t_failed.(id);
+          t_shed = t_shed.(id);
+          t_breaker_opens = t_breaker_opens.(id);
+          t_breaker_state =
+            (match breakers with
+            | None -> "-"
+            | Some arr -> Breaker.state_name (Breaker.state arr.(id)));
           t_p50_ns = pct 50.0;
           t_p95_ns = pct 95.0;
           t_p99_ns = pct 99.0;
+          t_p99_e2e_ns = (if e2e = [] then 0.0 else Stats.percentile e2e 99.0);
         })
+  in
+  let breakers_open_at_end =
+    match breakers with
+    | None -> 0
+    | Some arr ->
+        Array.fold_left
+          (fun acc b -> if Breaker.state b <> Breaker.Closed then acc + 1 else acc)
+          0 arr
+  in
+  let admitted =
+    Array.fold_left
+      (fun acc e -> acc + (Runtime.metrics e).Runtime.m_admitted)
+      0 engines
   in
   let user_transitions =
     Array.fold_left (fun acc e -> acc + Runtime.transitions e) 0 engines
@@ -418,8 +856,21 @@ let run cfg =
     collateral_aborts = !collateral;
     recycles = !recycles;
     pages_zeroed;
+    admitted;
+    shed_sojourn = !shed_sojourn;
+    shed_rate_limited = !shed_rate_limited;
+    shed_queue_full = !shed_queue_full;
+    shed_priority = !shed_priority;
+    deadline_misses = !deadline_misses;
+    breaker_opens = !breaker_opens;
+    breaker_fast_fails = !breaker_fast_fails;
+    breakers_open_at_end;
+    degrade_steps = !degrade_steps;
+    max_degrade_level = !max_degrade_level;
+    chaos_applied = !chaos_applied;
+    chaos_kills = !chaos_kills;
     throughput_rps = float_of_int attempts /. (!clock /. 1.0e9);
-    goodput_rps = float_of_int !completed /. (!clock /. 1.0e9);
+    goodput_rps = float_of_int (!completed - !deadline_misses) /. (!clock /. 1.0e9);
     availability =
       (if attempts = 0 then 1.0 else float_of_int !completed /. float_of_int attempts);
     capacity_rps = float_of_int !completed /. (!busy /. 1.0e9);

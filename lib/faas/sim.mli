@@ -36,7 +36,74 @@ type fault_model = {
 
 val no_faults : fault_model
 (** Zero fault rates (the legacy behavior); deadline 8 epochs, respawn
-    0.5 ms. *)
+    0.5 ms. The watchdog deadline applies to {e every} request, fault
+    model or not — a runaway guest is always bounded. *)
+
+(** {1 Overload resilience}
+
+    Policy knobs for serving under sustained overload. Everything
+    defaults off ({!no_overload}), in which case the sim behaves exactly
+    as it historically did. *)
+
+type overload = {
+  pool_slots : int option;
+      (** ColorGuard pool size; default [concurrency]. Setting it below
+          [concurrency] makes slots a contended resource acquired through
+          admission — the overload regime. *)
+  admission : Sfi_runtime.Runtime.admission_config option;
+      (** arm {!Sfi_runtime.Runtime.set_admission} on every engine: CoDel
+          sojourn control + per-tenant token buckets instead of the blind
+          FIFO reject *)
+  breaker : Breaker.config option;
+      (** per-tenant circuit breakers: trap/watchdog/latency failures trip
+          them, open breakers fast-fail requests without touching the
+          pool, half-open probes close them again *)
+  degradation : bool;
+      (** graceful-degradation ladder: under sustained shedding step down
+          deliberately — L1 tightens admission (pressure 0.5) and reserves
+          1/8 of the slots, L2 also stops hedging failed requests, L3 also
+          sheds low-priority arrivals; steps back up after calm windows.
+          Each step emits a [degrade.step] trace event. *)
+  hedged_retries : bool;
+      (** retry failed requests next epoch instead of after a full IO
+          round-trip (downgraded by the ladder at L2) *)
+  request_deadline_ns : float option;
+      (** end-to-end deadline (arrival to completion): a completion past
+          it counts as a [deadline_miss] and is excluded from goodput *)
+  crash_tenants : int list;  (** tenants whose every request traps *)
+  runaway_tenants : int list;  (** tenants whose every request spins *)
+  low_priority : int -> bool;
+      (** tenants the ladder may shed at L3 (default: none) *)
+}
+
+val no_overload : overload
+
+(** {1 Chaos}
+
+    Perturbations applied to the live run on a caller-supplied schedule
+    (see {!Sfi_inject.Chaos} for the seeded planner and invariant
+    checks). Chaos randomness (victim choice, respawn delays) comes from
+    a dedicated PRNG stream derived from [seed], so a chaos run is
+    deterministic and the workload stream is untouched. *)
+
+type chaos_action =
+  | Chaos_kill
+      (** kill a random in-flight instance; its request fails
+          (attributed to that tenant only) and the slot recycles *)
+  | Chaos_latency of { factor : float; window_ns : float }
+      (** multiply IO delays by [factor] for the next [window_ns] *)
+  | Chaos_instantiate_fail of int
+      (** make the next [n] slot acquisitions fail transiently *)
+
+type chaos_event = { at_ns : float; action : chaos_action }
+
+type chaos_report = {
+  cr_index : int;  (** 0-based perturbation number *)
+  cr_at_ns : float;  (** scheduled time (application may lag slightly) *)
+  cr_action : chaos_action;
+  cr_victim : int;  (** tenant killed by [Chaos_kill]; [-1] otherwise *)
+  cr_failed : int array;  (** per-tenant failure counts after application *)
+}
 
 type config = {
   mode : mode;
@@ -68,6 +135,23 @@ type config = {
           track [id] — so a Chrome/Perfetto export shows one lane per
           tenant. Spans still open when the simulated duration expires are
           closed without being counted as failures. *)
+  overload : overload;  (** resilience policy ({!no_overload} = legacy) *)
+  engine : Sfi_machine.Machine.engine_kind option;
+      (** execution engine for the machines (default: the machine's own
+          default, [Threaded]); [Reference] runs the differential oracle *)
+  chaos : chaos_event list;  (** perturbation schedule (applied in time order) *)
+  on_perturbation : (chaos_report -> unit) option;
+      (** called after each perturbation is applied — the chaos harness's
+          invariant-check hook *)
+  fair_scheduling : bool;
+      (** [false] (legacy): the scheduler picks the lowest-index ready
+          request, so a started request runs to completion before anything
+          behind it starts — slots are barely contended and overload shows
+          up as silent starvation of the highest-index tenants. [true]:
+          round-robin processor sharing — every ready request gets an
+          epoch in turn, in-flight requests hold their pool slots across
+          preemption, and excess demand queues (and is shed) at admission.
+          The overload/chaos experiments run with this on. *)
 }
 
 val default_config :
@@ -77,22 +161,37 @@ val default_config :
   ?churn:bool ->
   ?page_zero_ns:float ->
   ?legacy_lifecycle:bool ->
+  ?overload:overload ->
+  ?engine:Sfi_machine.Machine.engine_kind ->
+  ?chaos:chaos_event list ->
+  ?on_perturbation:(chaos_report -> unit) ->
+  ?fair_scheduling:bool ->
   unit ->
   config
 (** concurrency 128, duration 20 ms, IO mean 5 ms, epoch 1 ms, OS switch
     5 us (direct + indirect cost of a Linux process switch), ColorGuard,
-    hash workload, no faults, no churn, free lifecycle work, no tracing. *)
+    hash workload, no faults, no churn, free lifecycle work, no tracing,
+    legacy (run-to-completion) scheduling. *)
 
 type tenant_stat = {
   t_id : int;  (** the request slot — one closed-loop tenant *)
   t_completed : int;
   t_failed : int;  (** kills, watchdog stops and collateral aborts *)
+  t_shed : int;  (** requests shed at admission (all reasons) *)
+  t_breaker_opens : int;  (** times this tenant's breaker tripped *)
+  t_breaker_state : string;
+      (** breaker state at end of run (["closed"] / ["open"] /
+          ["half-open"]); ["-"] when breakers are off *)
   t_p50_ns : float;  (** request latency percentiles over completed
                          activations (activation start to completion, in
                          simulated ns); 0 when the tenant completed
                          nothing *)
   t_p95_ns : float;
   t_p99_ns : float;
+  t_p99_e2e_ns : float;
+      (** p99 end-to-end latency (arrival to completion, including
+          admission queueing) — what the request deadline is checked
+          against *)
 }
 
 type result = {
@@ -106,9 +205,29 @@ type result = {
   pages_zeroed : int;
       (** OS pages of dirty state dropped by slot recycles, summed over all
           engines — the CoW runtime's whole lifecycle cost *)
+  admitted : int;  (** slot grants through admission, summed over engines *)
+  shed_sojourn : int;  (** CoDel / ticket-deadline sheds *)
+  shed_rate_limited : int;  (** per-tenant token-bucket sheds *)
+  shed_queue_full : int;  (** admission-queue-at-capacity sheds *)
+  shed_priority : int;  (** low-priority arrivals shed by the ladder at L3 *)
+  deadline_misses : int;
+      (** completions past [request_deadline_ns] — completed but excluded
+          from goodput *)
+  breaker_opens : int;  (** breaker trips, summed over tenants *)
+  breaker_fast_fails : int;
+      (** requests refused by an open breaker without entering service
+          (not counted in [failed]) *)
+  breakers_open_at_end : int;  (** breakers not Closed when the run ended *)
+  degrade_steps : int;  (** ladder transitions (up or down) *)
+  max_degrade_level : int;  (** deepest ladder level reached (0-3) *)
+  chaos_applied : int;  (** perturbations applied from the schedule *)
+  chaos_kills : int;  (** [Chaos_kill]s that found an in-flight victim *)
   throughput_rps : float;
       (** requests retired (successfully or not) per simulated second *)
-  goodput_rps : float;  (** successful completions per simulated second *)
+  goodput_rps : float;
+      (** successful in-deadline completions per simulated second
+          ([completed - deadline_misses]; identical to completions/s when
+          no deadline is set) *)
   availability : float;
       (** completed / (completed + failed + collateral_aborts) *)
   capacity_rps : float;

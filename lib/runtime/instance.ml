@@ -30,18 +30,24 @@ let slot_heap_base e slot =
 let slot_color e slot =
   match e.allocator with Simple _ -> 0 | Pool layout -> Pool.color_of_slot layout slot
 
+(* [slot_reserve] slots are withheld from allocation (degradation
+   ladder): refuse a claim once live instances reach the shrunken pool
+   size, regardless of which free list the slot would come from. *)
 let claim_slot e =
-  match e.free_slots with
-  | s :: rest ->
-      e.free_slots <- rest;
-      Some s
-  | [] ->
-      if e.next_slot >= e.max_slots then None
-      else begin
-        let s = e.next_slot in
-        e.next_slot <- s + 1;
+  let live = e.next_slot - List.length e.free_slots in
+  if live >= e.max_slots - e.slot_reserve then None
+  else
+    match e.free_slots with
+    | s :: rest ->
+        e.free_slots <- rest;
         Some s
-      end
+    | [] ->
+        if e.next_slot >= e.max_slots then None
+        else begin
+          let s = e.next_slot in
+          e.next_slot <- s + 1;
+          Some s
+        end
 
 (* --- vmctx accessors --- *)
 

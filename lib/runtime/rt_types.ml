@@ -68,6 +68,11 @@ type counters = {
   mutable pages_zeroed_on_recycle : int;
   mutable instantiations_cold : int; (* first use of a slot *)
   mutable instantiations_warm : int; (* recycled slot reuse *)
+  mutable admitted : int; (* slot grants through the admission path *)
+  mutable adm_queued : int; (* tickets parked by the admission controller *)
+  mutable adm_shed_sojourn : int; (* CoDel / ticket-deadline sheds *)
+  mutable adm_shed_rate : int; (* per-tenant token-bucket sheds *)
+  mutable adm_shed_capacity : int; (* queue-at-capacity sheds *)
 }
 
 let fresh_counters () =
@@ -80,6 +85,11 @@ let fresh_counters () =
     pages_zeroed_on_recycle = 0;
     instantiations_cold = 0;
     instantiations_warm = 0;
+    admitted = 0;
+    adm_queued = 0;
+    adm_shed_sojourn = 0;
+    adm_shed_rate = 0;
+    adm_shed_capacity = 0;
   }
 
 let reset_counters c =
@@ -90,7 +100,12 @@ let reset_counters c =
   c.pkru_writes_elided <- 0;
   c.pages_zeroed_on_recycle <- 0;
   c.instantiations_cold <- 0;
-  c.instantiations_warm <- 0
+  c.instantiations_warm <- 0;
+  c.admitted <- 0;
+  c.adm_queued <- 0;
+  c.adm_shed_sojourn <- 0;
+  c.adm_shed_rate <- 0;
+  c.adm_shed_capacity <- 0
 
 (* Domain-local aggregate of the same counters across every engine created
    on the calling domain. Engines are often created, exercised and dropped
@@ -100,6 +115,33 @@ let reset_counters c =
    this record. *)
 let domain_counters_key = Domain.DLS.new_key fresh_counters
 let domain_counters () = Domain.DLS.get domain_counters_key
+
+(* CoDel-style adaptive admission over the slot pool: a per-ticket sojourn
+   deadline, a target-delay controller applied at dequeue (so the load shed
+   is the load that waited longest, never random arrivals), and a
+   token-bucket rate limiter per tenant. Armed via {!Runtime.set_admission};
+   when absent, {!Runtime.admit} falls back to the blind bounded-FIFO retry
+   queue of {!Runtime.instantiate_queued}. Time is the caller's simulated
+   clock, passed on every call. *)
+type admission_config = {
+  target_delay_ns : float; (* CoDel target sojourn *)
+  interval_ns : float; (* how long sojourn must exceed target before shedding *)
+  ticket_deadline_ns : float; (* hard per-ticket sojourn bound *)
+  tenant_rate : float; (* bucket refill, tokens per simulated second *)
+  tenant_burst : float; (* bucket capacity, >= 1 *)
+}
+
+type token_bucket = { mutable tokens : float; mutable refilled_at : float }
+
+type admission_state = {
+  acfg : admission_config;
+  aqueue : (int * float) Queue.t; (* (ticket, enqueued-at); stale heads skipped lazily *)
+  amember : (int, float) Hashtbl.t; (* parked tickets -> enqueue time *)
+  buckets : (int, token_bucket) Hashtbl.t; (* tenant -> rate-limit state *)
+  mutable first_above : float; (* CoDel: when shedding may start; < 0 = below target *)
+  mutable shed_run : int; (* consecutive CoDel sheds (control-law count) *)
+  mutable pressure : float; (* ladder scale on target/deadline; 1.0 = normal *)
+}
 
 type engine = {
   machine : Machine.t;
@@ -119,6 +161,8 @@ type engine = {
   retry_capacity : int;
   waiters : int Queue.t; (* tickets waiting for a slot, FIFO *)
   waiter_set : (int, unit) Hashtbl.t; (* same tickets, O(1) membership *)
+  mutable admission : admission_state option; (* None = blind FIFO retry queue *)
+  mutable slot_reserve : int; (* slots withheld from allocation (ladder) *)
   (* Pre-initialized module image, baked once at engine creation: data
      segments for the heap, the per-module vmctx template (memory bound,
      host PKRU image, global initial values). Every slot instantiates by

@@ -111,6 +111,8 @@ let create_engine ?cost ?tlb ?(fsgsbase_available = true) ?max_map_count
       retry_capacity = retry_queue_capacity;
       waiters = Queue.create ();
       waiter_set = Hashtbl.create 64;
+      admission = None;
+      slot_reserve = 0;
       heap_image = Instance.bake_heap_image src;
       vmctx_image = Instance.bake_vmctx_image src ~min_pages;
       min_pages;
@@ -172,7 +174,209 @@ let instantiate_queued e ~ticket =
   else if queued then `Wait
   else enqueue ()
 
-let waiting e = Queue.length e.waiters
+let num_slots e = e.max_slots
+
+let waiting e =
+  match e.admission with
+  | None -> Queue.length e.waiters
+  | Some a -> Hashtbl.length a.amember
+
+(* --- adaptive admission: CoDel queue + per-tenant token buckets --- *)
+
+type shed_reason = Shed_sojourn | Shed_rate_limited | Shed_queue_full
+
+let shed_reason_code = function
+  | Shed_sojourn -> 0
+  | Shed_rate_limited -> 1
+  | Shed_queue_full -> 2
+
+let shed_reason_name = function
+  | Shed_sojourn -> "sojourn"
+  | Shed_rate_limited -> "rate-limited"
+  | Shed_queue_full -> "queue-full"
+
+let default_admission =
+  {
+    target_delay_ns = 100_000.0;
+    interval_ns = 500_000.0;
+    ticket_deadline_ns = 2_000_000.0;
+    tenant_rate = 10_000.0;
+    tenant_burst = 16.0;
+  }
+
+let set_admission e = function
+  | None -> e.admission <- None
+  | Some acfg ->
+      if
+        acfg.target_delay_ns <= 0.0 || acfg.interval_ns <= 0.0
+        || acfg.ticket_deadline_ns <= 0.0 || acfg.tenant_rate <= 0.0
+        || acfg.tenant_burst < 1.0
+      then invalid_arg "Runtime.set_admission: parameters must be positive (burst >= 1)";
+      e.admission <-
+        Some
+          {
+            acfg;
+            aqueue = Queue.create ();
+            amember = Hashtbl.create 64;
+            buckets = Hashtbl.create 64;
+            first_above = -1.0;
+            shed_run = 0;
+            pressure = 1.0;
+          }
+
+let set_admission_pressure e factor =
+  if factor <= 0.0 || factor > 1.0 then
+    invalid_arg "Runtime.set_admission_pressure: factor must be in (0, 1]";
+  match e.admission with None -> () | Some a -> a.pressure <- factor
+
+let set_slot_reserve e n =
+  if n < 0 || n >= e.max_slots then
+    invalid_arg "Runtime.set_slot_reserve: reserve must leave at least one slot";
+  e.slot_reserve <- n
+
+let admit e ~ticket ~tenant ~now =
+  let c = e.counters and dc = domain_counters () in
+  let count_admit () =
+    c.admitted <- c.admitted + 1;
+    dc.admitted <- dc.admitted + 1
+  in
+  match e.admission with
+  | None -> (
+      (* Legacy path: the blind bounded-FIFO retry queue, with rejections
+         mapped onto the capacity-shed reason so callers see one shape. *)
+      match instantiate_queued e ~ticket with
+      | `Ready _ as r ->
+          count_admit ();
+          r
+      | `Wait -> `Wait
+      | `Rejected ->
+          c.adm_shed_capacity <- c.adm_shed_capacity + 1;
+          dc.adm_shed_capacity <- dc.adm_shed_capacity + 1;
+          `Shed Shed_queue_full)
+  | Some a -> (
+      let acfg = a.acfg in
+      let target = acfg.target_delay_ns *. a.pressure in
+      let deadline = acfg.ticket_deadline_ns *. a.pressure in
+      (* Tickets shed while parked leave a stale queue entry behind; skip
+         them lazily so the live head is always a member. *)
+      let rec head () =
+        match Queue.peek_opt a.aqueue with
+        | Some (t, _) when not (Hashtbl.mem a.amember t) ->
+            ignore (Queue.pop a.aqueue);
+            head ()
+        | h -> h
+      in
+      let grant ~sojourn inst =
+        count_admit ();
+        Sfi_trace.Trace.admission_admit e.trace ~tenant ~sojourn:(int_of_float sojourn);
+        `Ready inst
+      in
+      let shed reason ~sojourn =
+        (match reason with
+        | Shed_sojourn ->
+            c.adm_shed_sojourn <- c.adm_shed_sojourn + 1;
+            dc.adm_shed_sojourn <- dc.adm_shed_sojourn + 1
+        | Shed_rate_limited ->
+            c.adm_shed_rate <- c.adm_shed_rate + 1;
+            dc.adm_shed_rate <- dc.adm_shed_rate + 1
+        | Shed_queue_full ->
+            c.adm_shed_capacity <- c.adm_shed_capacity + 1;
+            dc.adm_shed_capacity <- dc.adm_shed_capacity + 1);
+        Sfi_trace.Trace.admission_shed e.trace ~tenant ~sojourn:(int_of_float sojourn)
+          ~reason:(shed_reason_code reason);
+        `Shed reason
+      in
+      match Hashtbl.find_opt a.amember ticket with
+      | Some enq ->
+          let sojourn = now -. enq in
+          if sojourn > deadline then begin
+            (* Hard per-ticket bound: a ticket that waited this long has
+               lost its client; serving it would be wasted work. *)
+            Hashtbl.remove a.amember ticket;
+            shed Shed_sojourn ~sojourn
+          end
+          else begin
+            match head () with
+            | Some (t, _) when t = ticket ->
+                (* Head re-presentation. The CoDel control law runs at
+                   dequeue, so what gets shed is the slowest load — the
+                   requests that waited longest — never random arrivals. *)
+                let codel_shed =
+                  if sojourn < target then begin
+                    a.first_above <- -1.0;
+                    a.shed_run <- 0;
+                    false
+                  end
+                  else if a.first_above < 0.0 then begin
+                    a.first_above <- now +. acfg.interval_ns;
+                    false
+                  end
+                  else if now >= a.first_above then begin
+                    a.shed_run <- a.shed_run + 1;
+                    a.first_above <-
+                      now +. (acfg.interval_ns /. sqrt (float_of_int (a.shed_run + 1)));
+                    true
+                  end
+                  else false
+                in
+                if codel_shed then begin
+                  ignore (Queue.pop a.aqueue);
+                  Hashtbl.remove a.amember ticket;
+                  shed Shed_sojourn ~sojourn
+                end
+                else begin
+                  match try_instantiate e with
+                  | Ok inst ->
+                      ignore (Queue.pop a.aqueue);
+                      Hashtbl.remove a.amember ticket;
+                      grant ~sojourn inst
+                  | Error Pool_exhausted -> `Wait
+                  | Error f -> raise (Fault f)
+                end
+            | _ -> `Wait
+          end
+      | None -> (
+          (* New arrival: charge the tenant's token bucket first. *)
+          let bucket =
+            match Hashtbl.find_opt a.buckets tenant with
+            | Some b -> b
+            | None ->
+                let b = { tokens = acfg.tenant_burst; refilled_at = now } in
+                Hashtbl.add a.buckets tenant b;
+                b
+          in
+          let dt = now -. bucket.refilled_at in
+          if dt > 0.0 then begin
+            bucket.tokens <-
+              Float.min acfg.tenant_burst
+                (bucket.tokens +. (dt /. 1e9 *. acfg.tenant_rate));
+            bucket.refilled_at <- now
+          end;
+          if bucket.tokens < 1.0 then shed Shed_rate_limited ~sojourn:0.0
+          else begin
+            bucket.tokens <- bucket.tokens -. 1.0;
+            let enqueue () =
+              if Hashtbl.length a.amember >= e.retry_capacity then
+                shed Shed_queue_full ~sojourn:0.0
+              else begin
+                Queue.push (ticket, now) a.aqueue;
+                Hashtbl.replace a.amember ticket now;
+                c.adm_queued <- c.adm_queued + 1;
+                dc.adm_queued <- dc.adm_queued + 1;
+                Sfi_trace.Trace.admission_queue e.trace ~tenant
+                  ~depth:(Hashtbl.length a.amember);
+                `Wait
+              end
+            in
+            match head () with
+            | None -> (
+                match try_instantiate e with
+                | Ok inst -> grant ~sojourn:0.0 inst
+                | Error Pool_exhausted -> enqueue ()
+                | Error f -> raise (Fault f))
+            | Some _ -> enqueue ()
+          end))
+
 let release = Instance.release
 let kill = Instance.kill
 let live inst = inst.live
@@ -468,6 +672,11 @@ type metrics = {
   m_pages_zeroed_on_recycle : int;
   m_instantiations_cold : int;
   m_instantiations_warm : int;
+  m_admitted : int;
+  m_adm_queued : int;
+  m_shed_sojourn : int;
+  m_shed_rate_limited : int;
+  m_shed_queue_full : int;
 }
 
 let metrics_of_counters c =
@@ -480,6 +689,11 @@ let metrics_of_counters c =
     m_pages_zeroed_on_recycle = c.pages_zeroed_on_recycle;
     m_instantiations_cold = c.instantiations_cold;
     m_instantiations_warm = c.instantiations_warm;
+    m_admitted = c.admitted;
+    m_adm_queued = c.adm_queued;
+    m_shed_sojourn = c.adm_shed_sojourn;
+    m_shed_rate_limited = c.adm_shed_rate;
+    m_shed_queue_full = c.adm_shed_capacity;
   }
 
 let metrics e = metrics_of_counters e.counters

@@ -138,10 +138,96 @@ val instantiate_queued :
     slot is free the caller's [ticket] is queued ([`Wait]) up to the
     engine's [retry_queue_capacity], beyond which new tickets are
     [`Rejected] (load shedding). Re-present the same ticket after slots are
-    recycled; the queue head claims the next free slot. *)
+    recycled; the queue head claims the next free slot.
+
+    Off-by-one semantics of the capacity bound: [retry_queue_capacity]
+    counts {e parked} tickets only. The queue head — or a newcomer
+    arriving at an empty queue — claims a freed slot without ever being
+    counted, so up to [capacity] tickets wait while an unbounded stream
+    of tickets can pass straight through. [`Rejected] is returned exactly
+    when the presented ticket is not already parked {e and} the queue
+    already holds [retry_queue_capacity] tickets. A parked ticket is
+    never rejected on re-presentation. *)
 
 val waiting : engine -> int
-(** Tickets currently parked in the retry queue. *)
+(** Tickets currently parked: the retry queue, or the admission queue
+    when adaptive admission is armed ({!set_admission}). *)
+
+val num_slots : engine -> int
+(** Slot-pool capacity of the engine ([4096] for the [Simple]
+    allocator). *)
+
+(** {1 Adaptive admission}
+
+    A CoDel-style controlled-delay queue over the slot pool plus a
+    token-bucket rate limiter per tenant, replacing the blind FIFO
+    reject of {!instantiate_queued}. The controller runs at {e dequeue},
+    so the load it sheds is the load that waited longest — the slowest
+    requests — never random arrivals. Time is the caller's simulated
+    clock (nanoseconds), passed on every {!admit}. *)
+
+type admission_config = Rt_types.admission_config = {
+  target_delay_ns : float;
+      (** CoDel target sojourn: queueing delay the controller tries to
+          keep head-of-line sojourn below. *)
+  interval_ns : float;
+      (** How long sojourn must stay above target before the controller
+          starts shedding; successive sheds tighten as interval/√n. *)
+  ticket_deadline_ns : float;
+      (** Hard per-ticket sojourn bound — a ticket parked longer than
+          this is shed unconditionally on its next presentation. *)
+  tenant_rate : float;  (** bucket refill, tokens per simulated second *)
+  tenant_burst : float;  (** bucket capacity, [>= 1] *)
+}
+
+val default_admission : admission_config
+(** 100 µs target, 500 µs interval, 2 ms ticket deadline, 10k req/s per
+    tenant with a burst of 16. *)
+
+type shed_reason =
+  | Shed_sojourn  (** CoDel control law or the hard ticket deadline *)
+  | Shed_rate_limited  (** the tenant's token bucket was empty *)
+  | Shed_queue_full  (** the admission queue is at [retry_queue_capacity] *)
+
+val shed_reason_code : shed_reason -> int
+(** Stable wire code ([0]/[1]/[2]) matching the trace-event reason. *)
+
+val shed_reason_name : shed_reason -> string
+
+val set_admission : engine -> admission_config option -> unit
+(** Arm (or with [None] disarm) adaptive admission. Arming resets the
+    controller; parked retry-queue tickets are unaffected (the two
+    queues are independent — use one admission style per engine).
+    Raises [Invalid_argument] on non-positive parameters. *)
+
+val set_admission_pressure : engine -> float -> unit
+(** Scale the armed controller's target and deadline by [factor]
+    ([0 < factor <= 1]; [1.0] restores normal service). The degradation
+    ladder uses this to tighten admission under sustained overload.
+    No-op when admission is not armed. *)
+
+val set_slot_reserve : engine -> int -> unit
+(** Withhold [n] slots from allocation — {!instantiate} behaves as if
+    the pool were [n] slots smaller. The degradation ladder uses this to
+    shrink the warm pool, keeping headroom for recycling bursts. Raises
+    [Invalid_argument] unless [0 <= n < max_slots]. *)
+
+val admit :
+  engine ->
+  ticket:int ->
+  tenant:int ->
+  now:float ->
+  [ `Ready of instance | `Wait | `Shed of shed_reason ]
+(** Present [ticket] (owned by [tenant]) for admission at simulated time
+    [now]. With admission armed: new arrivals are charged one token from
+    the tenant's bucket, then either granted a slot immediately, parked
+    ([`Wait], up to [retry_queue_capacity]), or shed; parked tickets are
+    re-presented and the queue head is granted the next free slot unless
+    the CoDel controller or the ticket deadline sheds it. A shed ticket
+    is forgotten — re-presenting it counts as a new arrival. Without
+    admission armed, this delegates to {!instantiate_queued} (mapping
+    [`Rejected] to [`Shed Shed_queue_full]). Emits admission trace
+    events and bumps the [m_admitted]/[m_adm_*] metrics. *)
 
 val release : instance -> unit
 (** Recycle the instance's slot: drop only the pages this tenant actually
@@ -275,6 +361,11 @@ type metrics = {
   m_pages_zeroed_on_recycle : int;  (** total dirty pages dropped by recycles *)
   m_instantiations_cold : int;  (** first-use slot bring-ups *)
   m_instantiations_warm : int;  (** recycled-slot reuses *)
+  m_admitted : int;  (** slot grants through {!admit} *)
+  m_adm_queued : int;  (** tickets parked by the admission controller *)
+  m_shed_sojourn : int;  (** CoDel / ticket-deadline sheds *)
+  m_shed_rate_limited : int;  (** per-tenant token-bucket sheds *)
+  m_shed_queue_full : int;  (** queue-at-capacity sheds (incl. FIFO rejects) *)
 }
 
 val metrics : engine -> metrics

@@ -36,6 +36,13 @@ let name_table =
     "tlb.evict";
     "fuel.checkpoint";
     "request";
+    "admission.admit";
+    "admission.queue";
+    "admission.shed";
+    "breaker.open";
+    "breaker.half_open";
+    "breaker.close";
+    "degrade.step";
   |]
 
 let cat_table =
@@ -54,6 +61,13 @@ let cat_table =
     "tlb";
     "fuel";
     "request";
+    "admission";
+    "admission";
+    "admission";
+    "breaker";
+    "breaker";
+    "breaker";
+    "admission";
   |]
 
 let ph_begin = 0
@@ -145,6 +159,18 @@ let request_begin t ~tenant = emit t (pack 13 ph_begin) tenant 0 0
 
 let request_end t ~tenant ~ok =
   emit t (pack 13 ph_end) tenant 0 (if ok then 1 else 0)
+
+let admission_admit t ~tenant ~sojourn = emit t (pack 14 ph_instant) tenant sojourn 0
+
+let admission_queue t ~tenant ~depth = emit t (pack 15 ph_instant) tenant depth 0
+
+let admission_shed t ~tenant ~sojourn ~reason =
+  emit t (pack 16 ph_instant) tenant sojourn reason
+
+let breaker_open t ~tenant ~backoff = emit t (pack 17 ph_instant) tenant backoff 0
+let breaker_half_open t ~tenant = emit t (pack 18 ph_instant) tenant 0 0
+let breaker_close t ~tenant = emit t (pack 19 ph_instant) tenant 0 0
+let degrade_step t ~level = emit t (pack 20 ph_instant) (-1) level 0
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
@@ -310,6 +336,11 @@ let args_fields name a0 a1 =
   | 10 | 11 -> [ ("page", a0) ]
   | 12 -> [ ("executed", a0) ]
   | 13 -> [ ("ok", a1) ]
+  | 14 -> [ ("sojourn", a0) ]
+  | 15 -> [ ("depth", a0) ]
+  | 16 -> [ ("sojourn", a0); ("reason", a1) ]
+  | 17 -> [ ("backoff", a0) ]
+  | 20 -> [ ("level", a0) ]
   | _ -> []
 
 let to_chrome_json ?(process_name = "sfi-sim") t =
@@ -522,7 +553,17 @@ let parse_json s =
 type json_report = { json_events : int; json_cats : string list }
 
 let known_cats =
-  [ "transition"; "lifecycle"; "fault"; "pkru"; "tlb"; "fuel"; "request" ]
+  [
+    "transition";
+    "lifecycle";
+    "fault";
+    "pkru";
+    "tlb";
+    "fuel";
+    "request";
+    "admission";
+    "breaker";
+  ]
 
 let validate_chrome_json text =
   match parse_json text with

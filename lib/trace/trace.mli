@@ -19,7 +19,9 @@
     The event vocabulary is fixed (see the emitters below):
     transition spans and hostcall classes, instance lifecycle,
     faults with address attribution, pkru writes, TLB fill/evict, fuel
-    checkpoints, and FaaS request spans. Exports: Chrome
+    checkpoints, FaaS request spans, admission decisions
+    (admit/queue/shed with sojourn time), circuit-breaker transitions,
+    and degradation-ladder steps. Exports: Chrome
     [trace_event] JSON loadable in Perfetto ({!to_chrome_json}),
     span-latency percentiles ({!summaries}), and Prometheus-style text
     exposition ({!prometheus}). *)
@@ -107,13 +109,41 @@ val request_begin : t -> tenant:int -> unit
 val request_end : t -> tenant:int -> ok:bool -> unit
 (** FaaS: the request completed ([ok]) or failed. *)
 
+val admission_admit : t -> tenant:int -> sojourn:int -> unit
+(** Admission: tenant [tenant]'s ticket was granted a slot after waiting
+    [sojourn] simulated nanoseconds in the admission queue (0 for an
+    uncontended grant). *)
+
+val admission_queue : t -> tenant:int -> depth:int -> unit
+(** Admission: the ticket was parked; [depth] is the queue length after
+    enqueueing. *)
+
+val admission_shed : t -> tenant:int -> sojourn:int -> reason:int -> unit
+(** Admission: the ticket was shed. [sojourn] is how long it had waited;
+    [reason] is [0] sojourn-deadline (CoDel), [1] tenant rate limit,
+    [2] queue at capacity, [3] priority shed by the degradation ladder. *)
+
+val breaker_open : t -> tenant:int -> backoff:int -> unit
+(** Circuit breaker: tenant [tenant]'s breaker tripped open; the next
+    probe is allowed after [backoff] simulated nanoseconds. *)
+
+val breaker_half_open : t -> tenant:int -> unit
+(** Circuit breaker: the backoff elapsed; one probe request is allowed. *)
+
+val breaker_close : t -> tenant:int -> unit
+(** Circuit breaker: the probe succeeded; the tenant is healthy again. *)
+
+val degrade_step : t -> level:int -> unit
+(** The graceful-degradation ladder moved to [level] ([0] = normal
+    service). Machine track. *)
+
 (** {1 Inspection} *)
 
 type event = {
   ev_ts : int;  (** simulated nanoseconds *)
   ev_cat : string;
       (** one of ["transition"], ["lifecycle"], ["fault"], ["pkru"],
-          ["tlb"], ["fuel"], ["request"] *)
+          ["tlb"], ["fuel"], ["request"], ["admission"], ["breaker"] *)
   ev_name : string;  (** e.g. ["call"], ["hostcall.pure"], ["tlb.fill"] *)
   ev_phase : char;  (** ['B'] span begin, ['E'] span end, ['i'] instant *)
   ev_track : int;  (** [-1] machine, [>= 0] sandbox/tenant id *)

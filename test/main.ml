@@ -16,6 +16,7 @@ let () =
       ("vectorize", Test_vectorize.tests);
       ("workloads", Test_workloads.tests);
       ("faas", Test_faas.tests);
+      ("resilience", Test_resilience.tests);
       ("codegen", Test_codegen.tests);
       ("figure1", Test_figure1.tests);
       ("codegen-random", Test_random_programs.tests);
