@@ -366,12 +366,13 @@ let workload_conv =
       | "hash" -> Ok Sfi_faas.Workloads.Hash_balance
       | "regex" -> Ok Sfi_faas.Workloads.Regex_filter
       | "template" -> Ok Sfi_faas.Workloads.Templating
-      | s -> Error (`Msg ("unknown workload " ^ s ^ " (hash|regex|template)"))),
+      | "micro" -> Ok Sfi_faas.Workloads.Micro_kv
+      | s -> Error (`Msg ("unknown workload " ^ s ^ " (hash|regex|template|micro)"))),
       fun ppf w -> Format.pp_print_string ppf (Sfi_faas.Workloads.name w) )
 
 let workload_arg =
   Arg.(value & opt workload_conv Sfi_faas.Workloads.Hash_balance
-       & info [ "workload"; "w" ] ~docv:"W" ~doc:"hash, regex or template.")
+       & info [ "workload"; "w" ] ~docv:"W" ~doc:"hash, regex, template or micro.")
 
 let simulate_cmd =
   let workload = workload_arg in
@@ -799,6 +800,131 @@ let chaos_cmd =
       const run $ workload_arg $ engine_arg $ seed $ perturbations $ duration $ floor
       $ repeat $ metrics_out)
 
+(* --- scale ------------------------------------------------------------ *)
+
+let scale_cmd =
+  let module Shard = Sfi_faas.Shard in
+  let module Wk = Sfi_faas.Workloads in
+  let shard_counts =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ]
+         & info [ "shards"; "k" ] ~docv:"K,.."
+             ~doc:"Comma-separated shard counts to sweep (domains per point).")
+  in
+  let tenants =
+    Arg.(value & opt int 256 & info [ "tenants" ] ~docv:"N" ~doc:"Tenant population.")
+  in
+  let duration =
+    Arg.(value & opt float 25.0
+         & info [ "duration" ] ~docv:"MS" ~doc:"Simulated wall-clock per point (ms).")
+  in
+  let rps =
+    Arg.(value & opt float 20_000_000.0
+         & info [ "rps" ] ~docv:"R"
+             ~doc:"Mean offered load (requests per simulated second). Keep it above one \
+                   shard's capacity to see goodput scale with $(b,--shards).")
+  in
+  let skew =
+    Arg.(value & opt float 0.6
+         & info [ "skew" ] ~docv:"S"
+             ~doc:"Zipf popularity skew. Higher concentrates load on a few hot tenants; \
+                   past ~1.0 a single tenant's serial (one-in-flight) capacity becomes \
+                   the bottleneck and shard scaling flattens.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Root seed. Per-shard streams are split from it; same seed, same report.")
+  in
+  let no_steal =
+    Arg.(value & flag
+         & info [ "no-steal" ] ~doc:"Disable the work-stealing rebalance (pure hash placement).")
+  in
+  let repeat =
+    Arg.(value & flag
+         & info [ "repeat" ]
+             ~doc:"Run every point twice and fail unless results are bit-identical \
+                   (result, runtime counters and trace fingerprints).")
+  in
+  let run workload engine shard_counts tenants duration rps skew seed no_steal repeat =
+    let duration_ns = duration *. 1e6 in
+    let seed = Int64.of_int seed in
+    let arrivals =
+      Wk.synthesize ~seed ~tenants ~duration_ns ~rps
+        ~shape:(Wk.Diurnal { trough = 0.25 })
+        ~popularity:(Wk.Zipf { skew })
+        ()
+    in
+    (* Per-shard backpressure: CoDel sojourn control plus per-tenant
+       token buckets, shedding immediately rather than parking (a parked
+       ticket re-presents once per epoch, which would quantize a small
+       shard's pool into 1 ms admission waves and mask core scaling). *)
+    let overload =
+      {
+        Sim.no_overload with
+        Sim.admission =
+          Some { Runtime.default_admission with Runtime.tenant_rate = 60_000.0 };
+      }
+    in
+    let base =
+      {
+        (Sim.default_config ~workload ~engine ~overload ~fair_scheduling:true ()) with
+        Sim.concurrency = tenants;
+        duration_ns;
+        seed;
+        arrivals = Some arrivals;
+      }
+    in
+    Printf.printf
+      "%s, %d tenants, %.0f ms simulated, %.0f req/s offered (%d arrivals, zipf %.2f, \
+       diurnal)\n"
+      (Wk.name workload) tenants duration rps (Array.length arrivals) skew;
+    Printf.printf "%6s %7s %6s %9s %8s %12s %9s %9s %9s\n" "SHARDS" "STEALS" "MOVED"
+      "COMPLETED" "SHED" "GOODPUT(r/s)" "P50(ms)" "P95(ms)" "P99(ms)";
+    let ok = ref true in
+    List.iter
+      (fun k ->
+        let cfg = Shard.default_config ~steal:(not no_steal) ~shards:k base in
+        let rep = Shard.run cfg in
+        let r = rep.Shard.r_result in
+        let moved =
+          Array.fold_left (fun acc s -> acc + s.Shard.sh_stolen) 0 rep.Shard.r_shards
+        in
+        let shed =
+          r.Sim.shed_sojourn + r.Sim.shed_rate_limited + r.Sim.shed_queue_full
+          + r.Sim.shed_priority
+        in
+        let p50, p95, p99 = Shard.latency_summary r in
+        Printf.printf "%6d %7d %6d %9d %8d %12.0f %9.3f %9.3f %9.3f\n" k
+          rep.Shard.r_steals moved r.Sim.completed shed r.Sim.goodput_rps (p50 /. 1e6)
+          (p95 /. 1e6) (p99 /. 1e6);
+        if repeat then begin
+          let rep2 = Shard.run cfg in
+          let same =
+            Shard.result_fingerprint r = Shard.result_fingerprint rep2.Shard.r_result
+            && Shard.metrics_fingerprint rep.Shard.r_metrics
+               = Shard.metrics_fingerprint rep2.Shard.r_metrics
+          in
+          if not same then begin
+            Printf.printf "       ^ REPEAT MISMATCH at %d shards\n" k;
+            ok := false
+          end
+        end)
+      shard_counts;
+    if repeat && !ok then Printf.printf "repeats bit-identical at every point\n";
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Shard the FaaS sim across OCaml domains and sweep the shard count under a \
+          trace-shaped open-loop load (Zipf popularity, diurnal rate). Each shard owns an \
+          engine, pool, admission controller and trace sink; tenants are hash-placed with \
+          deterministic tail work-stealing. Goodput is per simulated time, so the sweep is \
+          reproducible on any host.")
+    Term.(
+      const run $ workload_arg $ engine_arg $ shard_counts $ tenants $ duration $ rps $ skew
+      $ seed $ no_steal $ repeat)
+
 let () =
   let doc = "Segue & ColorGuard SFI toolchain (simulated x86-64)" in
   let info = Cmd.info "sfi" ~version:"1.0.0" ~doc in
@@ -807,5 +933,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; disasm_cmd; run_cmd; trace_cmd; layout_cmd; simulate_cmd; top_cmd;
-            inject_cmd; fuzz_cmd; chaos_cmd;
+            scale_cmd; inject_cmd; fuzz_cmd; chaos_cmd;
           ]))

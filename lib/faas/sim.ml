@@ -87,6 +87,16 @@ type config = {
   chaos : chaos_event list;
   on_perturbation : (chaos_report -> unit) option;
   fair_scheduling : bool;
+  arrivals : Workloads.arrival array option;
+      (* [None] = the historical closed loop: [concurrency] clients that
+         re-issue after an exponential think time. [Some schedule] = open
+         loop: one slot per tenant ([concurrency] = tenant count) serving
+         that tenant's scheduled arrival times — the trace-shaped load
+         the sharded serving layer generates. A tenant whose previous
+         request is still in service when the next arrival fires serves
+         it late (e2e latency then includes the queueing delay); shed or
+         failed requests are dropped and the tenant moves on to its next
+         scheduled arrival. *)
 }
 
 let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
@@ -112,6 +122,7 @@ let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
     chaos;
     on_perturbation;
     fair_scheduling;
+    arrivals = None;
   }
 
 type tenant_stat = {
@@ -226,8 +237,13 @@ let run cfg =
   let rng = Prng.create ~seed:cfg.seed in
   let ov = cfg.overload in
   (* Chaos draws its own PRNG stream so perturbation policy (victim
-     choice, respawn delays) never perturbs the workload's stream. *)
-  let chaos_rng = Prng.create ~seed:(Int64.logxor cfg.seed 0xC4A05C4A05L) in
+     choice, respawn delays) never perturbs the workload's stream. The
+     stream is derived with [Prng.split] — an xor of the seed (the old
+     derivation) leaves the child SplitMix64 state on the same
+     golden-gamma lattice as the parent and the streams correlate, which
+     breaks chaos determinism fingerprints once sharding multiplies the
+     number of parallel consumers of one root seed. *)
+  let chaos_rng = Prng.split rng 0 in
   let latency_until = ref 0.0 in
   let latency_factor = ref 1.0 in
   let io_delay () =
@@ -249,9 +265,9 @@ let run cfg =
     | Some bc ->
         Some
           (Array.init cfg.concurrency (fun id ->
-               Breaker.create
-                 ~seed:(Int64.logxor cfg.seed (Int64.of_int ((id + 1) * 0x9E3779B9)))
-                 bc))
+               (* Per-tenant jitter streams, split from the root seed
+                  (index 0 is the chaos stream). *)
+               Breaker.create ~seed:(Prng.split_seed ~seed:cfg.seed (id + 1)) bc))
   in
   let f = cfg.faults in
   let has_faults = f.trap_rate > 0.0 || f.runaway_rate > 0.0 in
@@ -261,10 +277,34 @@ let run cfg =
   let prewarm =
     match ov.pool_slots with None -> true | Some n -> n >= cfg.concurrency
   in
+  (* Open-loop arrival schedules, one sorted queue per tenant. *)
+  let open_loop = cfg.arrivals <> None in
+  let arr_times =
+    match cfg.arrivals with
+    | None -> [||]
+    | Some arr ->
+        let per = Array.make cfg.concurrency [] in
+        Array.iter
+          (fun a ->
+            if a.Workloads.tenant < 0 || a.Workloads.tenant >= cfg.concurrency
+            then invalid_arg "Sim: arrival tenant out of range";
+            per.(a.Workloads.tenant) <- a.Workloads.at_ns :: per.(a.Workloads.tenant))
+          arr;
+        Array.map (fun l -> Array.of_list (List.sort compare l)) per
+  in
+  let arr_next = Array.make (max 1 cfg.concurrency) 0 in
+  let initial_arrival id =
+    let q = arr_times.(id) in
+    if Array.length q = 0 then infinity
+    else begin
+      arr_next.(id) <- 1;
+      q.(0)
+    end
+  in
   let requests =
     Array.init cfg.concurrency (fun id ->
         let proc = id mod nprocs in
-        let ready_at = io_delay () in
+        let ready_at = if open_loop then initial_arrival id else io_delay () in
         {
           id;
           proc;
@@ -316,6 +356,31 @@ let run cfg =
      slot (= tenant), so a Perfetto load shows each tenant's activations as
      nested bars over sim time. *)
   Trace.set_clock cfg.trace (fun () -> int_of_float !clock);
+  (* Move a slot on to its tenant's next logical request: the next
+     scheduled arrival in open-loop mode (possibly already in the past —
+     then it has been queueing and is immediately ready, with its e2e
+     latency including the wait), or a fresh think-time arrival in the
+     closed loop. *)
+  let next_arrival r =
+    let q = arr_times.(r.id) in
+    let i = arr_next.(r.id) in
+    if i >= Array.length q then begin
+      r.ready_at <- infinity;
+      r.arrived_at <- infinity
+    end
+    else begin
+      arr_next.(r.id) <- i + 1;
+      r.ready_at <- q.(i);
+      r.arrived_at <- q.(i)
+    end
+  in
+  let rearm r =
+    if open_loop then next_arrival r
+    else begin
+      r.ready_at <- !clock +. io_delay ();
+      r.arrived_at <- r.ready_at
+    end
+  in
   let t_completed = Array.make cfg.concurrency 0 in
   let t_failed = Array.make cfg.concurrency 0 in
   let t_shed = Array.make cfg.concurrency 0 in
@@ -493,8 +558,7 @@ let run cfg =
     | _ -> ());
     r.parked <- false;
     r.bk_admitted <- false;
-    r.ready_at <- !clock +. io_delay ();
-    r.arrived_at <- r.ready_at
+    rearm r
   in
   (* Crash recovery / slot acquisition: get a slot through admission (the
      CoDel path when armed, the bounded FIFO retry queue otherwise).
@@ -569,9 +633,14 @@ let run cfg =
     | Multiprocess _ when is_crash -> crash_process r.proc ~except:r.id
     | _ -> ());
     (* Hedged retry (until the ladder downgrades it at L2): resubmit the
-       failed request next epoch instead of after a full IO round-trip. *)
-    r.ready_at <- (if !hedged then !clock +. cfg.epoch_ns else !clock +. io_delay ());
-    r.arrived_at <- r.ready_at
+       failed request next epoch instead of after a full IO round-trip.
+       Open loop: the failed request is dropped and the tenant moves on
+       to its next scheduled arrival. *)
+    if open_loop then next_arrival r
+    else begin
+      r.ready_at <- (if !hedged then !clock +. cfg.epoch_ns else !clock +. io_delay ());
+      r.arrived_at <- r.ready_at
+    end
   in
   let run_request r =
     if
@@ -583,8 +652,7 @@ let run cfg =
       t_shed.(r.id) <- t_shed.(r.id) + 1;
       Trace.admission_shed cfg.trace ~tenant:r.id ~sojourn:0 ~reason:3;
       r.bk_admitted <- false;
-      r.ready_at <- !clock +. io_delay ();
-      r.arrived_at <- r.ready_at
+      rearm r
     end
     else if r.act <> None || r.parked || r.bk_admitted || breaker_allow r then begin
       if ensure_instance r then begin
@@ -614,8 +682,7 @@ let run cfg =
                revert to the image); the next request re-instantiates. *)
             if cfg.churn then Runtime.release inst;
             r.bk_admitted <- false;
-            r.ready_at <- !clock +. io_delay ();
-            r.arrived_at <- r.ready_at
+            rearm r
         | `Trapped _ ->
             (* The sandbox crashed; Runtime.step already killed the instance
                and recycled its slot. The request failed — count it, never
@@ -687,8 +754,11 @@ let run cfg =
             r.seq <- r.seq + 1;
             r.parked <- false;
             r.bk_admitted <- false;
-            r.ready_at <- !clock +. Prng.exponential chaos_rng ~mean:cfg.io_mean_ns;
-            r.arrived_at <- r.ready_at)
+            if open_loop then next_arrival r
+            else begin
+              r.ready_at <- !clock +. Prng.exponential chaos_rng ~mean:cfg.io_mean_ns;
+              r.arrived_at <- r.ready_at
+            end)
     | Chaos_latency { factor; window_ns } ->
         latency_factor := factor;
         latency_until := !clock +. window_ns

@@ -152,6 +152,18 @@ type config = {
           epoch in turn, in-flight requests hold their pool slots across
           preemption, and excess demand queues (and is shed) at admission.
           The overload/chaos experiments run with this on. *)
+  arrivals : Workloads.arrival array option;
+      (** [None] (default): the historical closed loop. [Some schedule]:
+          open loop — [concurrency] is the tenant count, one slot per
+          tenant, and each slot serves its tenant's scheduled arrival
+          times (see {!Workloads.synthesize}). A tenant's requests are
+          served in order with at most one in flight: an arrival that
+          fires while the previous request is still being served waits
+          (its e2e latency includes the queueing delay), and a shed or
+          failed request is dropped — the tenant moves on to its next
+          scheduled arrival. The run still ends at [duration_ns]. This is
+          the trace-shaped load the sharded serving layer
+          ({!Sfi_faas.Shard}) drives each shard with. *)
 }
 
 val default_config :

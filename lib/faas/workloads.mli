@@ -4,12 +4,64 @@
     is synthesized in-sandbox from the seed, processed, and checksummed,
     so the simulator's requests perform genuine, validated work. *)
 
-type t = Templating | Hash_balance | Regex_filter
+type t =
+  | Templating
+  | Hash_balance
+  | Regex_filter
+  | Micro_kv
+      (** The smallest request that still does attributable work (hash a
+          key, bump a counter, checksum): a few dozen instructions, built
+          for the 1M+-request shard-scaling experiment. *)
 
 val name : t -> string
+
 val all : t list
+(** The paper's three figure workloads — [Micro_kv] is deliberately
+    excluded so the fig6/fig7 tables keep their published columns. *)
 
 val module_of : t -> Sfi_wasm.Ast.module_
 
 val template : string
 (** The order-page template the templating workload expands. *)
+
+(** {1 Trace-shaped load}
+
+    Deterministic open-loop request schedules for the sharded serving
+    layer ({!Sfi_faas.Shard}): who arrives when, shaped like production
+    FaaS traffic rather than a fixed closed loop. *)
+
+type arrival = { at_ns : float;  (** simulated arrival time *) tenant : int }
+
+(** Rate modulation over the run. Every shape preserves the requested
+    mean rate, so shard-count sweeps serve the same offered load. *)
+type shape =
+  | Steady  (** homogeneous Poisson arrivals *)
+  | Diurnal of { trough : float }
+      (** one sinusoidal "day" over the run, dipping to [trough] (in
+          [\[0, 1\]]) of the peak overnight *)
+  | Bursts of { every_ns : float; len_ns : float; boost : float }
+      (** a [len_ns]-long burst at [boost] times the base rate every
+          [every_ns] *)
+
+(** Tenant popularity across arrivals. *)
+type popularity =
+  | Flat
+  | Zipf of { skew : float }
+      (** rank-[k] tenant drawn with weight [1/(k+1)^skew]: a few hot
+          tenants, a long tail of cold ones (tenant 0 hottest) *)
+
+val synthesize :
+  seed:int64 ->
+  tenants:int ->
+  duration_ns:float ->
+  rps:float ->
+  ?shape:shape ->
+  ?popularity:popularity ->
+  unit ->
+  arrival array
+(** Draw a time-ordered arrival schedule: a non-homogeneous Poisson
+    process (thinning at the peak rate) with mean [rps] requests per
+    simulated second over [duration_ns], tenants drawn per [popularity].
+    Arrival times and tenant draws use {!Sfi_util.Prng.split} child
+    streams of [seed], so equal seeds yield equal schedules and the
+    popularity model never perturbs the arrival process. *)

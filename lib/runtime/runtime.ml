@@ -709,3 +709,25 @@ let reset_metrics e =
    bench harness never sees directly. *)
 let domain_metrics () = metrics_of_counters (domain_counters ())
 let reset_domain_metrics () = reset_counters (domain_counters ())
+
+let zero_metrics = metrics_of_counters (Rt_types.fresh_counters ())
+
+let add_metrics a b =
+  {
+    m_transitions = a.m_transitions + b.m_transitions;
+    m_calls_pure = a.m_calls_pure + b.m_calls_pure;
+    m_calls_readonly = a.m_calls_readonly + b.m_calls_readonly;
+    m_calls_full = a.m_calls_full + b.m_calls_full;
+    m_pkru_writes_elided = a.m_pkru_writes_elided + b.m_pkru_writes_elided;
+    m_pages_zeroed_on_recycle =
+      a.m_pages_zeroed_on_recycle + b.m_pages_zeroed_on_recycle;
+    m_instantiations_cold = a.m_instantiations_cold + b.m_instantiations_cold;
+    m_instantiations_warm = a.m_instantiations_warm + b.m_instantiations_warm;
+    m_admitted = a.m_admitted + b.m_admitted;
+    m_adm_queued = a.m_adm_queued + b.m_adm_queued;
+    m_shed_sojourn = a.m_shed_sojourn + b.m_shed_sojourn;
+    m_shed_rate_limited = a.m_shed_rate_limited + b.m_shed_rate_limited;
+    m_shed_queue_full = a.m_shed_queue_full + b.m_shed_queue_full;
+  }
+
+let merged_metrics snapshots = List.fold_left add_metrics zero_metrics snapshots

@@ -382,3 +382,23 @@ val domain_metrics : unit -> metrics
     experiment that runs an engine. *)
 
 val reset_domain_metrics : unit -> unit
+
+(** {2 Cross-domain harvest}
+
+    The per-domain counters behind {!domain_metrics} live in
+    [Domain.DLS], so they die with their worker domain: reading
+    [domain_metrics ()] in a parent after [Domain.join] observes {e
+    none} of the child's work. Any multi-domain harness must snapshot
+    {!domain_metrics} {e inside} each worker (before the domain
+    returns) and combine the snapshots with {!merged_metrics} — this is
+    what the sharded FaaS layer ({!Sfi_faas.Shard}) does per shard. *)
+
+val zero_metrics : metrics
+(** All-zero snapshot — the identity of {!add_metrics}. *)
+
+val add_metrics : metrics -> metrics -> metrics
+(** Field-wise sum of two snapshots. *)
+
+val merged_metrics : metrics list -> metrics
+(** Field-wise sum of per-domain snapshots, each taken with
+    {!domain_metrics} on the domain that did the work. *)

@@ -17,6 +17,10 @@ type t = {
   mutable len : int;
   mutable dropped : int;
   mutable clock : unit -> int;
+  mutable shard_stride : int;
+      (* 0 = unsharded. A merged ring records the track-namespacing
+         stride so exports can label track [s * stride + k] as shard
+         [s], sandbox [k]. *)
 }
 
 (* Event vocabulary. Index = name id; the two tables must stay in sync. *)
@@ -90,6 +94,7 @@ let null =
     len = 0;
     dropped = 0;
     clock = zero_clock;
+    shard_stride = 0;
   }
 
 let create_ring ?(capacity = 65536) () =
@@ -105,6 +110,7 @@ let create_ring ?(capacity = 65536) () =
     len = 0;
     dropped = 0;
     clock = zero_clock;
+    shard_stride = 0;
   }
 
 let enabled t = t.active
@@ -235,9 +241,19 @@ let validate t =
     Hashtbl.replace last_ts track ts;
     let name = code_name c in
     match code_phase c with
-    | p when p = ph_begin -> (
+    | p when p = ph_begin ->
         let s = stack track in
-        s := name :: !s)
+        (* No span in the vocabulary legitimately nests inside itself on
+           one track (a tenant has one in-flight request, a sandbox one
+           activation), so a same-name begin inside an open span of that
+           name means two streams were merged onto one track id — the
+           collision sharded runs hit before track namespacing. *)
+        if List.mem name !s then
+          fail i
+            (Printf.sprintf
+               "duplicate overlapping span %S on track %d (colliding streams?)"
+               name_table.(name) track);
+        s := name :: !s
     | p when p = ph_end -> (
         let s = stack track in
         match !s with
@@ -265,6 +281,80 @@ let validate t =
         | [] -> ())
       stacks;
   match !err with None -> Ok () | Some e -> Error e
+
+let fingerprint t =
+  (* FNV-1a over the raw columns (plus length and drop count): a cheap
+     order-sensitive digest for determinism and bit-identity tests. *)
+  let h = ref 0xCBF29CE484222325L in
+  let mix v = h := Int64.mul (Int64.logxor !h (Int64.of_int v)) 0x100000001B3L in
+  mix t.len;
+  mix t.dropped;
+  for i = 0 to t.len - 1 do
+    mix t.ts.(i);
+    mix t.code.(i);
+    mix t.track.(i);
+    mix t.a0.(i);
+    mix t.a1.(i)
+  done;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* Shard merge                                                         *)
+
+let merge_shards rings =
+  if rings = [] then invalid_arg "Trace.merge_shards: no rings";
+  let rings = Array.of_list rings in
+  let k = Array.length rings in
+  (* Stride for sandbox-track namespacing: one past the widest sandbox
+     track id seen in any shard, so shard [s]'s track [v] maps to
+     [s * stride + v] and ranges never overlap. Machine tracks ([-1])
+     map to [-(s + 1)]. A single ring keeps its tracks untouched, which
+     makes the 1-shard merge bit-identical to the input. *)
+  let stride =
+    Array.fold_left
+      (fun acc r ->
+        let m = ref acc in
+        for i = 0 to r.len - 1 do
+          if r.track.(i) >= !m then m := r.track.(i) + 1
+        done;
+        !m)
+      1 rings
+  in
+  let total = Array.fold_left (fun acc r -> acc + r.len) 0 rings in
+  let out = create_ring ~capacity:(max 1 total) () in
+  out.shard_stride <- (if k > 1 then stride else 0);
+  out.dropped <- Array.fold_left (fun acc r -> acc + r.dropped) 0 rings;
+  let idx = Array.make k 0 in
+  for _ = 1 to total do
+    (* Pick the shard whose next event has the smallest simulated
+       timestamp; scanning high-to-low with [<=] breaks ties toward the
+       lowest shard id, keeping the merge deterministic. *)
+    let best = ref (-1) in
+    for s = k - 1 downto 0 do
+      if
+        idx.(s) < rings.(s).len
+        && (!best < 0 || rings.(s).ts.(idx.(s)) <= rings.(!best).ts.(idx.(!best)))
+      then best := s
+    done;
+    let s = !best in
+    let r = rings.(s) in
+    let i = idx.(s) in
+    let track = r.track.(i) in
+    let track' =
+      if k = 1 then track
+      else if track < 0 then track - s
+      else (s * stride) + track
+    in
+    let j = out.len in
+    out.ts.(j) <- r.ts.(i);
+    out.code.(j) <- r.code.(i);
+    out.track.(j) <- track';
+    out.a0.(j) <- r.a0.(i);
+    out.a1.(j) <- r.a1.(i);
+    out.len <- j + 1;
+    idx.(s) <- i + 1
+  done;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -364,7 +454,13 @@ let to_chrome_json ?(process_name = "sfi-sim") t =
   |> List.sort compare
   |> List.iter (fun track ->
          let label =
-           if track < 0 then "machine"
+           if track < 0 then
+             if t.shard_stride > 0 || track < -1 then
+               Printf.sprintf "machine (shard %d)" (-track - 1)
+             else "machine"
+           else if t.shard_stride > 0 then
+             Printf.sprintf "shard %d sandbox %d" (track / t.shard_stride)
+               (track mod t.shard_stride)
            else Printf.sprintf "sandbox %d" track
          in
          sep ();

@@ -160,8 +160,30 @@ val categories : t -> string list
 val validate : t -> (unit, string) result
 (** Structural check of the retained stream: timestamps are
     non-decreasing per track, every span end matches the innermost open
-    span begin of the same name on its track, and (when no events were
-    dropped) every span is closed. *)
+    span begin of the same name on its track, no span nests inside an
+    open span of the same name on its track (no event in the vocabulary
+    legitimately self-nests, so such a duplicate means two shards'
+    streams collided on one track id), and (when no events were dropped)
+    every span is closed. *)
+
+val fingerprint : t -> int64
+(** Order-sensitive FNV-1a digest of the retained events (timestamps,
+    codes, tracks, arguments, plus length and drop count). Two sinks
+    with equal fingerprints hold bit-identical streams; used by the
+    sharding determinism and 1-shard-identity tests. *)
+
+val merge_shards : t list -> t
+(** [merge_shards rings] merges per-shard ring sinks into one stream
+    ordered by simulated time (ties broken toward the lower shard id,
+    so the merge is deterministic). Track ids are namespaced per shard:
+    with stride [w] = 1 + the widest sandbox track seen in any input,
+    shard [s]'s sandbox track [v] becomes [s * w + v] and its machine
+    track becomes [-(s + 1)] — without this, two shards' sandbox 0
+    collide in the merged Perfetto export (rejected by {!validate}).
+    Merging a single ring preserves tracks untouched and is
+    bit-identical to its input (equal {!fingerprint}). Dropped-event
+    counts are summed. The result is an inspection/export sink; its
+    clock is the zero clock. Raises [Invalid_argument] on []. *)
 
 (** {1 Aggregation} *)
 

@@ -14,6 +14,30 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* MurmurHash3's 64-bit finalizer — deliberately a different avalanche
+   function (different shifts and multipliers) from the SplitMix64
+   finalizer in [next_int64], so split-derived child states can never
+   coincide with states the parent stream itself walks through. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L
+  in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let split_seed ~seed index =
+  if index < 0 then invalid_arg "Prng.split: negative index";
+  (* Two mixing rounds over (seed, index): ad-hoc derivations like
+     [seed xor k] or [seed xor (index * small_constant)] leave child
+     SplitMix64 states on the same gamma lattice as the parent, which
+     visibly correlates the streams. Avalanche the pair instead. *)
+  let z = Int64.add seed (Int64.mul (Int64.of_int (index + 1)) golden_gamma) in
+  mix64 (Int64.logxor (mix64 z) 0xD6E8FEB86659FD93L)
+
+let split t index = { state = split_seed ~seed:t.state index }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling over a 62-bit draw: [2^62 mod bound] residues sit in

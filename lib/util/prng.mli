@@ -19,6 +19,22 @@ val copy : t -> t
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val split : t -> int -> t
+(** [split t index] derives an independent child generator from [t]'s
+    current state and a caller-chosen [index] (shard id, breaker id,
+    chaos stream, ...), without advancing [t]. The derivation avalanches
+    [(state, index)] through MurmurHash3's 64-bit finalizer — a
+    different mixing function from the output finalizer — so child
+    streams neither overlap the parent stream nor each other for
+    distinct indices. Equal [(state, index)] pairs yield equal children;
+    this is how every per-shard workload/chaos/jitter stream is derived
+    from the one root seed. Raises [Invalid_argument] if [index < 0]. *)
+
+val split_seed : seed:int64 -> int -> int64
+(** [split_seed ~seed index] is the raw seed [split] would hand the
+    child: a pure function usable where only an [int64] seed is wanted
+    (e.g. deriving per-shard [Sim.config] seeds from the root seed). *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via
     rejection sampling over a 62-bit draw, not modulo reduction. Raises

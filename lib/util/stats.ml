@@ -27,8 +27,17 @@ let median xs =
 
 let stddev xs =
   let m = mean xs in
-  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
-  sqrt (sq /. float_of_int (List.length xs))
+  let n = List.length xs in
+  if n = 1 then 0.0
+  else begin
+    let sq =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    in
+    (* Bessel-corrected sample standard deviation: the bench harness feeds
+       this a handful of repeat measurements (a sample, not a population),
+       so dividing by [n] would bias the reported spread low. *)
+    sqrt (sq /. float_of_int (n - 1))
+  end
 
 let percent_overhead ~baseline ~measured = (measured -. baseline) /. baseline *. 100.0
 

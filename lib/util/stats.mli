@@ -16,7 +16,10 @@ val median : float list -> float
     [Invalid_argument] on the empty list. *)
 
 val stddev : float list -> float
-(** Population standard deviation. *)
+(** Bessel-corrected sample standard deviation (divides by [n - 1]):
+    the bench harness reports the spread of a handful of repeat
+    measurements, which are a sample, not a population. Returns [0.] for
+    a single observation; raises [Invalid_argument] on the empty list. *)
 
 val percent_overhead : baseline:float -> measured:float -> float
 (** [percent_overhead ~baseline ~measured] is

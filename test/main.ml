@@ -17,6 +17,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("faas", Test_faas.tests);
       ("resilience", Test_resilience.tests);
+      ("shard", Test_shard.tests);
       ("codegen", Test_codegen.tests);
       ("figure1", Test_figure1.tests);
       ("codegen-random", Test_random_programs.tests);

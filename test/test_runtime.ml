@@ -367,6 +367,36 @@ let test_segment_base_once_per_entry () =
   Alcotest.(check int) "one wrgsbase per sandbox entry, none per internal call" 1
     c.Machine.seg_base_writes
 
+(* The per-domain counters live in Domain.DLS, so they die with their
+   worker domain: a parent reading [domain_metrics ()] after the join
+   observes none of the child's work. Multi-domain harnesses must
+   snapshot inside each worker and combine with [merged_metrics] — this
+   is the per-domain metrics-lifetime bug the sharded sim exposed. *)
+let test_domain_metrics_harvest () =
+  Runtime.reset_domain_metrics ();
+  let work () =
+    Runtime.reset_domain_metrics ();
+    let e = engine () in
+    let i = Runtime.instantiate e in
+    ignore (expect_ok (Runtime.invoke i "spin" [ 100L ]));
+    Runtime.domain_metrics ()
+  in
+  let child = Domain.join (Domain.spawn work) in
+  Alcotest.(check bool) "child harvested its own transitions" true
+    (child.Runtime.m_transitions > 0);
+  Alcotest.(check int) "child's DLS counters die with its domain" 0
+    (Runtime.domain_metrics ()).Runtime.m_transitions;
+  let parent = work () in
+  let merged = Runtime.merged_metrics [ parent; child ] in
+  Alcotest.(check int) "merged_metrics sees both domains"
+    (parent.Runtime.m_transitions + child.Runtime.m_transitions)
+    merged.Runtime.m_transitions;
+  Alcotest.(check int) "warm+cold instantiations summed"
+    (parent.Runtime.m_instantiations_cold + child.Runtime.m_instantiations_cold)
+    merged.Runtime.m_instantiations_cold;
+  Alcotest.(check bool) "zero_metrics is the identity" true
+    (Runtime.add_metrics Runtime.zero_metrics merged = merged)
+
 let tests =
   [
     Harness.case "lifecycle and recycling" test_lifecycle_and_recycling;
@@ -386,4 +416,5 @@ let tests =
     Harness.case "fault attribution" test_fault_attribution;
     Harness.case "import dispatch" test_import_dispatch;
     Harness.case "segment base once per entry (sec 4.1)" test_segment_base_once_per_entry;
+    Harness.case "domain metrics harvest across domains" test_domain_metrics_harvest;
   ]

@@ -124,6 +124,75 @@ let test_validate_rejects_unbalanced_spans () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "dangling begin must not validate (nothing dropped)"
 
+(* No event in the vocabulary legitimately self-nests, so a span opening
+   inside an open span of the same name on the same track means two
+   shards' streams collided on one track id. The validator must reject
+   it even though the stream is balanced. *)
+let test_validate_rejects_colliding_streams () =
+  let r = Trace.create_ring ~capacity:16 () in
+  Trace.request_begin r ~tenant:0;
+  Trace.request_begin r ~tenant:0;
+  Trace.request_end r ~tenant:0 ~ok:true;
+  Trace.request_end r ~tenant:0 ~ok:true;
+  (match Trace.validate r with
+  | Ok () -> Alcotest.fail "colliding streams must not validate"
+  | Error m ->
+      Alcotest.(check bool) "names the duplicate span" true
+        (let needle = "duplicate overlapping span" in
+         let rec find i =
+           i + String.length needle <= String.length m
+           && (String.sub m i (String.length needle) = needle || find (i + 1))
+         in
+         find 0));
+  (* The same spans on distinct tracks stay valid. *)
+  let ok = Trace.create_ring ~capacity:16 () in
+  Trace.request_begin ok ~tenant:0;
+  Trace.request_begin ok ~tenant:1;
+  Trace.request_end ok ~tenant:0 ~ok:true;
+  Trace.request_end ok ~tenant:1 ~ok:true;
+  check_valid "distinct tracks" ok
+
+(* merge_shards: simulated-time interleave, per-shard track namespacing
+   (so equal tenant ids from different shards can never collide), and
+   identity on a single shard. *)
+let test_merge_shards () =
+  let clocked off =
+    let r = Trace.create_ring ~capacity:64 () in
+    let t = ref off in
+    Trace.set_clock r (fun () -> !t);
+    (r, t)
+  in
+  let r0, t0 = clocked 10 in
+  Trace.request_begin r0 ~tenant:0;
+  t0 := 15;
+  Trace.pkru_write r0 ~value:3;
+  t0 := 20;
+  Trace.request_end r0 ~tenant:0 ~ok:true;
+  let r1, t1 = clocked 5 in
+  Trace.request_begin r1 ~tenant:1;
+  t1 := 6;
+  Trace.pkru_write r1 ~value:7;
+  t1 := 25;
+  Trace.request_end r1 ~tenant:1 ~ok:true;
+  let merged = Trace.merge_shards [ r0; r1 ] in
+  Alcotest.(check int) "all events retained" 6 (Trace.length merged);
+  let evs = Trace.events merged in
+  Alcotest.(check (list int)) "interleaved by simulated time"
+    [ 5; 6; 10; 15; 20; 25 ]
+    (List.map (fun e -> e.Trace.ev_ts) evs);
+  (* widest shard has tenant track 1, so the stride is 2: shard 0 keeps
+     tenant 0 on track 0, shard 1's tenant 1 lands on 1*2+1 = 3, and the
+     machine tracks become -1 and -2. *)
+  Alcotest.(check (list int)) "tracks namespaced per shard"
+    [ 3; -2; 0; -1; 0; 3 ]
+    (List.map (fun e -> e.Trace.ev_track) evs);
+  check_valid "merged stream" merged;
+  (* A single-shard merge is the identity: same fingerprint, no remap. *)
+  Alcotest.(check int64) "one-shard merge is the identity"
+    (Trace.fingerprint r0)
+    (Trace.fingerprint (Trace.merge_shards [ r0 ]));
+  Alcotest.(check int) "drop counts are summed" 0 (Trace.dropped merged)
+
 (* End-to-end: a traced engine run must produce the four headline
    categories on the right tracks, validate structurally, and export
    schema-clean Chrome JSON. *)
@@ -292,6 +361,8 @@ let tests =
     Harness.case "ring keeps first events, counts drops" test_ring_keeps_first_and_counts_drops;
     Harness.case "clock stamps events" test_clock_stamps_events;
     Harness.case "validate rejects unbalanced spans" test_validate_rejects_unbalanced_spans;
+    Harness.case "validate rejects colliding streams" test_validate_rejects_colliding_streams;
+    Harness.case "merge_shards namespaces and interleaves" test_merge_shards;
     Harness.case "engine run: categories, tracks, chrome json" test_engine_run_categories_and_export;
     Harness.case "tracing is observationally neutral" test_tracing_is_observationally_neutral;
     Harness.case "hostcall classes summarized" test_hostcall_classes_summarized;

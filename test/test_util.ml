@@ -70,6 +70,80 @@ let test_prng_uniformity () =
     true
     (frac > 0.30 && frac < 0.37)
 
+(* Splitting must not advance the parent, children must be pairwise
+   distinct and decorrelated from each other and the parent's own walk.
+   The per-shard / per-breaker / per-workload streams all ride on these
+   properties. *)
+let test_prng_split () =
+  let parent = Prng.create ~seed:0xFEEDL in
+  let expected = Prng.next_int64 (Prng.copy parent) in
+  let c0 = Prng.split parent 0 in
+  Alcotest.(check int64) "split does not advance the parent" expected
+    (Prng.next_int64 (Prng.copy parent));
+  Alcotest.(check int64) "split is deterministic"
+    (Prng.next_int64 (Prng.split parent 0))
+    (Prng.next_int64 c0);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Prng.split: negative index") (fun () ->
+      ignore (Prng.split parent (-1)));
+  (* Children are pairwise distinct across indices and across unrelated
+     seeds. (Seeds that differ by an exact multiple of the golden gamma
+     alias by construction — SplitMix lattice — which is why per-shard
+     seeds are split from one root, never hand-picked per shard.) *)
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun seed ->
+      for i = 0 to 511 do
+        let s = Prng.split_seed ~seed i in
+        Alcotest.(check bool)
+          (Printf.sprintf "child (%Ld, %d) distinct" seed i)
+          false (Hashtbl.mem seen s);
+        Hashtbl.replace seen s ()
+      done)
+    [ 0L; 1L; 42L; -1L; 0xFEEDL; 0xDEADBEEFL ];
+  (* Child streams must not coincide with the parent's own walk: the
+     split finalizer avalanches differently from next_int64, so a child
+     state never lands on a state the parent will step through. *)
+  let p = Prng.create ~seed:0xFEEDL in
+  for _ = 1 to 256 do
+    Alcotest.(check bool) "child state off the parent's walk" false
+      (Hashtbl.mem seen (Prng.next_int64 p))
+  done
+
+(* Uniformity: the first draw of consecutive child streams must be
+   uniform even though the split indices are sequential — exactly how
+   per-shard and per-tenant streams are derived. *)
+let test_prng_split_uniformity () =
+  let parent = Prng.create ~seed:0xC0FFEEL in
+  let buckets = 64 in
+  let n = 4096 in
+  let hist = Array.make buckets 0 in
+  let ones = ref 0 in
+  for i = 0 to n - 1 do
+    let child = Prng.split parent i in
+    let v = Prng.int child buckets in
+    hist.(v) <- hist.(v) + 1;
+    (* monobit: set bits of the raw child seed *)
+    let s = ref (Prng.split_seed ~seed:0xC0FFEEL i) in
+    for _ = 1 to 64 do
+      if Int64.logand !s 1L = 1L then incr ones;
+      s := Int64.shift_right_logical !s 1
+    done
+  done;
+  (* expected 64 per bucket, sigma ~ 8: a 5-sigma band *)
+  Array.iteri
+    (fun b c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d uniform (%d)" b c)
+        true
+        (c > 24 && c < 104))
+    hist;
+  (* expected 131072 set bits, sigma ~ 256 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "child seeds unbiased (%d ones)" !ones)
+    true
+    (abs (!ones - 131072) < 1536)
+
 let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
@@ -88,6 +162,19 @@ let test_stats () =
   Alcotest.check_raises "geomean rejects non-positive"
     (Invalid_argument "Stats.geomean: non-positive input") (fun () ->
       ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+(* Known answer: the population stddev of this set is exactly 2; the
+   Bessel-corrected sample stddev must be sqrt(32/7). A divisor-n
+   regression would report 2.0 here. *)
+let test_stddev () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-12)) "bessel-corrected known answer"
+    (sqrt (32.0 /. 7.0))
+    (Stats.stddev xs);
+  Alcotest.(check (float 1e-12)) "two points" (sqrt 2.0) (Stats.stddev [ 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-12)) "single observation well-defined" 0.0
+    (Stats.stddev [ 42.0 ]);
+  Alcotest.(check (float 1e-12)) "constant data" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ])
 
 let test_units () =
   Alcotest.(check int) "gib" (1 lsl 30) Units.gib;
@@ -145,7 +232,10 @@ let tests =
     Harness.case "prng ranges" test_prng_ranges;
     Harness.case "prng distributions" test_prng_distributions;
     Harness.case "prng uniformity at large bounds" test_prng_uniformity;
+    Harness.case "prng split streams" test_prng_split;
+    Harness.case "prng split uniformity" test_prng_split_uniformity;
     Harness.case "stats" test_stats;
+    Harness.case "stddev is sample stddev" test_stddev;
     Harness.case "units" test_units;
     QCheck_alcotest.to_alcotest prop_align_up;
     Harness.case "table" test_table;
