@@ -1020,11 +1020,12 @@ let ablations () =
 
 let engine_compare () =
   section
-    "Engine - pre-translated threaded code vs the reference step interpreter (host-side \
-     throughput; simulated counters must agree bit-for-bit)";
+    "Engine - reference step interpreter vs threaded code vs superblock tiers (host-side \
+     throughput; simulated counters must agree bit-for-bit across all four)";
   let t =
     Table.create
-      ~headers:[ "kernel"; "engine"; "host ms"; "sim instrs"; "host Minstr/s"; "counters" ]
+      ~headers:
+        [ "kernel"; "engine"; "host ms"; "sim instrs"; "host Minstr/s"; "sb%"; "counters" ]
   in
   let check (k : Kernel.t) =
     let timed engine =
@@ -1034,35 +1035,53 @@ let engine_compare () =
     in
     let rm, rs = timed Machine.Reference in
     let tm, ts = timed Machine.Threaded in
-    let agree =
-      rm.Kernel.result = tm.Kernel.result
-      && rm.Kernel.cycles = tm.Kernel.cycles
-      && rm.Kernel.instructions = tm.Kernel.instructions
-      && rm.Kernel.dtlb_misses = tm.Kernel.dtlb_misses
-      && rm.Kernel.dcache_misses = tm.Kernel.dcache_misses
+    let t2m, t2s = timed Machine.Tier2 in
+    let am, as_ = timed Machine.Adaptive in
+    let agrees (a : Kernel.measurement) (b : Kernel.measurement) =
+      a.Kernel.result = b.Kernel.result
+      && a.Kernel.cycles = b.Kernel.cycles
+      && a.Kernel.instructions = b.Kernel.instructions
+      && a.Kernel.dtlb_misses = b.Kernel.dtlb_misses
+      && a.Kernel.dcache_misses = b.Kernel.dcache_misses
     in
+    let agree = agrees rm tm && agrees rm t2m && agrees rm am in
     let row name (m : Kernel.measurement) s =
+      let sb_pct =
+        100.0
+        *. float_of_int m.Kernel.tier.Machine.superblock_instructions
+        /. float_of_int (max 1 m.Kernel.instructions)
+      in
       Table.add_row t
         [
           k.Kernel.name; name;
           Printf.sprintf "%.1f" (s *. 1e3);
           string_of_int m.Kernel.instructions;
           Printf.sprintf "%.1f" (float_of_int m.Kernel.instructions /. s /. 1e6);
+          Printf.sprintf "%.0f" sb_pct;
           (if agree then "agree" else "DIVERGED");
         ]
     in
     row "reference" rm rs;
     row "threaded" tm ts;
+    row "tier2" t2m t2s;
+    row "adaptive" am as_;
     if not agree then failwith (k.Kernel.name ^ ": engines diverged");
-    (rs, ts)
+    (rs, ts, t2s, as_)
   in
-  let pairs = List.map check [ Sfi_workloads.Polybench.gemm; Sfi_workloads.Polybench.atax ] in
+  let quads = List.map check [ Sfi_workloads.Polybench.gemm; Sfi_workloads.Polybench.atax ] in
   print_table t;
-  let tot f = List.fold_left (fun a p -> a +. f p) 0.0 pairs in
+  let tot f = List.fold_left (fun a q -> a +. f q) 0.0 quads in
+  let rs = tot (fun (a, _, _, _) -> a)
+  and ts = tot (fun (_, b, _, _) -> b)
+  and t2s = tot (fun (_, _, c, _) -> c)
+  and as_ = tot (fun (_, _, _, d) -> d) in
+  metric "tier2_speedup_vs_threaded" (ts /. t2s);
+  metric "adaptive_speedup_vs_threaded" (ts /. as_);
   note
-    "Threaded engine: %.2fx the reference interpreter's host throughput on this subset \
-     (identical simulated cycles/instructions/dTLB/dcache on every kernel)."
-    (tot fst /. tot snd);
+    "Engine ablation on this subset (identical simulated counters on every kernel): threaded \
+     %.2fx reference; tier2 %.2fx threaded; adaptive %.2fx threaded (profiler armed, hot \
+     blocks promoted mid-run)."
+    (rs /. ts) (ts /. t2s) (ts /. as_);
   (* Tracing ablation: the same kernel with the default (no sink), an
      explicit null sink, and a live ring sink. The null sink must be free —
      every emission site is one load-and-branch — and the ring sink must
@@ -1438,7 +1457,7 @@ let write_json file outcomes ~jobs ~total_wall_s =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"harness\": \"bench/main.exe\",\n";
-  p "  \"engine\": \"threaded\",\n";
+  p "  \"engine\": \"adaptive\",\n";
   p "  \"jobs\": %d,\n" jobs;
   p "  \"total_wall_s\": %.3f,\n" total_wall_s;
   p "  \"baseline_step_serial_total_wall_s\": %.1f,\n" baseline_step_serial_total_wall_s;

@@ -92,19 +92,25 @@ let engine_conv =
   let parse = function
     | "threaded" -> Ok Sfi_machine.Machine.Threaded
     | "reference" -> Ok Sfi_machine.Machine.Reference
-    | s -> Error (`Msg ("unknown engine " ^ s ^ " (threaded|reference)"))
+    | "tier2" -> Ok Sfi_machine.Machine.Tier2
+    | "adaptive" -> Ok Sfi_machine.Machine.Adaptive
+    | s -> Error (`Msg ("unknown engine " ^ s ^ " (threaded|reference|tier2|adaptive)"))
   in
   let print ppf = function
     | Sfi_machine.Machine.Threaded -> Format.pp_print_string ppf "threaded"
     | Sfi_machine.Machine.Reference -> Format.pp_print_string ppf "reference"
+    | Sfi_machine.Machine.Tier2 -> Format.pp_print_string ppf "tier2"
+    | Sfi_machine.Machine.Adaptive -> Format.pp_print_string ppf "adaptive"
   in
   Arg.conv (parse, print)
 
 let engine_arg =
-  Arg.(value & opt engine_conv Sfi_machine.Machine.Threaded
+  Arg.(value & opt engine_conv Sfi_machine.Machine.Adaptive
        & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Execution engine: threaded (pre-translated closures, default) or reference \
-                 (the AST interpreter used as the differential oracle).")
+           ~doc:"Execution engine: adaptive (profiler-driven superblock promotion of hot \
+                 blocks, default), tier2 (eager superblock promotion of every eligible \
+                 basic block), threaded (pre-translated closures, no superblocks), or \
+                 reference (the AST interpreter used as the differential oracle).")
 
 (* The unified Prometheus-style snapshot: machine counters of one
    measurement plus the domain-local runtime aggregate (transitions by
@@ -123,6 +129,18 @@ let prometheus_snapshot (m : Kernel.measurement) (dm : Runtime.metrics) =
         f m.Kernel.fetched_bytes );
       ("sfi_dtlb_misses_total", "simulated dTLB misses", f m.Kernel.dtlb_misses);
       ("sfi_dcache_misses_total", "simulated dcache misses", f m.Kernel.dcache_misses);
+      ( "sfi_tier_blocks_total",
+        "basic blocks discovered at translation",
+        f m.Kernel.tier.Machine.blocks_total );
+      ( "sfi_tier_blocks_promoted",
+        "blocks currently installed as superblocks",
+        f m.Kernel.tier.Machine.blocks_promoted );
+      ( "sfi_tier_promotions_total",
+        "lifetime superblock promotions",
+        f m.Kernel.tier.Machine.promotions );
+      ( "sfi_tier_superblock_instructions_total",
+        "instructions retired inside superblocks",
+        f m.Kernel.tier.Machine.superblock_instructions );
       ("sfi_transitions_total", "one-way sandbox crossings", f dm.Runtime.m_transitions);
       ( "sfi_hostcalls_pure_total",
         "hostcalls through the pure springboard",
@@ -504,11 +522,11 @@ let top_cmd =
     print_newline ();
     let show_breakers = resilient || crash_tenants <> [] in
     if show_breakers then
-      Printf.printf "%6s %8s %6s %6s %8s %10s %10s %10s %10s\n" "TENANT" "OK" "FAIL" "SHED"
-        "BRKOPEN" "BRK" "P50(ms)" "P95(ms)" "P99(ms)"
+      Printf.printf "%6s %8s %6s %6s %8s %10s %10s %10s %10s %6s\n" "TENANT" "OK" "FAIL"
+        "SHED" "BRKOPEN" "BRK" "P50(ms)" "P95(ms)" "P99(ms)" "SB%"
     else
-      Printf.printf "%6s %8s %6s %10s %10s %10s\n" "TENANT" "OK" "FAIL" "P50(ms)" "P95(ms)"
-        "P99(ms)";
+      Printf.printf "%6s %8s %6s %10s %10s %10s %6s\n" "TENANT" "OK" "FAIL" "P50(ms)"
+        "P95(ms)" "P99(ms)" "SB%";
     let tenants = Array.copy r.Sim.tenants in
     Array.sort
       (fun a b ->
@@ -520,14 +538,16 @@ let top_cmd =
       (fun i t ->
         if i < rows then
           if show_breakers then
-            Printf.printf "%6d %8d %6d %6d %8d %10s %10.2f %10.2f %10.2f\n" t.Sim.t_id
-              t.Sim.t_completed t.Sim.t_failed t.Sim.t_shed t.Sim.t_breaker_opens
+            Printf.printf "%6d %8d %6d %6d %8d %10s %10.2f %10.2f %10.2f %5.1f%%\n"
+              t.Sim.t_id t.Sim.t_completed t.Sim.t_failed t.Sim.t_shed t.Sim.t_breaker_opens
               t.Sim.t_breaker_state (t.Sim.t_p50_ns /. 1e6) (t.Sim.t_p95_ns /. 1e6)
               (t.Sim.t_p99_ns /. 1e6)
+              (100.0 *. t.Sim.t_sb_share)
           else
-            Printf.printf "%6d %8d %6d %10.2f %10.2f %10.2f\n" t.Sim.t_id t.Sim.t_completed
-              t.Sim.t_failed (t.Sim.t_p50_ns /. 1e6) (t.Sim.t_p95_ns /. 1e6)
-              (t.Sim.t_p99_ns /. 1e6))
+            Printf.printf "%6d %8d %6d %10.2f %10.2f %10.2f %5.1f%%\n" t.Sim.t_id
+              t.Sim.t_completed t.Sim.t_failed (t.Sim.t_p50_ns /. 1e6)
+              (t.Sim.t_p95_ns /. 1e6) (t.Sim.t_p99_ns /. 1e6)
+              (100.0 *. t.Sim.t_sb_share))
       tenants
   in
   Cmd.v

@@ -136,6 +136,7 @@ type tenant_stat = {
   t_p95_ns : float;
   t_p99_ns : float;
   t_p99_e2e_ns : float;
+  t_sb_share : float;
 }
 
 type result = {
@@ -387,6 +388,8 @@ let run cfg =
   let t_breaker_opens = Array.make cfg.concurrency 0 in
   let t_lat = Array.make cfg.concurrency [] in
   let t_e2e = Array.make cfg.concurrency [] in
+  let t_sb = Array.make cfg.concurrency 0 in
+  let t_instr = Array.make cfg.concurrency 0 in
   let completed = ref 0 in
   let failed = ref 0 in
   let watchdog_kills = ref 0 in
@@ -670,6 +673,12 @@ let run cfg =
               Trace.request_begin cfg.trace ~tenant:r.id;
               a
         in
+        (* Tenant-attributed superblock occupancy: the engine's counters are
+           monotonic across requests, so per-slice deltas sum cleanly even
+           when the instance is killed or recycled mid-request. *)
+        let mach = Runtime.machine engines.(r.proc) in
+        let sb0 = Machine.superblock_retired mach in
+        let in0 = (Machine.counters mach).Machine.instructions in
         (match Runtime.step act ~fuel:epoch_fuel with
         | `Done v ->
             incr completed;
@@ -697,6 +706,9 @@ let run cfg =
                crash); retry on a fresh instance. *)
             fail_request r ~is_crash:false
         | `More -> () (* preempted; stays ready *));
+        t_sb.(r.id) <- t_sb.(r.id) + (Machine.superblock_retired mach - sb0);
+        t_instr.(r.id) <-
+          t_instr.(r.id) + ((Machine.counters mach).Machine.instructions - in0);
         charge r.proc;
         (* Latency is measured after [charge] so it includes the execution
            time the engine just billed; the failure paths above keep their
@@ -892,6 +904,9 @@ let run cfg =
           t_p95_ns = pct 95.0;
           t_p99_ns = pct 99.0;
           t_p99_e2e_ns = (if e2e = [] then 0.0 else Stats.percentile e2e 99.0);
+          t_sb_share =
+            (if t_instr.(id) = 0 then 0.0
+             else float_of_int t_sb.(id) /. float_of_int t_instr.(id));
         })
   in
   let breakers_open_at_end =

@@ -204,6 +204,9 @@ type tenant_stat = {
       (** p99 end-to-end latency (arrival to completion, including
           admission queueing) — what the request deadline is checked
           against *)
+  t_sb_share : float;
+      (** fraction of this tenant's retired instructions executed inside
+          promoted superblocks (0 under the untiered engines) *)
 }
 
 type result = {

@@ -610,13 +610,13 @@ let outcome_string = function
   | Ok v -> Printf.sprintf "Ok %Ld" v
   | Error t -> Printf.sprintf "Error %S" t
 
-(* Step vs threaded under the same strategy: observationally identical
+(* Any two engines under the same strategy: observationally identical
    means the full counter record too — the lockstep contract at whole-run
-   granularity. *)
-let compare_engines (ea, ca) (eb, cb) =
+   granularity. [na]/[nb] name the engines for the report. *)
+let compare_engines ~na ~nb (ea, ca) (eb, cb) =
   if ea.x_outcome <> eb.x_outcome then
     Some
-      (Printf.sprintf "outcome: step %s, threaded %s" (outcome_string ea.x_outcome)
+      (Printf.sprintf "outcome: %s %s, %s %s" na (outcome_string ea.x_outcome) nb
          (outcome_string eb.x_outcome))
   else if not (String.equal ea.x_memory eb.x_memory) then
     Some
@@ -626,13 +626,13 @@ let compare_engines (ea, ca) (eb, cb) =
   else if ea.x_globals <> eb.x_globals then Some "globals differ between engines"
   else if ca.c_counters <> cb.c_counters then
     Some
-      (Printf.sprintf "counters differ: step %d instrs / %d cycles, threaded %d / %d"
-         ca.c_counters.Machine.instructions ca.c_counters.Machine.cycles
+      (Printf.sprintf "counters differ: %s %d instrs / %d cycles, %s %d / %d" na
+         ca.c_counters.Machine.instructions ca.c_counters.Machine.cycles nb
          cb.c_counters.Machine.instructions cb.c_counters.Machine.cycles)
   else if ca.c_dtlb <> cb.c_dtlb then
-    Some (Printf.sprintf "dTLB misses differ: step %d, threaded %d" ca.c_dtlb cb.c_dtlb)
+    Some (Printf.sprintf "dTLB misses differ: %s %d, %s %d" na ca.c_dtlb nb cb.c_dtlb)
   else if ca.c_dcache <> cb.c_dcache then
-    Some (Printf.sprintf "dcache misses differ: step %d, threaded %d" ca.c_dcache cb.c_dcache)
+    Some (Printf.sprintf "dcache misses differ: %s %d, %s %d" na ca.c_dcache nb cb.c_dcache)
   else None
 
 (* The LFI triple: the native lowering, its LFI rewrite, and the LFI+Segue
@@ -678,7 +678,14 @@ type check_result = {
   failure : (string * string) option;
 }
 
-let engine_kinds = [ ("step", Machine.Reference); ("threaded", Machine.Threaded) ]
+(* The three-way differential arm: the reference oracle, the threaded
+   tier-1 engine, and the eagerly tiered superblock engine. [Tier2]
+   (every eligible block promoted up front) dominates [Adaptive] for
+   coverage — the adaptive engine executes a subset of the same
+   superblocks, and its promotion timing is separately pinned by the
+   tier test suite. *)
+let engine_kinds =
+  [ ("step", Machine.Reference); ("threaded", Machine.Threaded); ("tier2", Machine.Tier2) ]
 
 exception Found of string * string
 
@@ -718,11 +725,15 @@ let check_module ?(sanitizer = true) ?(churn = true) ~lfi m args =
                 | None -> ())
               runs;
             match runs with
-            | [ (_, a); (_, b) ] -> (
-                match compare_engines a b with
-                | Some d -> raise (Found (Printf.sprintf "engines/%s" sname, d))
-                | None -> ())
-            | _ -> assert false)
+            | (na, a) :: rest ->
+                List.iter
+                  (fun (nb, b) ->
+                    match compare_engines ~na ~nb a b with
+                    | Some d ->
+                        raise (Found (Printf.sprintf "engines/%s/%s-vs-%s" sname na nb, d))
+                    | None -> ())
+                  rest
+            | [] -> assert false)
           Strategy.all_sfi;
         if churn then begin
           incr execs;

@@ -48,25 +48,28 @@ let diff_snapshots (r : Machine.snapshot) (th : Machine.snapshot) =
   in
   match scalar with Some _ as d -> d | None -> find_reg 0
 
-let run_pair ~make ~entry ?(fuel = 1 lsl 20) () =
-  let m_ref = make () in
-  let m_thr = make () in
-  Machine.set_engine m_ref Machine.Reference;
-  Machine.set_engine m_thr Machine.Threaded;
-  Machine.start m_ref ~entry;
-  Machine.start m_thr ~entry;
+let run_pair ?(engines = (Machine.Reference, Machine.Threaded)) ?(stride = 1) ~make ~entry
+    ?(fuel = 1 lsl 20) () =
+  if stride <= 0 then invalid_arg "Lockstep.run_pair: stride must be > 0";
+  let ka, kb = engines in
+  let m_a = make () in
+  let m_b = make () in
+  Machine.set_engine m_a ka;
+  Machine.set_engine m_b kb;
+  Machine.start m_a ~entry;
+  Machine.start m_b ~entry;
   let rec advance step =
     if step >= fuel then Ok Machine.Yielded
     else begin
-      let sr = Machine.run m_ref ~fuel:1 in
-      let st = Machine.run m_thr ~fuel:1 in
+      let sr = Machine.run m_a ~fuel:stride in
+      let st = Machine.run m_b ~fuel:stride in
       if sr <> st then
         Error
           { at_step = step; field = "status"; reference = status_string sr; threaded = status_string st }
       else
-        match diff_snapshots (Machine.snapshot m_ref) (Machine.snapshot m_thr) with
+        match diff_snapshots (Machine.snapshot m_a) (Machine.snapshot m_b) with
         | Some (field, reference, threaded) -> Error { at_step = step; field; reference; threaded }
-        | None -> ( match sr with Machine.Yielded -> advance (step + 1) | s -> Ok s)
+        | None -> ( match sr with Machine.Yielded -> advance (step + stride) | s -> Ok s)
     end
   in
   advance 0

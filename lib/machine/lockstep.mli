@@ -1,22 +1,32 @@
-(** Lockstep differential validation of the two execution engines.
+(** Lockstep differential validation of any ordered pair of execution
+    engines.
 
     Builds two identically-configured machines from the caller's [make]
-    thunk, runs one on the {!Machine.Reference} interpreter and one on the
-    {!Machine.Threaded} engine, single-steps both ([run ~fuel:1]) and
+    thunk, runs each on one of the requested {!Machine.engine_kind}s
+    (default {!Machine.Reference} vs {!Machine.Threaded}), advances both
+    in [stride]-instruction slices ([run ~fuel:stride], default 1) and
     compares the full {!Machine.snapshot} — registers, flags, segment
     bases, PKRU, pc, and every performance counter including dTLB and
-    dcache statistics — after each instruction. The first disagreement is
+    dcache statistics — after each slice. The first disagreement is
     reported with the step number and field; agreement through termination
-    proves the engines observationally identical on that program. *)
+    proves the engines observationally identical on that program.
+
+    A stride of 1 never lets the tiered engines enter a superblock (a
+    block needs its whole slot budget up front), so strides > 1 are the
+    interesting setting for [Tier2]/[Adaptive]: every slice edge is a
+    dispatch boundary at which batched charges must have converged with
+    the per-instruction engines. *)
 
 type divergence = {
   at_step : int;  (** instruction index at which the engines disagreed *)
   field : string;  (** snapshot field (or "status") that differs *)
-  reference : string;  (** value under the reference interpreter *)
-  threaded : string;  (** value under the threaded engine *)
+  reference : string;  (** value under the first engine of the pair *)
+  threaded : string;  (** value under the second engine of the pair *)
 }
 
 val run_pair :
+  ?engines:Machine.engine_kind * Machine.engine_kind ->
+  ?stride:int ->
   make:(unit -> Machine.t) ->
   entry:string ->
   ?fuel:int ->
@@ -27,6 +37,6 @@ val run_pair :
     loaded, stack mapped, registers/hostcall handler initialized — and is
     called twice, so it must not share mutable state (notably the
     {!Sfi_vmem.Space.t}) between calls. Returns the common final status, or
-    the first divergence. *)
+    the first divergence. Raises [Invalid_argument] if [stride <= 0]. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit

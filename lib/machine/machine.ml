@@ -1,251 +1,110 @@
-open Sfi_x86.Ast
-module Space = Sfi_vmem.Space
-module Tlb = Sfi_vmem.Tlb
-module Mpk = Sfi_vmem.Mpk
-module Encode = Sfi_x86.Encode
+(* The [Machine] facade over the execution pipeline:
 
-type counters = {
-  mutable instructions : int;
-  mutable cycles : int;
-  mutable loads : int;
-  mutable stores : int;
-  mutable code_bytes : int;
-  mutable seg_base_writes : int;
-  mutable pkru_writes : int;
-}
+     {!Mstate}    — the [t] record, satellite types, state accessors
+     {!Decode}    — operand/memory/flag primitives + the reference
+                    interpreter ([step])
+     {!Translate} — load-time threaded-code compiler + basic-block
+                    discovery and classification
+     {!Tier}      — superblock promotion (batched counter charges with a
+                    rollback side table) and the tiered dispatch loop
 
-type status = Halted | Trapped of trap_kind | Yielded
+   Only this module has a public interface; the pipeline stages are
+   private to the library. Everything engine-selection-dependent
+   ([load_program], [set_engine], [set_trace], [run]) lives here because
+   it has to see all the stages at once. *)
 
-type fault_info = { fault_addr : int; fault_write : bool }
+include Mstate
 
-exception Hostcall_exit of int
-exception Trap_exn of trap_kind
+let start = Decode.start
 
-(* Raised by [step] when the entry function returns to the halt sentinel. *)
-exception Halt_exn
+(* --- Sampling hot-PC profiler --- *)
 
-type engine_kind = Threaded | Reference
+let arm_profiler ?(interval = 64) t =
+  if interval <= 0 then invalid_arg "Machine.arm_profiler: interval must be > 0";
+  t.prof_interval <- interval;
+  t.prof_credit <- interval;
+  let n = match t.loaded with Some l -> Array.length l.program + 1 | None -> 1 in
+  t.prof_counts <- Array.make n 0;
+  t.prof_total <- 0;
+  t.prof_last_scan <- 0
 
-(* SFI sanitizer hook. [San_read]/[San_write] fire after an access passed
-   every architectural check (mapping, protection, PKRU) — i.e. for
-   accesses that would silently succeed; a policy installed by the runtime
-   can then flag accesses that are architecturally legal but outside the
-   owning sandbox's slot. [San_branch] fires when an indirect branch target
-   is about to be resolved, before the machine's own code-bounds check, so
-   a wild target is attributed to the faulting instruction rather than to a
-   generic out-of-bounds trap. *)
-type sanitizer_access = San_read | San_write | San_branch
+let disarm_profiler t = t.prof_interval <- 0
+let profile_samples t = Array.fold_left ( + ) 0 t.prof_counts
+let profile_dropped t = t.prof_dropped
 
-type loaded = {
-  program : program;
-  offsets : int array; (* byte offset of each instruction *)
-  labels : (string, int) Hashtbl.t; (* label -> instruction index; cold lookups only *)
-  code_len : int;
-  lengths : int array; (* encoded length of each instruction *)
-  targets : int array; (* direct-branch target index, -1 = unresolved label *)
-  ret_addrs : int64 array; (* byte address of the following instruction *)
-  index_of_off : int array; (* code byte offset -> instruction index, -1 = none *)
-  exec : (t -> unit) array; (* threaded code; exec.(n) is the off-end sentinel *)
-}
+let hot_regions t =
+  match t.loaded with
+  | None -> []
+  | Some l ->
+      let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let current = ref "<entry>" in
+      let n = Array.length l.program in
+      Array.iteri
+        (fun idx count ->
+          if idx < n then
+            (match l.program.(idx) with Sfi_x86.Ast.Label lbl -> current := lbl | _ -> ());
+          if count > 0 then
+            Hashtbl.replace tbl !current
+              ((match Hashtbl.find_opt tbl !current with Some c -> c | None -> 0) + count))
+        t.prof_counts;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (la, a) (lb, b) -> if a <> b then compare b a else compare la lb)
 
-and t = {
-  space : Space.t;
-  cost : Cost.t;
-  tlb : Tlb.t;
-  dcache : Tlb.t; (* reused set-associative structure; 64-byte lines *)
-  code_base : int;
-  fsgsbase_available : bool;
-  (* 16 GPRs stored unboxed as 128 bytes (native-endian int64 at [8*i]),
-     so register writes neither allocate nor hit the GC write barrier. *)
-  regs : Bytes.t;
-  vregs : Bytes.t array;
-  mutable fs_base : int;
-  mutable gs_base : int;
-  mutable pkru : int;
-  mutable zf : bool;
-  mutable sf : bool;
-  mutable cf : bool;
-  mutable of_ : bool;
-  mutable pc : int;
-  mutable loaded : loaded option;
-  mutable space_generation : int;
-  mutable fetch_accum : int;
-  counters : counters;
-  mutable last_fault : fault_info option;
-  mutable hostcall : t -> int -> unit;
-  mutable engine : engine_kind;
-  (* Shadow-checker consulted on successful data accesses and on indirect
-     branch resolution; [None] (the default) costs one predictable branch
-     on the access path. The callback must not mutate machine state — both
-     execution engines run it and must stay bit-identical. *)
-  mutable sanitizer : (t -> kind:sanitizer_access -> addr:int -> len:int -> unit) option;
-  (* Page access cache: a small direct-mapped table (indexed by
-     [page land pc_mask]) that skips the TLB/prot/MPK walk when an access
-     hits a recently checked page and nothing that could change the
-     verdict (TLB contents, PKRU, VMA layout) has moved. [pc_tag] = -1
-     means invalid; [pc_read_ok]/[pc_write_ok] bake in the protection bits
-     AND the current PKRU, so any PKRU write must invalidate. *)
-  pc_tag : int array;
-  pc_slot : int array;
-  pc_read_ok : bool array;
-  pc_write_ok : bool array;
-  (* Cached backing bytes for the entry's page; valid while [pc_bepoch]
-     equals the space's data epoch (-1 = invalid). Reset whenever the tag
-     is refilled, so a valid epoch always describes the tag's page. *)
-  pc_bepoch : int array;
-  pc_bytes : Bytes.t array;
-  pc_bwritable : bool array;
-  (* Direct-mapped dcache line fast path. *)
-  lc_tag : int array;
-  lc_slot : int array;
-  (* Structured tracing. [Trace.null] (the default) keeps every emission
-     site down to one load-and-branch; [set_trace] also points the sink's
-     clock at this machine's cycle counter. *)
-  mutable trace : Sfi_trace.Trace.t;
-  (* Sampling hot-PC profiler: every [prof_interval] executed instructions
-     (0 = disarmed) the current pc is bucketed into [prof_counts]. The
-     sampling run loops are separate from the untraced ones, so the
-     default path keeps its tight dispatch. *)
-  mutable prof_interval : int;
-  mutable prof_credit : int;
-  mutable prof_counts : int array;
-}
+(* --- Tier policy and stats --- *)
 
-(* Cache geometries: big enough that kernels alternating between a few hot
-   pages (heap vs stack) or streaming over arrays don't thrash, small
-   enough that invalidation is a handful of cache lines. *)
-let pc_size = 64
+type tier_config = { threshold : int; stride : int; min_len : int }
 
-let pc_mask = pc_size - 1
-let lc_size = 256
-let lc_mask = lc_size - 1
+let tier_config t =
+  { threshold = t.tier_threshold; stride = t.tier_stride; min_len = t.tier_min_len }
 
-let default_code_base = 8 * 1024 * 1024 * 1024 (* 8 GiB: 4 GiB-aligned, above null *)
+let set_tier_config t { threshold; stride; min_len } =
+  if threshold <= 0 || stride <= 0 || min_len <= 0 then
+    invalid_arg "Machine.set_tier_config: knobs must be > 0";
+  t.tier_threshold <- threshold;
+  t.tier_stride <- stride;
+  t.tier_min_len <- min_len
 
-let fresh_counters () =
+let default_tier_config =
   {
-    instructions = 0;
-    cycles = 0;
-    loads = 0;
-    stores = 0;
-    code_bytes = 0;
-    seg_base_writes = 0;
-    pkru_writes = 0;
+    threshold = default_tier_threshold;
+    stride = default_tier_stride;
+    min_len = default_tier_min_len;
   }
 
-let default_dcache_config =
-  (* 512 lines x 8 ways x 64 B = 32 KiB, a typical L1D. *)
-  { Tlb.entries = 512; ways = 8; page_walk_levels = 0; walk_cycles_per_level = 0 }
+type tier_stats = {
+  blocks_total : int;
+  blocks_promoted : int;
+  promotions : int;
+  superblock_instructions : int;
+}
 
-let create ?(cost = Cost.default) ?(tlb = Tlb.default_config) ?(code_base = default_code_base)
-    ?(fsgsbase_available = true) space =
+let tier_stats t =
+  let total, promoted =
+    match t.loaded with None -> (0, 0) | Some l -> (Array.length l.blocks, l.promoted)
+  in
   {
-    space;
-    cost;
-    tlb = Tlb.create tlb;
-    dcache = Tlb.create default_dcache_config;
-    code_base;
-    fsgsbase_available;
-    regs = Bytes.make 128 '\000';
-    vregs = Array.init 16 (fun _ -> Bytes.make 16 '\000');
-    fs_base = 0;
-    gs_base = 0;
-    pkru = Mpk.allow_all;
-    zf = false;
-    sf = false;
-    cf = false;
-    of_ = false;
-    pc = 0;
-    loaded = None;
-    space_generation = Space.generation space;
-    fetch_accum = 0;
-    counters = fresh_counters ();
-    last_fault = None;
-    hostcall = (fun _ n -> invalid_arg (Printf.sprintf "no hostcall handler (hostcall %d)" n));
-    engine = Threaded;
-    sanitizer = None;
-    pc_tag = Array.make pc_size (-1);
-    pc_slot = Array.make pc_size 0;
-    pc_read_ok = Array.make pc_size false;
-    pc_write_ok = Array.make pc_size false;
-    pc_bepoch = Array.make pc_size (-1);
-    pc_bytes = Array.make pc_size Bytes.empty;
-    pc_bwritable = Array.make pc_size false;
-    lc_tag = Array.make lc_size (-1);
-    lc_slot = Array.make lc_size 0;
-    trace = Sfi_trace.Trace.null;
-    prof_interval = 0;
-    prof_credit = 0;
-    prof_counts = [||];
+    blocks_total = total;
+    blocks_promoted = promoted;
+    promotions = t.tier_promotions;
+    superblock_instructions = t.sb_retired;
   }
 
-let space t = t.space
-let cost_model t = t.cost
+let superblock_retired t = t.sb_retired
 
-(* Invalidate the access-permission fast path. Needed whenever the cached
-   verdict could change: PKRU writes, TLB flushes, VMA layout changes. *)
-let invalidate_pcache t =
-  Array.fill t.pc_tag 0 pc_size (-1);
-  Array.fill t.pc_bepoch 0 pc_size (-1)
+(* --- Program loading, engine and trace selection --- *)
 
-let get_loaded t =
-  match t.loaded with Some l -> l | None -> invalid_arg "Machine: no program loaded"
+let load_program t program =
+  Translate.install t program;
+  match t.engine with Tier2 -> Tier.promote_all t | _ -> ()
 
-let label_index t name =
-  let l = get_loaded t in
-  match Hashtbl.find_opt l.labels name with
-  | Some idx -> idx
-  | None -> raise Not_found
-
-let label_address t name =
-  let l = get_loaded t in
-  t.code_base + l.offsets.(label_index t name)
-
-let code_bounds t =
-  let l = get_loaded t in
-  (t.code_base, l.code_len)
-
-(* --- Register access --- *)
-
-let reg_get t i = Bytes.get_int64_ne t.regs (i lsl 3)
-let reg_set t i v = Bytes.set_int64_ne t.regs (i lsl 3) v
-let get_reg t r = reg_get t (gpr_index r)
-let set_reg t r v = reg_set t (gpr_index r) v
-
-let read_reg_w t w r =
-  let v = reg_get t (gpr_index r) in
-  match w with
-  | W64 -> v
-  | W32 -> Int64.logand v 0xFFFFFFFFL
-  | W16 -> Int64.logand v 0xFFFFL
-  | W8 -> Int64.logand v 0xFFL
-
-(* x86 semantics: 32-bit writes zero-extend; 8/16-bit writes preserve the
-   upper bits of the destination. *)
-let write_reg_w t w r v =
-  let i = gpr_index r in
-  match w with
-  | W64 -> reg_set t i v
-  | W32 -> reg_set t i (Int64.logand v 0xFFFFFFFFL)
-  | W16 ->
-      reg_set t i
-        (Int64.logor (Int64.logand (reg_get t i) (Int64.lognot 0xFFFFL)) (Int64.logand v 0xFFFFL))
-  | W8 ->
-      reg_set t i
-        (Int64.logor (Int64.logand (reg_get t i) (Int64.lognot 0xFFL)) (Int64.logand v 0xFFL))
-
-let get_seg_base t = function FS -> t.fs_base | GS -> t.gs_base
-let set_seg_base t seg v = match seg with FS -> t.fs_base <- v | GS -> t.gs_base <- v
-let get_pkru t = t.pkru
-
-let set_pkru t v =
-  t.pkru <- v;
-  invalidate_pcache t
-
-let set_hostcall_handler t f = t.hostcall <- f
-let engine t = t.engine
-let set_engine t k = t.engine <- k
-let trace t = t.trace
+let set_engine t k =
+  t.engine <- k;
+  if k = Tier2 && t.loaded <> None then Tier.promote_all t;
+  (* Adaptive promotion feeds on profiler samples; arm at the default
+     cadence when the engine is selected. An explicit [disarm_profiler]
+     afterwards sticks — sampling stops and the tier assignment freezes
+     at whatever has been promoted so far. *)
+  if k = Adaptive && t.prof_interval = 0 then arm_profiler t
 
 let set_trace t sink =
   t.trace <- sink;
@@ -255,1148 +114,44 @@ let set_trace t sink =
      track). *)
   Sfi_trace.Trace.set_clock sink (fun () ->
       int_of_float (Cost.ns_of_cycles t.cost t.counters.cycles));
-  Tlb.set_trace t.tlb sink
-
-(* --- Effective addresses --- *)
-
-let addr_mask_47 = (1 lsl 47) - 1
-
-let effective_address t (m : mem) =
-  let base = match m.base with Some r -> reg_get t (gpr_index r) | None -> 0L in
-  let index =
-    match m.index with
-    | Some (r, s) -> Int64.mul (reg_get t (gpr_index r)) (Int64.of_int (scale_factor s))
-    | None -> 0L
-  in
-  let sum = Int64.add (Int64.add base index) (Int64.of_int m.disp) in
-  let sum = if m.addr32 && not m.native_base then Int64.logand sum 0xFFFFFFFFL else sum in
-  let seg =
-    if m.native_base then t.gs_base
-    else match m.seg with Some s -> get_seg_base t s | None -> 0
-  in
-  Int64.to_int (Int64.add (Int64.of_int seg) sum) land addr_mask_47
-
-(* Lea computes the address expression but never adds the segment base and
-   never touches memory. *)
-let lea_value t (m : mem) =
-  let base = match m.base with Some r -> reg_get t (gpr_index r) | None -> 0L in
-  let index =
-    match m.index with
-    | Some (r, s) -> Int64.mul (reg_get t (gpr_index r)) (Int64.of_int (scale_factor s))
-    | None -> 0L
-  in
-  let sum = Int64.add (Int64.add base index) (Int64.of_int m.disp) in
-  if m.addr32 then Int64.logand sum 0xFFFFFFFFL else sum
-
-(* --- Memory access with TLB and MPK --- *)
-
-(* TLB payload: bits 0-1 = read/write permission, bits 3+ = pkey. *)
-let payload_of prot key =
-  (if (prot : Sfi_vmem.Prot.t).read then 1 else 0)
-  lor (if prot.Sfi_vmem.Prot.write then 2 else 0)
-  lor (key lsl 3)
-
-let check_tlb_generation t =
-  let g = Space.generation t.space in
-  if g <> t.space_generation then begin
-    Tlb.flush t.tlb;
-    t.space_generation <- g;
-    invalidate_pcache t
-  end
-
-(* Full TLB walk for [page]; counter effects identical to the pre-cache
-   interpreter. Returns the TLB slot plus both access verdicts (protection
-   AND current PKRU) so the fast path can reuse them. *)
-let check_page_slow t ~page ~write =
-  match Tlb.lookup_slot t.tlb ~page with
-  | Some (payload, slot) ->
-      let key = payload lsr 3 in
-      let read_ok = payload land 1 <> 0 && Mpk.allows t.pkru ~key ~write:false in
-      let write_ok = payload land 2 <> 0 && Mpk.allows t.pkru ~key ~write:true in
-      if not (if write then write_ok else read_ok) then raise (Trap_exn Trap_out_of_bounds);
-      (slot, read_ok, write_ok)
-  | None -> (
-      t.counters.cycles <- t.counters.cycles + Tlb.walk_cost t.tlb;
-      match Space.page_info t.space ~addr:(page * Space.page_size) with
-      | None -> raise (Trap_exn Trap_out_of_bounds)
-      | Some (prot, key) ->
-          let slot = Tlb.fill_slot t.tlb ~page ~payload:(payload_of prot key) in
-          let read_ok = prot.Sfi_vmem.Prot.read && Mpk.allows t.pkru ~key ~write:false in
-          let write_ok = prot.Sfi_vmem.Prot.write && Mpk.allows t.pkru ~key ~write:true in
-          if not (if write then write_ok else read_ok) then raise (Trap_exn Trap_out_of_bounds);
-          (slot, read_ok, write_ok))
-
-let touch_dcache t addr =
-  let line = addr lsr 6 in
-  let idx = line land lc_mask in
-  if Array.unsafe_get t.lc_tag idx = line
-     && Tlb.holds t.dcache ~slot:(Array.unsafe_get t.lc_slot idx) ~page:line
-  then Tlb.touch t.dcache ~slot:(Array.unsafe_get t.lc_slot idx)
-  else begin
-    (match Tlb.lookup_slot t.dcache ~page:line with
-    | Some (_, slot) -> Array.unsafe_set t.lc_slot idx slot
-    | None ->
-        t.counters.cycles <- t.counters.cycles + t.cost.Cost.dcache_miss_cycles;
-        Array.unsafe_set t.lc_slot idx (Tlb.fill_slot t.dcache ~page:line ~payload:0));
-    Array.unsafe_set t.lc_tag idx line
-  end
-
-let check_access t ~addr ~len ~write =
-  try
-    check_tlb_generation t;
-    let first = addr lsr 12 and last = (addr + len - 1) lsr 12 in
-    let idx = first land pc_mask in
-    (if Array.unsafe_get t.pc_tag idx = first
-        && Tlb.holds t.tlb ~slot:(Array.unsafe_get t.pc_slot idx) ~page:first
-     then begin
-       (* Repeat access to a cached page: model the TLB hit without the
-          set scan, then apply the pre-baked verdict. *)
-       Tlb.touch t.tlb ~slot:(Array.unsafe_get t.pc_slot idx);
-       if
-         not
-           (if write then Array.unsafe_get t.pc_write_ok idx
-            else Array.unsafe_get t.pc_read_ok idx)
-       then raise (Trap_exn Trap_out_of_bounds)
-     end
-     else begin
-       let slot, read_ok, write_ok = check_page_slow t ~page:first ~write in
-       Array.unsafe_set t.pc_tag idx first;
-       Array.unsafe_set t.pc_slot idx slot;
-       Array.unsafe_set t.pc_read_ok idx read_ok;
-       Array.unsafe_set t.pc_write_ok idx write_ok;
-       Array.unsafe_set t.pc_bepoch idx (-1)
-     end);
-    if last <> first then ignore (check_page_slow t ~page:last ~write);
-    touch_dcache t addr;
-    if (addr + len - 1) lsr 6 <> addr lsr 6 then touch_dcache t (addr + len - 1);
-    (* Every architectural check passed: give the sanitizer (if armed) a
-       chance to flag an access that is legal for the hardware but illegal
-       for the owning sandbox. An access that trapped above never reaches
-       this point — it is already contained and attributed precisely. *)
-    match t.sanitizer with
-    | None -> ()
-    | Some f -> f t ~kind:(if write then San_write else San_read) ~addr ~len
-  with Trap_exn _ as e ->
-    t.last_fault <- Some { fault_addr = addr; fault_write = write };
-    raise e
-
-(* Backing bytes of a cached page for reading/writing. Only call when
-   [check_access] just succeeded for an access contained in [page] — that
-   guarantees the entry's tag is [page], so a live byte epoch always
-   describes this page's backing store. The data epoch guards against the
-   store changing identity underneath us (fresh page materialization,
-   madvise, unmap). *)
-let ro_bytes t page =
-  let idx = page land pc_mask in
-  let epoch = Space.data_epoch t.space in
-  if Array.unsafe_get t.pc_bepoch idx = epoch then Array.unsafe_get t.pc_bytes idx
-  else begin
-    let b = Space.page_for_read t.space ~page in
-    Array.unsafe_set t.pc_bytes idx b;
-    Array.unsafe_set t.pc_bwritable idx false;
-    Array.unsafe_set t.pc_bepoch idx epoch;
-    b
-  end
-
-let rw_bytes t page =
-  let idx = page land pc_mask in
-  let epoch = Space.data_epoch t.space in
-  if Array.unsafe_get t.pc_bepoch idx = epoch && Array.unsafe_get t.pc_bwritable idx then
-    Array.unsafe_get t.pc_bytes idx
-  else begin
-    let b = Space.page_for_write t.space ~page in
-    Array.unsafe_set t.pc_bytes idx b;
-    Array.unsafe_set t.pc_bwritable idx true;
-    (* Read the epoch after materializing: allocation bumps it. *)
-    Array.unsafe_set t.pc_bepoch idx (Space.data_epoch t.space);
-    b
-  end
-
-let page_mask = Space.page_size - 1
-
-let load_mem t w addr =
-  let len = width_bytes w in
-  check_access t ~addr ~len ~write:false;
-  t.counters.loads <- t.counters.loads + 1;
-  t.counters.cycles <- t.counters.cycles + t.cost.Cost.load_cycles;
-  let off = addr land page_mask in
-  if off + len <= Space.page_size then
-    let b = ro_bytes t (addr lsr 12) in
-    match w with
-    | W8 -> Int64.of_int (Char.code (Bytes.get b off))
-    | W16 -> Int64.of_int (Bytes.get_uint16_le b off)
-    | W32 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le b off)) 0xFFFFFFFFL
-    | W64 -> Bytes.get_int64_le b off
-  else
-    match w with
-    | W8 -> Int64.of_int (Space.read8 t.space addr)
-    | W16 -> Int64.of_int (Space.read16 t.space addr)
-    | W32 -> Int64.logand (Int64.of_int32 (Space.read32 t.space addr)) 0xFFFFFFFFL
-    | W64 -> Space.read64 t.space addr
-
-let store_mem t w addr v =
-  let len = width_bytes w in
-  check_access t ~addr ~len ~write:true;
-  t.counters.stores <- t.counters.stores + 1;
-  t.counters.cycles <- t.counters.cycles + t.cost.Cost.store_cycles;
-  let off = addr land page_mask in
-  if off + len <= Space.page_size then begin
-    let b = rw_bytes t (addr lsr 12) in
-    match w with
-    | W8 -> Bytes.set b off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
-    | W16 -> Bytes.set_uint16_le b off (Int64.to_int (Int64.logand v 0xFFFFL))
-    | W32 -> Bytes.set_int32_le b off (Int64.to_int32 v)
-    | W64 -> Bytes.set_int64_le b off v
-  end
-  else
-    match w with
-    | W8 -> Space.write8 t.space addr (Int64.to_int (Int64.logand v 0xFFL))
-    | W16 -> Space.write16 t.space addr (Int64.to_int (Int64.logand v 0xFFFFL))
-    | W32 -> Space.write32 t.space addr (Int64.to_int32 v)
-    | W64 -> Space.write64 t.space addr v
-
-(* --- Operand evaluation --- *)
-
-let read_operand t w = function
-  | Reg r -> read_reg_w t w r
-  | Imm i -> (
-      match w with
-      | W64 -> i
-      | W32 -> Int64.logand i 0xFFFFFFFFL
-      | W16 -> Int64.logand i 0xFFFFL
-      | W8 -> Int64.logand i 0xFFL)
-  | Mem m -> load_mem t w (effective_address t m)
-
-let write_operand t w op v =
-  match op with
-  | Reg r -> write_reg_w t w r v
-  | Mem m -> store_mem t w (effective_address t m) v
-  | Imm _ -> invalid_arg "Machine: immediate as destination"
-
-(* --- Flags --- *)
-
-let width_bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
-
-let mask_of_width = function
-  | W8 -> 0xFFL
-  | W16 -> 0xFFFFL
-  | W32 -> 0xFFFFFFFFL
-  | W64 -> -1L
-
-let sign_bit w v = Int64.logand v (Int64.shift_left 1L (width_bits w - 1)) <> 0L
-
-let set_logic_flags t w r =
-  t.zf <- Int64.logand r (mask_of_width w) = 0L;
-  t.sf <- sign_bit w r;
-  t.cf <- false;
-  t.of_ <- false
-
-let set_add_flags t w a b r =
-  t.zf <- Int64.logand r (mask_of_width w) = 0L;
-  t.sf <- sign_bit w r;
-  (if w = W64 then t.cf <- Int64.unsigned_compare r a < 0
-   else
-     let ua = Int64.logand a (mask_of_width w) and ub = Int64.logand b (mask_of_width w) in
-     t.cf <- Int64.unsigned_compare (Int64.add ua ub) (mask_of_width w) > 0);
-  t.of_ <- sign_bit w a = sign_bit w b && sign_bit w r <> sign_bit w a
-
-let set_sub_flags t w a b r =
-  t.zf <- Int64.logand r (mask_of_width w) = 0L;
-  t.sf <- sign_bit w r;
-  (let ua = Int64.logand a (mask_of_width w) and ub = Int64.logand b (mask_of_width w) in
-   t.cf <- Int64.unsigned_compare ua ub < 0);
-  t.of_ <- sign_bit w a <> sign_bit w b && sign_bit w r <> sign_bit w a
-
-let eval_cond t = function
-  | E -> t.zf
-  | NE -> not t.zf
-  | L -> t.sf <> t.of_
-  | GE -> t.sf = t.of_
-  | LE -> t.zf || t.sf <> t.of_
-  | G -> (not t.zf) && t.sf = t.of_
-  | B -> t.cf
-  | AE -> not t.cf
-  | BE -> t.cf || t.zf
-  | A -> (not t.cf) && not t.zf
-  | S -> t.sf
-  | NS -> not t.sf
-
-(* --- Sign extension helper for Movsx / division --- *)
-
-let sext w v =
-  match w with
-  | W64 -> v
-  | _ ->
-      let bits = 64 - width_bits w in
-      Int64.shift_right (Int64.shift_left v bits) bits
+  Tlb.set_trace t.tlb sink;
+  (* Promoted trappable blocks batch the cycle charges the sink's
+     timestamps derive from; fall back to tier 1 for them. *)
+  if Sfi_trace.Trace.enabled sink then Tier.demote_unsafe t
 
 (* --- Execution --- *)
 
-let charge t cycles = t.counters.cycles <- t.counters.cycles + cycles
-
-let charge_frontend t len =
-  t.counters.code_bytes <- t.counters.code_bytes + len;
-  let bpc = t.cost.Cost.frontend_bytes_per_cycle in
-  if bpc > 0 then begin
-    let total = t.fetch_accum + len in
-    (* [fetch_accum < bpc] always, and instructions are at most 15 bytes,
-       so [total / bpc] is almost always 0 or 1: avoid the hardware divide
-       on this per-instruction path. *)
-    if total < bpc then t.fetch_accum <- total
-    else if total - bpc < bpc then begin
-      charge t 1;
-      t.fetch_accum <- total - bpc
-    end
-    else begin
-      charge t (total / bpc);
-      t.fetch_accum <- total mod bpc
-    end
-  end
-
-let push64 t v =
-  let rsp = Int64.to_int (get_reg t RSP) - 8 in
-  set_reg t RSP (Int64.of_int rsp);
-  check_access t ~addr:rsp ~len:8 ~write:true;
-  t.counters.stores <- t.counters.stores + 1;
-  if rsp land page_mask <= Space.page_size - 8 then
-    Bytes.set_int64_le (rw_bytes t (rsp lsr 12)) (rsp land page_mask) v
-  else Space.write64 t.space rsp v
-
-let pop64 t =
-  let rsp = Int64.to_int (get_reg t RSP) in
-  check_access t ~addr:rsp ~len:8 ~write:false;
-  t.counters.loads <- t.counters.loads + 1;
-  let v =
-    if rsp land page_mask <= Space.page_size - 8 then
-      Bytes.get_int64_le (ro_bytes t (rsp lsr 12)) (rsp land page_mask)
-    else Space.read64 t.space rsp
-  in
-  set_reg t RSP (Int64.of_int (rsp + 8));
-  v
-
-let halt_sentinel = 0L
-
-(* Resolve an absolute code byte address to an instruction index through the
-   flat offset table (first instruction at a given address wins, as labels
-   share the address of the instruction that follows them). *)
-let jump_via index_of_off code_base t addr =
-  (match t.sanitizer with
-  | None -> ()
-  | Some f -> f t ~kind:San_branch ~addr ~len:0);
-  let off = addr - code_base in
-  if off >= 0 && off < Array.length index_of_off && index_of_off.(off) >= 0 then
-    t.pc <- index_of_off.(off)
-  else raise (Trap_exn Trap_out_of_bounds)
-
-let jump_to_address t addr =
-  let l = get_loaded t in
-  jump_via l.index_of_off t.code_base t addr
-
-let return_address t =
-  (* Byte address of the instruction after the current one. *)
-  let l = get_loaded t in
-  l.ret_addrs.(t.pc)
-
-(* Pure value computations shared by the reference interpreter and the
-   threaded closures, so the two executors cannot drift. *)
-
-let shift_value w op a n =
-  let bits = width_bits w in
-  let masked = Int64.logand a (mask_of_width w) in
-  match op with
-  | Shl -> Int64.shift_left a n
-  | Shr -> Int64.shift_right_logical masked n
-  | Sar -> Int64.shift_right (sext w a) n
-  | Rol ->
-      if n = 0 then a
-      else Int64.logor (Int64.shift_left masked n) (Int64.shift_right_logical masked (bits - n))
-  | Ror ->
-      if n = 0 then a
-      else Int64.logor (Int64.shift_right_logical masked n) (Int64.shift_left masked (bits - n))
-
-let bitcnt_value k w v =
-  let bits = width_bits w in
-  match k with
-  | Popcnt ->
-      let n = ref 0 and x = ref v in
-      for _ = 1 to 64 do
-        if Int64.logand !x 1L = 1L then incr n;
-        x := Int64.shift_right_logical !x 1
-      done;
-      !n
-  | Tzcnt ->
-      if v = 0L then bits
-      else begin
-        let n = ref 0 and x = ref v in
-        while Int64.logand !x 1L = 0L do
-          incr n;
-          x := Int64.shift_right_logical !x 1
-        done;
-        !n
-      end
-  | Lzcnt ->
-      if v = 0L then bits
-      else begin
-        let n = ref 0 in
-        let top = Int64.shift_left 1L (bits - 1) in
-        let x = ref v in
-        while Int64.logand !x top = 0L do
-          incr n;
-          x := Int64.shift_left !x 1
-        done;
-        !n
-      end
-
-let div_by_zero = Trap_exn Trap_integer_divide_by_zero
-let div_overflow = Trap_exn Trap_integer_overflow
-
-let exec_div t w signed ~read =
-  charge t t.cost.Cost.div_cycles;
-  let divisor = read t in
-  if signed then begin
-    let a = sext w (read_reg_w t w RAX) in
-    let b = sext w divisor in
-    if b = 0L then raise div_by_zero;
-    let min_w = Int64.shift_left 1L (width_bits w - 1) |> sext w in
-    if a = min_w && b = -1L then raise div_overflow;
-    write_reg_w t w RAX (Int64.div a b);
-    write_reg_w t w RDX (Int64.rem a b)
-  end
-  else begin
-    let a = read_reg_w t w RAX in
-    let b = divisor in
-    if b = 0L then raise div_by_zero;
-    write_reg_w t w RAX (Int64.unsigned_div a b);
-    write_reg_w t w RDX (Int64.unsigned_rem a b)
-  end
-
-let vreg_index (XMM n) =
-  if n < 0 || n > 15 then invalid_arg "Machine: bad xmm register";
-  n
-
-let vload_data t vi addr =
-  check_access t ~addr ~len:16 ~write:false;
-  t.counters.loads <- t.counters.loads + 1;
-  let off = addr land page_mask in
-  if off <= Space.page_size - 16 then Bytes.blit (ro_bytes t (addr lsr 12)) off t.vregs.(vi) 0 16
-  else begin
-    let data = Space.read_bytes t.space ~addr ~len:16 in
-    Bytes.blit data 0 t.vregs.(vi) 0 16
-  end
-
-let vstore_data t addr vi =
-  check_access t ~addr ~len:16 ~write:true;
-  t.counters.stores <- t.counters.stores + 1;
-  let off = addr land page_mask in
-  if off <= Space.page_size - 16 then Bytes.blit t.vregs.(vi) 0 (rw_bytes t (addr lsr 12)) off 16
-  else Space.write_bytes t.space ~addr (Bytes.copy t.vregs.(vi))
-
-(* --- Threaded-code compiler ---
-
-   [load_program] translates each instruction once into an [exec : t -> unit]
-   closure with operands, widths, branch targets, encoded lengths and return
-   addresses pre-resolved. The closures must reproduce [step]'s observable
-   behavior exactly — same counters, same charge order, same traps — which
-   {!Lockstep} checks instruction by instruction. *)
-
-let compile_read_reg w r =
-  let i = gpr_index r in
-  match w with
-  | W64 -> fun t -> reg_get t i
-  | W32 -> fun t -> Int64.logand (reg_get t i) 0xFFFFFFFFL
-  | W16 -> fun t -> Int64.logand (reg_get t i) 0xFFFFL
-  | W8 -> fun t -> Int64.logand (reg_get t i) 0xFFL
-
-let compile_write_reg w r =
-  let i = gpr_index r in
-  match w with
-  | W64 -> fun t v -> reg_set t i v
-  | W32 -> fun t v -> reg_set t i (Int64.logand v 0xFFFFFFFFL)
-  | W16 ->
-      fun t v ->
-        reg_set t i
-          (Int64.logor (Int64.logand (reg_get t i) (Int64.lognot 0xFFFFL)) (Int64.logand v 0xFFFFL))
-  | W8 ->
-      fun t v ->
-        reg_set t i
-          (Int64.logor (Int64.logand (reg_get t i) (Int64.lognot 0xFFL)) (Int64.logand v 0xFFL))
-
-let compile_index = function
-  | Some (r, s) ->
-      let i = gpr_index r and f = Int64.of_int (scale_factor s) in
-      fun t -> Int64.mul (reg_get t i) f
-  | None -> fun _ -> 0L
-
-let compile_ea (m : mem) =
-  let base_i = match m.base with Some r -> gpr_index r | None -> -1 in
-  let index_part = compile_index m.index in
-  let disp = Int64.of_int m.disp in
-  let mask32 = m.addr32 && not m.native_base in
-  let native = m.native_base in
-  let seg = m.seg in
-  fun t ->
-    let base = if base_i >= 0 then reg_get t base_i else 0L in
-    let sum = Int64.add (Int64.add base (index_part t)) disp in
-    let sum = if mask32 then Int64.logand sum 0xFFFFFFFFL else sum in
-    let segv =
-      if native then t.gs_base else match seg with Some s -> get_seg_base t s | None -> 0
-    in
-    Int64.to_int (Int64.add (Int64.of_int segv) sum) land addr_mask_47
-
-let compile_lea (m : mem) =
-  let base_i = match m.base with Some r -> gpr_index r | None -> -1 in
-  let index_part = compile_index m.index in
-  let disp = Int64.of_int m.disp in
-  let mask32 = m.addr32 in
-  fun t ->
-    let base = if base_i >= 0 then reg_get t base_i else 0L in
-    let sum = Int64.add (Int64.add base (index_part t)) disp in
-    if mask32 then Int64.logand sum 0xFFFFFFFFL else sum
-
-let compile_read w op =
-  match op with
-  | Reg r -> compile_read_reg w r
-  | Imm i ->
-      let v =
-        match w with
-        | W64 -> i
-        | W32 -> Int64.logand i 0xFFFFFFFFL
-        | W16 -> Int64.logand i 0xFFFFL
-        | W8 -> Int64.logand i 0xFFL
-      in
-      fun _ -> v
-  | Mem m ->
-      let ea = compile_ea m in
-      fun t -> load_mem t w (ea t)
-
-let compile_write w op =
-  match op with
-  | Reg r -> compile_write_reg w r
-  | Mem m ->
-      let ea = compile_ea m in
-      fun t v -> store_mem t w (ea t) v
-  | Imm _ -> fun _ _ -> invalid_arg "Machine: immediate as destination"
-
-let compile_instr ~labels ~index_of_off ~code_base ~len ~next ~ret_addr (instr : instr) =
-  let target lbl = match Hashtbl.find_opt labels lbl with Some i -> i | None -> -1 in
-  let prologue t =
-    t.counters.instructions <- t.counters.instructions + 1;
-    charge_frontend t len
-  in
-  match instr with
-  | Label _ -> fun t -> t.pc <- next
-  | Nop ->
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        t.pc <- next
-  | Mov (w, dst, src) ->
-      let rd = compile_read w src and wr = compile_write w dst in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        wr t (rd t);
-        t.pc <- next
-  | Movzx (dw, sw, dst, src) ->
-      let rd = compile_read sw src and wr = compile_write_reg dw dst in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        wr t (rd t);
-        t.pc <- next
-  | Movsx (dw, sw, dst, src) ->
-      let rd = compile_read sw src and wr = compile_write_reg dw dst in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        wr t (sext sw (rd t));
-        t.pc <- next
-  | Lea (w, dst, m) ->
-      let lv = compile_lea m and wr = compile_write_reg w dst in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.lea_cycles;
-        wr t (lv t);
-        t.pc <- next
-  | Alu (op, w, dst, src) ->
-      let rd = compile_read w dst and rs = compile_read w src and wr = compile_write w dst in
-      let f =
-        match op with
-        | Add -> Int64.add
-        | Sub -> Int64.sub
-        | And -> Int64.logand
-        | Or -> Int64.logor
-        | Xor -> Int64.logxor
-      in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        let a = rd t and b = rs t in
-        let r = f a b in
-        (match op with
-        | Add -> set_add_flags t w a b r
-        | Sub -> set_sub_flags t w a b r
-        | And | Or | Xor -> set_logic_flags t w r);
-        wr t r;
-        t.pc <- next
-  | Shift (op, w, dst, count) ->
-      let rd = compile_read w dst and wr = compile_write w dst in
-      let rcx = gpr_index RCX in
-      let get_n =
-        match count with
-        | Count_imm n -> fun _ -> n
-        | Count_cl -> fun t -> Int64.to_int (Int64.logand (reg_get t rcx) 0x3FL)
-      in
-      let nmask = width_bits w - 1 in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        let n = get_n t land nmask in
-        let a = rd t in
-        let r = shift_value w op a n in
-        set_logic_flags t w r;
-        wr t r;
-        t.pc <- next
-  | Imul (w, dst, src) ->
-      let rdd = compile_read_reg w dst and rs = compile_read w src in
-      let wr = compile_write_reg w dst in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.mul_cycles;
-        let b = rs t in
-        wr t (Int64.mul (rdd t) b);
-        t.pc <- next
-  | Bitcnt (k, w, dst, src) ->
-      let rs = compile_read w src and wr = compile_write_reg w dst in
-      let m = mask_of_width w in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        let v = Int64.logand (rs t) m in
-        wr t (Int64.of_int (bitcnt_value k w v));
-        t.pc <- next
-  | Div (w, signed, src) ->
-      let rs = compile_read w src in
-      fun t ->
-        prologue t;
-        exec_div t w signed ~read:rs;
-        t.pc <- next
-  | Cqo w ->
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        let a = sext w (read_reg_w t w RAX) in
-        write_reg_w t w RDX (if Int64.compare a 0L < 0 then -1L else 0L);
-        t.pc <- next
-  | Neg (w, op) ->
-      let rd = compile_read w op and wr = compile_write w op in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        let a = rd t in
-        let r = Int64.neg a in
-        set_sub_flags t w 0L a r;
-        wr t r;
-        t.pc <- next
-  | Not (w, op) ->
-      let rd = compile_read w op and wr = compile_write w op in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        wr t (Int64.lognot (rd t));
-        t.pc <- next
-  | Cmp (w, a, b) ->
-      let ra = compile_read w a and rb = compile_read w b in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        let va = ra t and vb = rb t in
-        set_sub_flags t w va vb (Int64.sub va vb);
-        t.pc <- next
-  | Test (w, a, b) ->
-      let ra = compile_read w a and rb = compile_read w b in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        let va = ra t and vb = rb t in
-        set_logic_flags t w (Int64.logand va vb);
-        t.pc <- next
-  | Setcc (c, r) ->
-      let i = gpr_index r in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        reg_set t i (if eval_cond t c then 1L else 0L);
-        t.pc <- next
-  | Cmovcc (c, w, dst, src) ->
-      let rs = compile_read w src in
-      let rdd = compile_read_reg w dst and wr = compile_write_reg w dst in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        (if eval_cond t c then wr t (rs t) else if w = W32 then wr t (rdd t));
-        t.pc <- next
-  | Jmp lbl ->
-      let tgt = target lbl in
-      fun t ->
-        prologue t;
-        charge t (t.cost.Cost.branch_cycles + t.cost.Cost.taken_branch_cycles);
-        if tgt < 0 then raise Not_found;
-        t.pc <- tgt
-  | Jcc (c, lbl) ->
-      let tgt = target lbl in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.branch_cycles;
-        if eval_cond t c then begin
-          charge t t.cost.Cost.taken_branch_cycles;
-          if tgt < 0 then raise Not_found;
-          t.pc <- tgt
-        end
-        else t.pc <- next
-  | Jmp_reg r ->
-      let i = gpr_index r in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.indirect_branch_cycles;
-        jump_via index_of_off code_base t (Int64.to_int (reg_get t i) land addr_mask_47)
-  | Call lbl ->
-      let tgt = target lbl in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.call_ret_cycles;
-        push64 t ret_addr;
-        if tgt < 0 then raise Not_found;
-        t.pc <- tgt
-  | Call_reg r ->
-      let i = gpr_index r in
-      fun t ->
-        prologue t;
-        charge t (t.cost.Cost.call_ret_cycles + t.cost.Cost.indirect_branch_cycles);
-        push64 t ret_addr;
-        jump_via index_of_off code_base t (Int64.to_int (reg_get t i) land addr_mask_47)
-  | Ret ->
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.call_ret_cycles;
-        let addr = pop64 t in
-        if addr = halt_sentinel then raise Halt_exn;
-        jump_via index_of_off code_base t (Int64.to_int addr land addr_mask_47)
-  | Push op ->
-      let rd = compile_read W64 op in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.store_cycles;
-        push64 t (rd t);
-        t.pc <- next
-  | Pop r ->
-      let i = gpr_index r in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.load_cycles;
-        reg_set t i (pop64 t);
-        t.pc <- next
-  | Wrfsbase r | Wrgsbase r ->
-      let i = gpr_index r in
-      let is_fs = match instr with Wrfsbase _ -> true | _ -> false in
-      fun t ->
-        prologue t;
-        charge t
-          (if t.fsgsbase_available then t.cost.Cost.wrsegbase_cycles
-           else t.cost.Cost.wrsegbase_syscall_cycles);
-        t.counters.seg_base_writes <- t.counters.seg_base_writes + 1;
-        let v = Int64.to_int (reg_get t i) land addr_mask_47 in
-        if is_fs then t.fs_base <- v else t.gs_base <- v;
-        t.pc <- next
-  | Rdfsbase r ->
-      let i = gpr_index r in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        reg_set t i (Int64.of_int t.fs_base);
-        t.pc <- next
-  | Rdgsbase r ->
-      let i = gpr_index r in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        reg_set t i (Int64.of_int t.gs_base);
-        t.pc <- next
-  | Wrpkru ->
-      let rax = gpr_index RAX in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.wrpkru_cycles;
-        t.counters.pkru_writes <- t.counters.pkru_writes + 1;
-        t.pkru <- Int64.to_int (Int64.logand (reg_get t rax) 0xFFFFFFFFL);
-        invalidate_pcache t;
-        if Sfi_trace.Trace.enabled t.trace then
-          Sfi_trace.Trace.pkru_write t.trace ~value:t.pkru;
-        t.pc <- next
-  | Rdpkru ->
-      let rax = gpr_index RAX and rdx = gpr_index RDX in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.alu_cycles;
-        reg_set t rax (Int64.of_int t.pkru);
-        reg_set t rdx 0L;
-        t.pc <- next
-  | Vload (v, m) ->
-      let ea = compile_ea m and vi = vreg_index v in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.vector_cycles;
-        vload_data t vi (ea t);
-        t.pc <- next
-  | Vstore (m, v) ->
-      let ea = compile_ea m and vi = vreg_index v in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.vector_cycles;
-        vstore_data t (ea t) vi;
-        t.pc <- next
-  | Vzero v ->
-      let vi = vreg_index v in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.vector_cycles;
-        Bytes.fill t.vregs.(vi) 0 16 '\000';
-        t.pc <- next
-  | Vdup8 (v, b) ->
-      let vi = vreg_index v and c = Char.chr (b land 0xFF) in
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.vector_cycles;
-        Bytes.fill t.vregs.(vi) 0 16 c;
-        t.pc <- next
-  | Hostcall n ->
-      fun t ->
-        prologue t;
-        charge t t.cost.Cost.hostcall_cycles;
-        t.hostcall t n;
-        t.pc <- next
-  | Trap k ->
-      fun t ->
-        prologue t;
-        raise (Trap_exn k)
-
-let load_program t program =
-  let offsets = Encode.layout program in
-  let labels = Hashtbl.create 64 in
-  Array.iteri
-    (fun idx i ->
-      match i with
-      | Label l ->
-          if Hashtbl.mem labels l then invalid_arg ("Machine.load_program: duplicate label " ^ l);
-          Hashtbl.replace labels l idx
-      | _ -> ())
-    program;
-  let code_len = Encode.program_length program in
-  let n = Array.length program in
-  let lengths = Encode.lengths program in
-  (* First instruction at a given byte offset wins (labels share the offset
-     of the instruction that follows them). *)
-  let index_of_off = Array.make (code_len + 1) (-1) in
-  Array.iteri (fun idx off -> if index_of_off.(off) < 0 then index_of_off.(off) <- idx) offsets;
-  let targets =
-    Array.map
-      (function
-        | Jmp l | Jcc (_, l) | Call l -> (
-            match Hashtbl.find_opt labels l with Some i -> i | None -> -1)
-        | _ -> -1)
-      program
-  in
-  let ret_addrs =
-    Array.init n (fun idx ->
-        let off = if idx + 1 < n then offsets.(idx + 1) else code_len in
-        Int64.of_int (t.code_base + off))
-  in
-  (* exec.(n) is the off-end sentinel: running past the last instruction is
-     an out-of-bounds fetch, exactly as [step] treats pc >= n. *)
-  let exec = Array.make (n + 1) (fun _ -> raise (Trap_exn Trap_out_of_bounds)) in
-  for idx = 0 to n - 1 do
-    exec.(idx) <-
-      compile_instr ~labels ~index_of_off ~code_base:t.code_base ~len:lengths.(idx)
-        ~next:(idx + 1) ~ret_addr:ret_addrs.(idx) program.(idx)
-  done;
-  t.loaded <-
-    Some { program; offsets; labels; code_len; lengths; targets; ret_addrs; index_of_off; exec };
-  (* Resize the profiler histogram to the new program (index n = off-end
-     sentinel), dropping samples of the program it replaced. *)
-  if t.prof_interval > 0 then t.prof_counts <- Array.make (n + 1) 0;
-  t.pc <- 0
-
-let step t =
-  let l = get_loaded t in
-  if t.pc < 0 || t.pc >= Array.length l.program then raise (Trap_exn Trap_out_of_bounds);
-  let instr = l.program.(t.pc) in
-  t.counters.instructions <- t.counters.instructions + 1;
-  charge_frontend t l.lengths.(t.pc);
-  let cost = t.cost in
-  (* Direct-branch targets were resolved at load; -1 marks a label that did
-     not exist, which surfaces as the same [Not_found] the per-step Hashtbl
-     lookup used to raise. *)
-  let direct_target () =
-    let tgt = l.targets.(t.pc) in
-    if tgt < 0 then raise Not_found;
-    tgt
-  in
-  let next_pc = ref (t.pc + 1) in
-  (match instr with
-  | Label _ -> t.counters.instructions <- t.counters.instructions - 1
-  | Nop -> charge t cost.Cost.alu_cycles
-  | Mov (w, dst, src) ->
-      charge t cost.Cost.alu_cycles;
-      write_operand t w dst (read_operand t w src)
-  | Movzx (dw, sw, dst, src) ->
-      charge t cost.Cost.alu_cycles;
-      write_reg_w t dw dst (read_operand t sw src)
-  | Movsx (dw, sw, dst, src) ->
-      charge t cost.Cost.alu_cycles;
-      write_reg_w t dw dst (sext sw (read_operand t sw src))
-  | Lea (w, dst, m) ->
-      charge t cost.Cost.lea_cycles;
-      write_reg_w t w dst (lea_value t m)
-  | Alu (op, w, dst, src) ->
-      charge t cost.Cost.alu_cycles;
-      let a = read_operand t w dst and b = read_operand t w src in
-      let r =
-        match op with
-        | Add -> Int64.add a b
-        | Sub -> Int64.sub a b
-        | And -> Int64.logand a b
-        | Or -> Int64.logor a b
-        | Xor -> Int64.logxor a b
-      in
-      (match op with
-      | Add -> set_add_flags t w a b r
-      | Sub -> set_sub_flags t w a b r
-      | And | Or | Xor -> set_logic_flags t w r);
-      write_operand t w dst r
-  | Shift (op, w, dst, count) ->
-      charge t cost.Cost.alu_cycles;
-      let n =
-        match count with
-        | Count_imm n -> n
-        | Count_cl -> Int64.to_int (Int64.logand (get_reg t RCX) 0x3FL)
-      in
-      let n = n land (width_bits w - 1) in
-      let a = read_operand t w dst in
-      let r = shift_value w op a n in
-      set_logic_flags t w r;
-      write_operand t w dst r
-  | Imul (w, dst, src) ->
-      charge t cost.Cost.mul_cycles;
-      let r = Int64.mul (read_reg_w t w dst) (read_operand t w src) in
-      write_reg_w t w dst r
-  | Bitcnt (k, w, dst, src) ->
-      charge t cost.Cost.alu_cycles;
-      let v = Int64.logand (read_operand t w src) (mask_of_width w) in
-      write_reg_w t w dst (Int64.of_int (bitcnt_value k w v))
-  | Div (w, signed, src) -> exec_div t w signed ~read:(fun t -> read_operand t w src)
-  | Cqo w ->
-      charge t cost.Cost.alu_cycles;
-      let a = sext w (read_reg_w t w RAX) in
-      write_reg_w t w RDX (if Int64.compare a 0L < 0 then -1L else 0L)
-  | Neg (w, op) ->
-      charge t cost.Cost.alu_cycles;
-      let a = read_operand t w op in
-      let r = Int64.neg a in
-      set_sub_flags t w 0L a r;
-      write_operand t w op r
-  | Not (w, op) ->
-      charge t cost.Cost.alu_cycles;
-      write_operand t w op (Int64.lognot (read_operand t w op))
-  | Cmp (w, a, b) ->
-      charge t cost.Cost.alu_cycles;
-      let va = read_operand t w a and vb = read_operand t w b in
-      set_sub_flags t w va vb (Int64.sub va vb)
-  | Test (w, a, b) ->
-      charge t cost.Cost.alu_cycles;
-      let va = read_operand t w a and vb = read_operand t w b in
-      set_logic_flags t w (Int64.logand va vb)
-  | Setcc (c, r) ->
-      charge t cost.Cost.alu_cycles;
-      set_reg t r (if eval_cond t c then 1L else 0L)
-  | Cmovcc (c, w, dst, src) ->
-      charge t cost.Cost.alu_cycles;
-      if eval_cond t c then write_reg_w t w dst (read_operand t w src)
-      else if w = W32 then
-        (* Hardware quirk: cmov with a 32-bit destination zero-extends even
-           when the move does not happen. *)
-        write_reg_w t w dst (read_reg_w t w dst)
-  | Jmp _ ->
-      charge t (cost.Cost.branch_cycles + cost.Cost.taken_branch_cycles);
-      next_pc := direct_target ()
-  | Jcc (c, _) ->
-      charge t cost.Cost.branch_cycles;
-      if eval_cond t c then begin
-        charge t cost.Cost.taken_branch_cycles;
-        next_pc := direct_target ()
-      end
-  | Jmp_reg r ->
-      charge t cost.Cost.indirect_branch_cycles;
-      jump_to_address t (Int64.to_int (get_reg t r) land addr_mask_47);
-      next_pc := t.pc
-  | Call _ ->
-      charge t cost.Cost.call_ret_cycles;
-      push64 t (return_address t);
-      next_pc := direct_target ()
-  | Call_reg r ->
-      charge t (cost.Cost.call_ret_cycles + cost.Cost.indirect_branch_cycles);
-      push64 t (return_address t);
-      jump_to_address t (Int64.to_int (get_reg t r) land addr_mask_47);
-      next_pc := t.pc
-  | Ret ->
-      charge t cost.Cost.call_ret_cycles;
-      let addr = pop64 t in
-      if addr = halt_sentinel then raise Halt_exn;
-      jump_to_address t (Int64.to_int addr land addr_mask_47);
-      next_pc := t.pc
-  | Push op ->
-      charge t cost.Cost.store_cycles;
-      push64 t (read_operand t W64 op)
-  | Pop r ->
-      charge t cost.Cost.load_cycles;
-      set_reg t r (pop64 t)
-  | Wrfsbase r | Wrgsbase r ->
-      charge t
-        (if t.fsgsbase_available then cost.Cost.wrsegbase_cycles
-         else cost.Cost.wrsegbase_syscall_cycles);
-      t.counters.seg_base_writes <- t.counters.seg_base_writes + 1;
-      let v = Int64.to_int (get_reg t r) land addr_mask_47 in
-      (match instr with Wrfsbase _ -> t.fs_base <- v | _ -> t.gs_base <- v)
-  | Rdfsbase r ->
-      charge t cost.Cost.alu_cycles;
-      set_reg t r (Int64.of_int t.fs_base)
-  | Rdgsbase r ->
-      charge t cost.Cost.alu_cycles;
-      set_reg t r (Int64.of_int t.gs_base)
-  | Wrpkru ->
-      charge t cost.Cost.wrpkru_cycles;
-      t.counters.pkru_writes <- t.counters.pkru_writes + 1;
-      t.pkru <- Int64.to_int (Int64.logand (get_reg t RAX) 0xFFFFFFFFL);
-      invalidate_pcache t;
-      if Sfi_trace.Trace.enabled t.trace then
-        Sfi_trace.Trace.pkru_write t.trace ~value:t.pkru
-  | Rdpkru ->
-      charge t cost.Cost.alu_cycles;
-      set_reg t RAX (Int64.of_int t.pkru);
-      set_reg t RDX 0L
-  | Vload (v, m) ->
-      charge t cost.Cost.vector_cycles;
-      vload_data t (vreg_index v) (effective_address t m)
-  | Vstore (m, v) ->
-      charge t cost.Cost.vector_cycles;
-      vstore_data t (effective_address t m) (vreg_index v)
-  | Vzero v ->
-      charge t cost.Cost.vector_cycles;
-      Bytes.fill t.vregs.(vreg_index v) 0 16 '\000'
-  | Vdup8 (v, b) ->
-      charge t cost.Cost.vector_cycles;
-      Bytes.fill t.vregs.(vreg_index v) 0 16 (Char.chr (b land 0xFF))
-  | Hostcall n ->
-      charge t cost.Cost.hostcall_cycles;
-      t.hostcall t n
-  | Trap k -> raise (Trap_exn k));
-  t.pc <- !next_pc
-
-let start t ~entry =
-  t.last_fault <- None;
-  t.pc <- label_index t entry;
-  push64 t halt_sentinel
-
-let last_fault_info t = t.last_fault
-let set_sanitizer t f = t.sanitizer <- f
-let pc t = t.pc
-
-let instr_at t idx =
-  match t.loaded with
-  | Some l when idx >= 0 && idx < Array.length l.program -> Some l.program.(idx)
-  | _ -> None
-
-(* Bucket the pc the sampling loops stopped at. Counter effects: none —
-   the profiler observes execution without perturbing it, so armed and
-   disarmed runs stay bit-identical under {!Lockstep}. *)
-let[@inline] prof_sample t =
-  t.prof_credit <- t.prof_credit - 1;
-  if t.prof_credit <= 0 then begin
-    t.prof_credit <- t.prof_interval;
-    let pc = t.pc in
-    if pc >= 0 && pc < Array.length t.prof_counts then
-      t.prof_counts.(pc) <- t.prof_counts.(pc) + 1
-  end
-
-let run_reference t ~fuel =
-  let budget = ref fuel in
-  let result = ref None in
-  let sampling = t.prof_interval > 0 in
-  (try
-     while !result = None do
-       if !budget <= 0 then result := Some Yielded
-       else begin
-         decr budget;
-         step t;
-         if sampling then prof_sample t
-       end
-     done
-   with
-  | Halt_exn -> result := Some Halted
-  | Hostcall_exit _ -> result := Some Halted
-  | Trap_exn k -> result := Some (Trapped k));
-  match !result with Some s -> s | None -> assert false
-
-let run_threaded t ~fuel =
-  let l = get_loaded t in
-  let code = l.exec in
-  if fuel <= 0 then Yielded
-  else if t.pc < 0 || t.pc > Array.length l.program then
-    (* [step] would trap here; once inside the loop the closures maintain
-       pc within [0, n] (index n being the off-end sentinel). *)
-    Trapped Trap_out_of_bounds
-  else begin
-    let budget = ref fuel in
-    try
-      if t.prof_interval > 0 then begin
-        (* Separate sampling loop so the default path below keeps its
-           tight two-load dispatch. *)
-        while !budget > 0 do
-          decr budget;
-          code.(t.pc) t;
-          prof_sample t
-        done;
-        Yielded
-      end
-      else begin
-        while !budget > 0 do
-          decr budget;
-          code.(t.pc) t
-        done;
-        Yielded
-      end
-    with
-    | Halt_exn | Hostcall_exit _ -> Halted
-    | Trap_exn k -> Trapped k
-  end
-
-(* Domain-local count of instructions retired by [run], so a parallel bench
-   harness can report per-domain instructions/sec without sharing state. *)
 let retired_key = Domain.DLS.new_key (fun () -> ref 0)
 let retired_instructions () = !(Domain.DLS.get retired_key)
 let reset_retired_instructions () = Domain.DLS.get retired_key := 0
+
+(* The adaptive engine re-scans for newly hot blocks between dispatch
+   chunks of this many slots. Promotion only ever happens at a dispatch
+   boundary, where tiered and untiered counters agree bit-for-bit, so the
+   chunking is unobservable; it exists so a single large [run ~fuel] call
+   (the runtime invokes with 2^30) still tiers up mid-activation. *)
+let adaptive_chunk = 1 lsl 15
 
 let run t ~fuel =
   let before = t.counters.instructions in
   let status =
     match t.engine with
-    | Threaded -> run_threaded t ~fuel
-    | Reference -> run_reference t ~fuel
+    | Threaded -> Translate.run_threaded t ~fuel
+    | Reference -> Decode.run_reference t ~fuel
+    | Tier2 -> Tier.run_tiered t ~fuel
+    | Adaptive ->
+        let rec go remaining =
+          Tier.adaptive_scan t;
+          let slice = if remaining < adaptive_chunk then remaining else adaptive_chunk in
+          let st = Tier.run_tiered t ~fuel:slice in
+          if st = Yielded && remaining > slice then go (remaining - slice) else st
+        in
+        go fuel
   in
   let r = Domain.DLS.get retired_key in
   r := !r + (t.counters.instructions - before);
   if status = Yielded && Sfi_trace.Trace.enabled t.trace then
-    Sfi_trace.Trace.fuel_checkpoint t.trace ~sandbox:(-1)
-      ~executed:t.counters.instructions;
+    Sfi_trace.Trace.fuel_checkpoint t.trace ~sandbox:(-1) ~executed:t.counters.instructions;
   status
 
 let execute t ~entry ?(fuel = 1 lsl 30) () =
@@ -1433,35 +188,7 @@ let reset_counters t =
   Tlb.reset_counters t.tlb;
   Tlb.reset_counters t.dcache
 
-(* --- Sampling hot-PC profiler --- *)
-
-let arm_profiler ?(interval = 64) t =
-  if interval <= 0 then invalid_arg "Machine.arm_profiler: interval must be > 0";
-  t.prof_interval <- interval;
-  t.prof_credit <- interval;
-  let n = match t.loaded with Some l -> Array.length l.program + 1 | None -> 1 in
-  t.prof_counts <- Array.make n 0
-
-let disarm_profiler t = t.prof_interval <- 0
-let profile_samples t = Array.fold_left ( + ) 0 t.prof_counts
-
-let hot_regions t =
-  match t.loaded with
-  | None -> []
-  | Some l ->
-      let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
-      let current = ref "<entry>" in
-      let n = Array.length l.program in
-      Array.iteri
-        (fun idx count ->
-          if idx < n then (match l.program.(idx) with Label lbl -> current := lbl | _ -> ());
-          if count > 0 then
-            Hashtbl.replace tbl !current
-              ((match Hashtbl.find_opt tbl !current with Some c -> c | None -> 0) + count))
-        t.prof_counts;
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-      |> List.sort (fun (la, a) (lb, b) ->
-             if a <> b then compare b a else compare la lb)
+(* --- Execution contexts --- *)
 
 type context = {
   c_regs : Bytes.t;

@@ -57,7 +57,10 @@ val cost_model : t -> Cost.t
 
 val load_program : t -> Sfi_x86.Ast.program -> unit
 (** Replaces any previously loaded program. Raises [Invalid_argument] on
-    duplicate labels. *)
+    duplicate labels. Profiler samples collected against the replaced
+    program are dropped and accounted in {!profile_dropped} (the
+    histogram is resized for the new program). Under the [Tier2] engine,
+    every eligible block of the new program is promoted immediately. *)
 
 val label_address : t -> string -> int
 (** Code byte address of a label (code_base + offset). Raises [Not_found]
@@ -91,14 +94,59 @@ val start : t -> entry:string -> unit
 type engine_kind =
   | Threaded  (** pre-translated closure-threaded code (default) *)
   | Reference  (** the original AST-matching interpreter *)
+  | Tier2
+      (** threaded code plus eager superblock promotion: every eligible
+          basic block is fused into a single closure at load time (and on
+          [set_engine]), with per-instruction counter updates batched into
+          one charge per block *)
+  | Adaptive
+      (** profiler-driven tiering: blocks start on the threaded
+          dispatcher and are promoted to superblocks between {!run}
+          slices once the sampling profiler sees them go hot (see
+          {!set_tier_config}) *)
 
 val engine : t -> engine_kind
 val set_engine : t -> engine_kind -> unit
-(** Select the execution engine used by {!run}. Both engines are
+(** Select the execution engine used by {!run}. All engines are
     observationally identical — same registers, flags, counters and traps
     — which {!Lockstep} validates instruction by instruction; [Reference]
     exists as the differential oracle and costs several times more host
-    time per simulated instruction. *)
+    time per simulated instruction. Superblocks charge their fixed costs
+    at block entry and roll back to the faulting instruction on a trap,
+    so at every dispatch boundary (any [run ~fuel] slice edge) the
+    {!snapshot} of a tiered machine is bit-identical to an untiered
+    one. *)
+
+(** {1 Tier policy} *)
+
+type tier_config = {
+  threshold : int;  (** profiler samples in a block before promotion (default 8) *)
+  stride : int;  (** fresh samples between promotion scans (default 256) *)
+  min_len : int;  (** smallest block worth fusing, in dispatch slots (default 2) *)
+}
+
+val default_tier_config : tier_config
+val tier_config : t -> tier_config
+
+val set_tier_config : t -> tier_config -> unit
+(** Tune the [Adaptive] promotion policy. Raises [Invalid_argument] if any
+    knob is [<= 0]. Takes effect at the next promotion scan; already
+    promoted blocks stay promoted. *)
+
+type tier_stats = {
+  blocks_total : int;  (** basic blocks in the loaded program *)
+  blocks_promoted : int;  (** currently running as superblocks *)
+  promotions : int;  (** lifetime promotions, across [load_program]s *)
+  superblock_instructions : int;
+      (** instructions retired inside superblocks (lifetime) — a host-side
+          statistic, deliberately not part of {!snapshot} *)
+}
+
+val tier_stats : t -> tier_stats
+
+val superblock_retired : t -> int
+(** [superblock_instructions] without the record allocation, for per-request
+    sampling on hot paths. *)
 
 val run : t -> fuel:int -> status
 (** Execute at most [fuel] instructions; returns [Yielded] if the budget
@@ -165,16 +213,27 @@ val set_trace : t -> Sfi_trace.Trace.t -> unit
 val arm_profiler : ?interval:int -> t -> unit
 (** Start sampling the program counter every [interval] (default 64)
     executed instructions into a per-instruction histogram. Arming
-    clears previous samples; {!load_program} resizes the histogram for
-    the new program. Sampling runs in a dedicated dispatch loop so the
-    disarmed hot path is unchanged, and it perturbs no architectural
-    state or counters. *)
+    clears previous samples. Sampling runs in a dedicated dispatch loop
+    so the disarmed hot path is unchanged, and it perturbs no
+    architectural state or counters. Selecting the [Adaptive] engine
+    arms the profiler (at the default interval) if it is not already
+    armed. *)
 
 val disarm_profiler : t -> unit
-(** Stop sampling. Collected samples remain readable. *)
+(** Stop sampling. Collected samples remain readable. Under the
+    [Adaptive] engine this also freezes tier promotion at the current
+    assignment — already-promoted superblocks keep running. *)
 
 val profile_samples : t -> int
 (** Total samples collected since the profiler was last armed. *)
+
+val profile_dropped : t -> int
+(** Lifetime count of samples discarded because {!load_program} replaced
+    the program they were collected against: the histogram is indexed by
+    instruction, so samples describing the old program carry no signal
+    for the new one and are dropped — visibly, through this counter —
+    rather than silently. Survives re-arming; cleared only by
+    {!create}. *)
 
 val hot_regions : t -> (string * int) list
 (** Samples aggregated by code region — each instruction is attributed

@@ -1,0 +1,569 @@
+(* Tier-1 translation: [install] compiles each instruction once into an
+   [exec : t -> unit] closure with operands, widths, branch targets, encoded
+   lengths and return addresses pre-resolved, and partitions the program
+   into classified basic blocks for the superblock tier. The closures must
+   reproduce [Decode.step]'s observable behavior exactly — same counters,
+   same charge order, same traps — which {!Lockstep} checks instruction by
+   instruction. *)
+
+open Sfi_x86.Ast
+open Mstate
+open Decode
+module Encode = Sfi_x86.Encode
+
+let compile_read_reg w r =
+  let i = gpr_index r in
+  match w with
+  | W64 -> fun t -> reg_get t i
+  | W32 -> fun t -> Int64.logand (reg_get t i) 0xFFFFFFFFL
+  | W16 -> fun t -> Int64.logand (reg_get t i) 0xFFFFL
+  | W8 -> fun t -> Int64.logand (reg_get t i) 0xFFL
+
+let compile_write_reg w r =
+  let i = gpr_index r in
+  match w with
+  | W64 -> fun t v -> reg_set t i v
+  | W32 -> fun t v -> reg_set t i (Int64.logand v 0xFFFFFFFFL)
+  | W16 ->
+      fun t v ->
+        reg_set t i
+          (Int64.logor (Int64.logand (reg_get t i) (Int64.lognot 0xFFFFL)) (Int64.logand v 0xFFFFL))
+  | W8 ->
+      fun t v ->
+        reg_set t i
+          (Int64.logor (Int64.logand (reg_get t i) (Int64.lognot 0xFFL)) (Int64.logand v 0xFFL))
+
+let compile_index = function
+  | Some (r, s) ->
+      let i = gpr_index r and f = Int64.of_int (scale_factor s) in
+      fun t -> Int64.mul (reg_get t i) f
+  | None -> fun _ -> 0L
+
+let compile_ea (m : mem) =
+  let base_i = match m.base with Some r -> gpr_index r | None -> -1 in
+  let index_part = compile_index m.index in
+  let disp = Int64.of_int m.disp in
+  let mask32 = m.addr32 && not m.native_base in
+  let native = m.native_base in
+  let seg = m.seg in
+  fun t ->
+    let base = if base_i >= 0 then reg_get t base_i else 0L in
+    let sum = Int64.add (Int64.add base (index_part t)) disp in
+    let sum = if mask32 then Int64.logand sum 0xFFFFFFFFL else sum in
+    let segv =
+      if native then t.gs_base else match seg with Some s -> get_seg_base t s | None -> 0
+    in
+    Int64.to_int (Int64.add (Int64.of_int segv) sum) land addr_mask_47
+
+let compile_lea (m : mem) =
+  let base_i = match m.base with Some r -> gpr_index r | None -> -1 in
+  let index_part = compile_index m.index in
+  let disp = Int64.of_int m.disp in
+  let mask32 = m.addr32 in
+  fun t ->
+    let base = if base_i >= 0 then reg_get t base_i else 0L in
+    let sum = Int64.add (Int64.add base (index_part t)) disp in
+    if mask32 then Int64.logand sum 0xFFFFFFFFL else sum
+
+let compile_read w op =
+  match op with
+  | Reg r -> compile_read_reg w r
+  | Imm i ->
+      let v =
+        match w with
+        | W64 -> i
+        | W32 -> Int64.logand i 0xFFFFFFFFL
+        | W16 -> Int64.logand i 0xFFFFL
+        | W8 -> Int64.logand i 0xFFL
+      in
+      fun _ -> v
+  | Mem m ->
+      let ea = compile_ea m in
+      fun t -> load_mem t w (ea t)
+
+let compile_write w op =
+  match op with
+  | Reg r -> compile_write_reg w r
+  | Mem m ->
+      let ea = compile_ea m in
+      fun t v -> store_mem t w (ea t) v
+  | Imm _ -> fun _ _ -> invalid_arg "Machine: immediate as destination"
+
+let compile_instr ~labels ~index_of_off ~code_base ~len ~next ~ret_addr (instr : instr) =
+  let target lbl = match Hashtbl.find_opt labels lbl with Some i -> i | None -> -1 in
+  let prologue t =
+    t.counters.instructions <- t.counters.instructions + 1;
+    charge_frontend t len
+  in
+  match instr with
+  | Label _ -> fun t -> t.pc <- next
+  | Nop ->
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        t.pc <- next
+  | Mov (w, dst, src) ->
+      let rd = compile_read w src and wr = compile_write w dst in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        wr t (rd t);
+        t.pc <- next
+  | Movzx (dw, sw, dst, src) ->
+      let rd = compile_read sw src and wr = compile_write_reg dw dst in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        wr t (rd t);
+        t.pc <- next
+  | Movsx (dw, sw, dst, src) ->
+      let rd = compile_read sw src and wr = compile_write_reg dw dst in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        wr t (sext sw (rd t));
+        t.pc <- next
+  | Lea (w, dst, m) ->
+      let lv = compile_lea m and wr = compile_write_reg w dst in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.lea_cycles;
+        wr t (lv t);
+        t.pc <- next
+  | Alu (op, w, dst, src) ->
+      let rd = compile_read w dst and rs = compile_read w src and wr = compile_write w dst in
+      let f =
+        match op with
+        | Add -> Int64.add
+        | Sub -> Int64.sub
+        | And -> Int64.logand
+        | Or -> Int64.logor
+        | Xor -> Int64.logxor
+      in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        let a = rd t and b = rs t in
+        let r = f a b in
+        (match op with
+        | Add -> set_add_flags t w a b r
+        | Sub -> set_sub_flags t w a b r
+        | And | Or | Xor -> set_logic_flags t w r);
+        wr t r;
+        t.pc <- next
+  | Shift (op, w, dst, count) ->
+      let rd = compile_read w dst and wr = compile_write w dst in
+      let rcx = gpr_index RCX in
+      let get_n =
+        match count with
+        | Count_imm n -> fun _ -> n
+        | Count_cl -> fun t -> Int64.to_int (Int64.logand (reg_get t rcx) 0x3FL)
+      in
+      let nmask = width_bits w - 1 in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        let n = get_n t land nmask in
+        let a = rd t in
+        let r = shift_value w op a n in
+        set_logic_flags t w r;
+        wr t r;
+        t.pc <- next
+  | Imul (w, dst, src) ->
+      let rdd = compile_read_reg w dst and rs = compile_read w src in
+      let wr = compile_write_reg w dst in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.mul_cycles;
+        let b = rs t in
+        wr t (Int64.mul (rdd t) b);
+        t.pc <- next
+  | Bitcnt (k, w, dst, src) ->
+      let rs = compile_read w src and wr = compile_write_reg w dst in
+      let m = mask_of_width w in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        let v = Int64.logand (rs t) m in
+        wr t (Int64.of_int (bitcnt_value k w v));
+        t.pc <- next
+  | Div (w, signed, src) ->
+      let rs = compile_read w src in
+      fun t ->
+        prologue t;
+        exec_div t w signed ~read:rs;
+        t.pc <- next
+  | Cqo w ->
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        let a = sext w (read_reg_w t w RAX) in
+        write_reg_w t w RDX (if Int64.compare a 0L < 0 then -1L else 0L);
+        t.pc <- next
+  | Neg (w, op) ->
+      let rd = compile_read w op and wr = compile_write w op in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        let a = rd t in
+        let r = Int64.neg a in
+        set_sub_flags t w 0L a r;
+        wr t r;
+        t.pc <- next
+  | Not (w, op) ->
+      let rd = compile_read w op and wr = compile_write w op in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        wr t (Int64.lognot (rd t));
+        t.pc <- next
+  | Cmp (w, a, b) ->
+      let ra = compile_read w a and rb = compile_read w b in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        let va = ra t and vb = rb t in
+        set_sub_flags t w va vb (Int64.sub va vb);
+        t.pc <- next
+  | Test (w, a, b) ->
+      let ra = compile_read w a and rb = compile_read w b in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        let va = ra t and vb = rb t in
+        set_logic_flags t w (Int64.logand va vb);
+        t.pc <- next
+  | Setcc (c, r) ->
+      let i = gpr_index r in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        reg_set t i (if eval_cond t c then 1L else 0L);
+        t.pc <- next
+  | Cmovcc (c, w, dst, src) ->
+      let rs = compile_read w src in
+      let rdd = compile_read_reg w dst and wr = compile_write_reg w dst in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        (if eval_cond t c then wr t (rs t) else if w = W32 then wr t (rdd t));
+        t.pc <- next
+  | Jmp lbl ->
+      let tgt = target lbl in
+      fun t ->
+        prologue t;
+        charge t (t.cost.Cost.branch_cycles + t.cost.Cost.taken_branch_cycles);
+        if tgt < 0 then raise Not_found;
+        t.pc <- tgt
+  | Jcc (c, lbl) ->
+      let tgt = target lbl in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.branch_cycles;
+        if eval_cond t c then begin
+          charge t t.cost.Cost.taken_branch_cycles;
+          if tgt < 0 then raise Not_found;
+          t.pc <- tgt
+        end
+        else t.pc <- next
+  | Jmp_reg r ->
+      let i = gpr_index r in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.indirect_branch_cycles;
+        jump_via index_of_off code_base t (Int64.to_int (reg_get t i) land addr_mask_47)
+  | Call lbl ->
+      let tgt = target lbl in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.call_ret_cycles;
+        push64 t ret_addr;
+        if tgt < 0 then raise Not_found;
+        t.pc <- tgt
+  | Call_reg r ->
+      let i = gpr_index r in
+      fun t ->
+        prologue t;
+        charge t (t.cost.Cost.call_ret_cycles + t.cost.Cost.indirect_branch_cycles);
+        push64 t ret_addr;
+        jump_via index_of_off code_base t (Int64.to_int (reg_get t i) land addr_mask_47)
+  | Ret ->
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.call_ret_cycles;
+        let addr = pop64 t in
+        if addr = halt_sentinel then raise Halt_exn;
+        jump_via index_of_off code_base t (Int64.to_int addr land addr_mask_47)
+  | Push op ->
+      let rd = compile_read W64 op in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.store_cycles;
+        push64 t (rd t);
+        t.pc <- next
+  | Pop r ->
+      let i = gpr_index r in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.load_cycles;
+        reg_set t i (pop64 t);
+        t.pc <- next
+  | Wrfsbase r | Wrgsbase r ->
+      let i = gpr_index r in
+      let is_fs = match instr with Wrfsbase _ -> true | _ -> false in
+      fun t ->
+        prologue t;
+        charge t
+          (if t.fsgsbase_available then t.cost.Cost.wrsegbase_cycles
+           else t.cost.Cost.wrsegbase_syscall_cycles);
+        t.counters.seg_base_writes <- t.counters.seg_base_writes + 1;
+        let v = Int64.to_int (reg_get t i) land addr_mask_47 in
+        if is_fs then t.fs_base <- v else t.gs_base <- v;
+        t.pc <- next
+  | Rdfsbase r ->
+      let i = gpr_index r in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        reg_set t i (Int64.of_int t.fs_base);
+        t.pc <- next
+  | Rdgsbase r ->
+      let i = gpr_index r in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        reg_set t i (Int64.of_int t.gs_base);
+        t.pc <- next
+  | Wrpkru ->
+      let rax = gpr_index RAX in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.wrpkru_cycles;
+        t.counters.pkru_writes <- t.counters.pkru_writes + 1;
+        t.pkru <- Int64.to_int (Int64.logand (reg_get t rax) 0xFFFFFFFFL);
+        invalidate_pcache t;
+        if Sfi_trace.Trace.enabled t.trace then
+          Sfi_trace.Trace.pkru_write t.trace ~value:t.pkru;
+        t.pc <- next
+  | Rdpkru ->
+      let rax = gpr_index RAX and rdx = gpr_index RDX in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.alu_cycles;
+        reg_set t rax (Int64.of_int t.pkru);
+        reg_set t rdx 0L;
+        t.pc <- next
+  | Vload (v, m) ->
+      let ea = compile_ea m and vi = vreg_index v in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.vector_cycles;
+        vload_data t vi (ea t);
+        t.pc <- next
+  | Vstore (m, v) ->
+      let ea = compile_ea m and vi = vreg_index v in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.vector_cycles;
+        vstore_data t (ea t) vi;
+        t.pc <- next
+  | Vzero v ->
+      let vi = vreg_index v in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.vector_cycles;
+        Bytes.fill t.vregs.(vi) 0 16 '\000';
+        t.pc <- next
+  | Vdup8 (v, b) ->
+      let vi = vreg_index v and c = Char.chr (b land 0xFF) in
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.vector_cycles;
+        Bytes.fill t.vregs.(vi) 0 16 c;
+        t.pc <- next
+  | Hostcall n ->
+      fun t ->
+        prologue t;
+        charge t t.cost.Cost.hostcall_cycles;
+        t.hostcall t n;
+        t.pc <- next
+  | Trap k ->
+      fun t ->
+        prologue t;
+        raise (Trap_exn k)
+
+(* --- Basic-block discovery and classification --- *)
+
+(* Instructions that end a basic block. Hostcall/Wrpkru fall through but
+   terminate anyway so their hazard/bypass class does not poison the
+   surrounding straight-line code. *)
+let is_terminator = function
+  | Jmp _ | Jcc _ | Jmp_reg _ | Call _ | Call_reg _ | Ret | Hostcall _ | Trap _ | Wrpkru ->
+      true
+  | _ -> false
+
+let class_rank = function Bpure -> 0 | Bload -> 1 | Bhazard -> 2 | Bbypass -> 3
+let class_max a b = if class_rank a >= class_rank b then a else b
+
+let instr_class ~targets idx (i : instr) =
+  match i with
+  | Label _ | Nop | Lea _ | Cqo _ | Setcc _ | Rdfsbase _ | Rdgsbase _ | Rdpkru | Wrfsbase _
+  | Wrgsbase _ | Vzero _ | Vdup8 _ ->
+      Bpure
+  | Mov (_, dst, src) -> (
+      match (dst, src) with Mem _, _ -> Bhazard | _, Mem _ -> Bload | _ -> Bpure)
+  | Movzx (_, _, _, src) | Movsx (_, _, _, src) | Imul (_, _, src) | Bitcnt (_, _, _, src)
+  | Cmovcc (_, _, _, src) -> (
+      match src with Mem _ -> Bload | _ -> Bpure)
+  | Alu (_, _, dst, src) -> (
+      match (dst, src) with Mem _, _ -> Bhazard | _, Mem _ -> Bload | _ -> Bpure)
+  | Shift (_, _, dst, _) | Neg (_, dst) | Not (_, dst) -> (
+      match dst with Mem _ -> Bhazard | _ -> Bpure)
+  | Cmp (_, a, b) | Test (_, a, b) -> (
+      match (a, b) with Mem _, _ | _, Mem _ -> Bload | _ -> Bpure)
+  (* Division can trap even register-to-register; the rollback side table
+     handles it, so it rides in the no-store class. *)
+  | Div _ | Pop _ | Ret | Vload _ -> Bload
+  | Push _ | Vstore _ | Call_reg _ | Jmp_reg _ | Wrpkru -> Bhazard
+  (* Direct branches with an unresolved label raise [Not_found] from the
+     middle of a block; keep those on the tier-1 dispatcher. *)
+  | Jmp _ | Jcc _ -> if targets.(idx) >= 0 then Bpure else Bbypass
+  | Call _ -> if targets.(idx) >= 0 then Bhazard else Bbypass
+  | Hostcall _ | Trap _ -> Bbypass
+
+let analyze_blocks program targets =
+  let n = Array.length program in
+  let leader = Array.make (n + 1) false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun idx i ->
+      (match i with Label _ -> leader.(idx) <- true | _ -> ());
+      if is_terminator i && idx + 1 < n then leader.(idx + 1) <- true)
+    program;
+  let blocks = ref [] in
+  let block_of = Array.make n (-1) in
+  let bi = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let s = !i in
+    let j = ref (s + 1) in
+    while !j < n && not leader.(!j) do
+      incr j
+    done;
+    let cls = ref Bpure in
+    for k = s to !j - 1 do
+      cls := class_max !cls (instr_class ~targets k program.(k));
+      block_of.(k) <- !bi
+    done;
+    blocks := { b_start = s; b_len = !j - s; b_class = !cls } :: !blocks;
+    incr bi;
+    i := !j
+  done;
+  (Array.of_list (List.rev !blocks), block_of)
+
+(* --- Program installation (the body of [Machine.load_program]) --- *)
+
+let install t program =
+  let offsets = Encode.layout program in
+  let labels = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx i ->
+      match i with
+      | Label l ->
+          if Hashtbl.mem labels l then invalid_arg ("Machine.load_program: duplicate label " ^ l);
+          Hashtbl.replace labels l idx
+      | _ -> ())
+    program;
+  let code_len = Encode.program_length program in
+  let n = Array.length program in
+  let lengths = Encode.lengths program in
+  (* First instruction at a given byte offset wins (labels share the offset
+     of the instruction that follows them). *)
+  let index_of_off = Array.make (code_len + 1) (-1) in
+  Array.iteri (fun idx off -> if index_of_off.(off) < 0 then index_of_off.(off) <- idx) offsets;
+  let targets =
+    Array.map
+      (function
+        | Jmp l | Jcc (_, l) | Call l -> (
+            match Hashtbl.find_opt labels l with Some i -> i | None -> -1)
+        | _ -> -1)
+      program
+  in
+  let ret_addrs =
+    Array.init n (fun idx ->
+        let off = if idx + 1 < n then offsets.(idx + 1) else code_len in
+        Int64.of_int (t.code_base + off))
+  in
+  (* exec.(n) is the off-end sentinel: running past the last instruction is
+     an out-of-bounds fetch, exactly as [step] treats pc >= n. *)
+  let exec = Array.make (n + 1) (fun _ -> raise (Trap_exn Trap_out_of_bounds)) in
+  for idx = 0 to n - 1 do
+    exec.(idx) <-
+      compile_instr ~labels ~index_of_off ~code_base:t.code_base ~len:lengths.(idx)
+        ~next:(idx + 1) ~ret_addr:ret_addrs.(idx) program.(idx)
+  done;
+  let blocks, block_of = analyze_blocks program targets in
+  t.loaded <-
+    Some
+      {
+        program;
+        offsets;
+        labels;
+        code_len;
+        lengths;
+        targets;
+        ret_addrs;
+        index_of_off;
+        exec;
+        blocks;
+        block_of;
+        sb_len = Array.make (n + 1) 0;
+        sb_exec = Array.make (n + 1) (fun _ -> ());
+        promoted = 0;
+      };
+  (* Samples collected against the replaced program describe instruction
+     indices that no longer mean anything; they are dropped, and the loss
+     is visible through [prof_dropped] whether or not the profiler is
+     still armed. The histogram is resized for the new program (index n =
+     off-end sentinel) when armed, and cleared when disarmed so stale
+     counts can never be attributed to the new program's labels. *)
+  let stale = Array.fold_left ( + ) 0 t.prof_counts in
+  if stale > 0 then t.prof_dropped <- t.prof_dropped + stale;
+  if t.prof_interval > 0 then t.prof_counts <- Array.make (n + 1) 0
+  else if Array.length t.prof_counts > 0 then t.prof_counts <- [||];
+  t.prof_total <- 0;
+  t.prof_last_scan <- 0;
+  t.pc <- 0
+
+let run_threaded t ~fuel =
+  let l = get_loaded t in
+  let code = l.exec in
+  if fuel <= 0 then Yielded
+  else if t.pc < 0 || t.pc > Array.length l.program then
+    (* [step] would trap here; once inside the loop the closures maintain
+       pc within [0, n] (index n being the off-end sentinel). *)
+    Trapped Trap_out_of_bounds
+  else begin
+    let budget = ref fuel in
+    try
+      if t.prof_interval > 0 then begin
+        (* Separate sampling loop so the default path below keeps its
+           tight two-load dispatch. *)
+        while !budget > 0 do
+          decr budget;
+          code.(t.pc) t;
+          prof_sample t
+        done;
+        Yielded
+      end
+      else begin
+        while !budget > 0 do
+          decr budget;
+          code.(t.pc) t
+        done;
+        Yielded
+      end
+    with
+    | Halt_exn | Hostcall_exit _ -> Halted
+    | Trap_exn k -> Trapped k
+  end

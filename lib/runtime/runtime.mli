@@ -79,7 +79,9 @@ val create_engine :
     [readonly_springboard_cycles] (default 24) price the thin hostcall
     springboards of the corresponding {!hostcall_class}es, per Kolosick et
     al.'s zero-cost transitions. [engine] selects the machine's execution
-    engine (default {!Sfi_machine.Machine.Threaded}). *)
+    engine (default {!Sfi_machine.Machine.Adaptive}: threaded dispatch
+    plus profiler-driven superblock promotion — observationally identical
+    to [Threaded] but faster on host time once hot blocks tier up). *)
 
 val machine : engine -> Sfi_machine.Machine.t
 val space : engine -> Sfi_vmem.Space.t

@@ -47,6 +47,9 @@ let name_table =
     "breaker.half_open";
     "breaker.close";
     "degrade.step";
+    "tier.promote.pure";
+    "tier.promote.load";
+    "tier.promote.hazard";
   |]
 
 let cat_table =
@@ -72,6 +75,9 @@ let cat_table =
     "breaker";
     "breaker";
     "admission";
+    "tier";
+    "tier";
+    "tier";
   |]
 
 let ph_begin = 0
@@ -177,6 +183,13 @@ let breaker_open t ~tenant ~backoff = emit t (pack 17 ph_instant) tenant backoff
 let breaker_half_open t ~tenant = emit t (pack 18 ph_instant) tenant 0 0
 let breaker_close t ~tenant = emit t (pack 19 ph_instant) tenant 0 0
 let degrade_step t ~level = emit t (pack 20 ph_instant) (-1) level 0
+
+(* [cls] is the promoted block's class rank (0 = pure, 1 = load,
+   2 = hazard); each class gets its own event name so occupancy per class
+   falls out of a name histogram. *)
+let tier_promote t ~cls ~block ~len =
+  let name = match cls with 0 -> 21 | 1 -> 22 | _ -> 23 in
+  emit t (pack name ph_instant) (-1) block len
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
@@ -431,6 +444,7 @@ let args_fields name a0 a1 =
   | 16 -> [ ("sojourn", a0); ("reason", a1) ]
   | 17 -> [ ("backoff", a0) ]
   | 20 -> [ ("level", a0) ]
+  | 21 | 22 | 23 -> [ ("block", a0); ("len", a1) ]
   | _ -> []
 
 let to_chrome_json ?(process_name = "sfi-sim") t =
@@ -659,6 +673,7 @@ let known_cats =
     "request";
     "admission";
     "breaker";
+    "tier";
   ]
 
 let validate_chrome_json text =

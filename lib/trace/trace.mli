@@ -137,13 +137,21 @@ val degrade_step : t -> level:int -> unit
 (** The graceful-degradation ladder moved to [level] ([0] = normal
     service). Machine track. *)
 
+val tier_promote : t -> cls:int -> block:int -> len:int -> unit
+(** The execution engine promoted the basic block headed at instruction
+    index [block] ([len] dispatch slots) to a superblock. [cls] is the
+    block's class rank — [0] pure-compute ([tier.promote.pure]), [1]
+    no-store-no-branch ([tier.promote.load]), [2] hazardous
+    ([tier.promote.hazard]). Machine track. *)
+
 (** {1 Inspection} *)
 
 type event = {
   ev_ts : int;  (** simulated nanoseconds *)
   ev_cat : string;
       (** one of ["transition"], ["lifecycle"], ["fault"], ["pkru"],
-          ["tlb"], ["fuel"], ["request"], ["admission"], ["breaker"] *)
+          ["tlb"], ["fuel"], ["request"], ["admission"], ["breaker"],
+          ["tier"] *)
   ev_name : string;  (** e.g. ["call"], ["hostcall.pure"], ["tlb.fill"] *)
   ev_phase : char;  (** ['B'] span begin, ['E'] span end, ['i'] instant *)
   ev_track : int;  (** [-1] machine, [>= 0] sandbox/tenant id *)

@@ -27,6 +27,7 @@ type measurement = {
   dcache_misses : int;
   dtlb_misses : int;
   ns : float;
+  tier : Machine.tier_stats;
 }
 
 let module_for k (strategy : Strategy.t) =
@@ -73,6 +74,7 @@ let run ?cost ?vectorize ?engine ?trace ~strategy k =
         dcache_misses = Machine.dcache_misses mach;
         dtlb_misses = Machine.dtlb_misses mach;
         ns = Machine.elapsed_ns mach;
+        tier = Machine.tier_stats mach;
       }
 
 let normalized ?cost ?vectorize strategy k =

@@ -41,6 +41,9 @@ type measurement = {
   dcache_misses : int;
   dtlb_misses : int;
   ns : float;
+  tier : Sfi_machine.Machine.tier_stats;
+      (** superblock occupancy of the run — all zeros under the
+          untiered engines *)
 }
 
 val run :

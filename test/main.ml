@@ -23,4 +23,5 @@ let () =
       ("codegen-random", Test_random_programs.tests);
       ("fuzz", Test_fuzz.tests);
       ("engine", Test_engine.tests);
+      ("tier", Test_tier.tests);
     ]
