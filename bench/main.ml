@@ -1502,6 +1502,133 @@ let write_json file outcomes ~jobs ~total_wall_s =
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 
+(* --- perf-regression gate (--check-baseline) -------------------------- *)
+
+(* Tolerance class per baseline metric. Deterministic simulation counters
+   must reproduce exactly — the sim is a pure function of its seed, so any
+   drift is a real behavior change, not noise. Host wall-clock timings
+   (cycle/hostcall ns, instantiation rates, speedups, trace overheads) are
+   skipped: they measure the CI machine, not the code. Everything else —
+   simulated-time rates and ratios — gets a relative band. *)
+type tolerance = Exact | Rel of float | Skip
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let tolerance_of name =
+  let prefixed p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  if
+    prefixed "rt_" || prefixed "scale_completed" || prefixed "scale_transitions"
+    || prefixed "scale_offered"
+    || name = "overload_crash_breaker_opens"
+  then Exact
+  else if
+    contains name "_ns" || contains name "_per_s" || contains name "per_sec"
+    || contains name "speedup" || contains name "overhead" || contains name "heap_ratio"
+  then Skip
+  else Rel 0.25
+
+let check_baseline file outcomes =
+  let module T = Sfi_trace.Trace in
+  let failures = ref 0 in
+  let complain msg =
+    incr failures;
+    Printf.eprintf "regress: %s\n" msg
+  in
+  let text =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let j =
+    try T.parse_json text
+    with T.Bad_json m ->
+      Printf.eprintf "regress: %s: bad JSON: %s\n" file m;
+      exit 1
+  in
+  let obj = function T.J_obj kvs -> kvs | _ -> [] in
+  let top = obj j in
+  (* Aggregate throughput floor: half the recorded baseline. The baseline
+     may cover more experiments than this run (full vs --quick), so the
+     aggregate is only comparable to a generous floor, not a band. *)
+  (match List.assoc_opt "aggregate_instructions_per_sec" top with
+  | Some (T.J_num base_ips) ->
+      let agg_instr, agg_wall =
+        List.fold_left
+          (fun (i, w) o ->
+            if o.o_instructions > 0 then (i + o.o_instructions, w +. o.o_wall_s) else (i, w))
+          (0, 0.0) outcomes
+      in
+      let cur = if agg_wall > 0.0 then float_of_int agg_instr /. agg_wall else 0.0 in
+      if cur < 0.5 *. base_ips then
+        complain
+          (Printf.sprintf
+             "aggregate_instructions_per_sec %.0f fell below half the baseline %.0f" cur
+             base_ips)
+  | _ -> ());
+  let baseline_exps =
+    match List.assoc_opt "experiments" top with
+    | Some (T.J_arr es) -> List.map obj es
+    | _ -> []
+  in
+  let checked = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun e ->
+      let name =
+        match List.assoc_opt "name" e with Some (T.J_str s) -> s | _ -> ""
+      in
+      (* Experiments absent from this run (baseline is the full suite, the
+         gate usually runs the --quick subset) are out of scope. *)
+      match List.find_opt (fun o -> o.o_name = name) outcomes with
+      | None -> ()
+      | Some o ->
+          let bmetrics =
+            match List.assoc_opt "metrics" e with Some (T.J_obj kvs) -> kvs | _ -> []
+          in
+          List.iter
+            (fun (k, bj) ->
+              match bj with
+              | T.J_num bv -> (
+                  match List.assoc_opt k o.o_metrics with
+                  | None ->
+                      complain
+                        (Printf.sprintf
+                           "%s: metric %s present in baseline but missing from this run"
+                           name k)
+                  | Some cv -> (
+                      match tolerance_of k with
+                      | Skip -> incr skipped
+                      | Exact ->
+                          incr checked;
+                          (* The baseline JSON rounds to 3 decimals. *)
+                          if Float.abs (cv -. bv) > 0.0005 then
+                            complain
+                              (Printf.sprintf
+                                 "%s: %s = %.3f, baseline %.3f (deterministic counter \
+                                  must match exactly)"
+                                 name k cv bv)
+                      | Rel tol ->
+                          incr checked;
+                          let denom = Float.max (Float.abs bv) 1e-6 in
+                          if Float.abs (cv -. bv) /. denom > tol then
+                            complain
+                              (Printf.sprintf
+                                 "%s: %s = %.3f, baseline %.3f (beyond the ±%.0f%% band)"
+                                 name k cv bv (100.0 *. tol))))
+              | _ -> ())
+            bmetrics)
+    baseline_exps;
+  Printf.printf
+    "regress: %d metric(s) checked against %s (%d host-timing metrics skipped), %d \
+     violation(s)\n%!"
+    !checked file !skipped !failures;
+  !failures = 0
+
 let summarize outcomes ~total_wall_s =
   let t = Table.create ~headers:[ "experiment"; "wall s"; "sim Minstr"; "Minstr/s" ] in
   List.iter
@@ -1528,6 +1655,7 @@ let () =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let args = List.tl (Array.to_list Sys.argv) in
   let json = ref None
+  and baseline = ref None
   and quick = ref false
   and serial = ref false
   and jobs = ref (Domain.recommended_domain_count ())
@@ -1535,7 +1663,7 @@ let () =
   let usage () =
     prerr_endline
       "usage: main.exe [--list] [--bechamel] [--quick] [--serial] [--jobs N] [--json FILE] \
-       [experiment ...]";
+       [--check-baseline FILE] [experiment ...]";
     exit 1
   in
   let rec parse = function
@@ -1548,6 +1676,9 @@ let () =
         exit 0
     | "--json" :: file :: rest ->
         json := Some file;
+        parse rest
+    | "--check-baseline" :: file :: rest ->
+        baseline := Some file;
         parse rest
     | "--quick" :: rest ->
         quick := true;
@@ -1593,4 +1724,7 @@ let () =
   flush stdout;
   summarize outcomes ~total_wall_s;
   (match !json with Some file -> write_json file outcomes ~jobs ~total_wall_s | None -> ());
-  if List.exists (fun o -> o.o_failed) outcomes then exit 1
+  let regress_ok =
+    match !baseline with Some file -> check_baseline file outcomes | None -> true
+  in
+  if List.exists (fun o -> o.o_failed) outcomes || not regress_ok then exit 1

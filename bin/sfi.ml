@@ -117,66 +117,7 @@ let engine_arg =
    class, PKRU elisions, lifecycle work) accumulated since the matching
    [reset_domain_metrics]. *)
 let prometheus_snapshot (m : Kernel.measurement) (dm : Runtime.metrics) =
-  let f = float_of_int in
-  Trace.prometheus
-    [
-      ("sfi_instructions_total", "simulated instructions retired", f m.Kernel.instructions);
-      ("sfi_cycles_total", "simulated machine cycles", f m.Kernel.cycles);
-      ("sfi_ns_total", "simulated nanoseconds at the modeled clock", m.Kernel.ns);
-      ("sfi_code_bytes_static", "static compiled code size", f m.Kernel.code_bytes);
-      ( "sfi_code_bytes_fetched",
-        "dynamic code bytes through the frontend",
-        f m.Kernel.fetched_bytes );
-      ("sfi_dtlb_misses_total", "simulated dTLB misses", f m.Kernel.dtlb_misses);
-      ("sfi_dcache_misses_total", "simulated dcache misses", f m.Kernel.dcache_misses);
-      ( "sfi_tier_blocks_total",
-        "basic blocks discovered at translation",
-        f m.Kernel.tier.Machine.blocks_total );
-      ( "sfi_tier_blocks_promoted",
-        "blocks currently installed as superblocks",
-        f m.Kernel.tier.Machine.blocks_promoted );
-      ( "sfi_tier_promotions_total",
-        "lifetime superblock promotions",
-        f m.Kernel.tier.Machine.promotions );
-      ( "sfi_tier_superblock_instructions_total",
-        "instructions retired inside superblocks",
-        f m.Kernel.tier.Machine.superblock_instructions );
-      ("sfi_transitions_total", "one-way sandbox crossings", f dm.Runtime.m_transitions);
-      ( "sfi_hostcalls_pure_total",
-        "hostcalls through the pure springboard",
-        f dm.Runtime.m_calls_pure );
-      ( "sfi_hostcalls_readonly_total",
-        "hostcalls through the read-only springboard",
-        f dm.Runtime.m_calls_readonly );
-      ( "sfi_hostcalls_full_total",
-        "hostcalls through the full springboard",
-        f dm.Runtime.m_calls_full );
-      ( "sfi_pkru_writes_elided_total",
-        "PKRU writes skipped by the elision rules",
-        f dm.Runtime.m_pkru_writes_elided );
-      ( "sfi_pages_zeroed_on_recycle_total",
-        "dirty pages dropped by slot recycles",
-        f dm.Runtime.m_pages_zeroed_on_recycle );
-      ( "sfi_instantiations_cold_total",
-        "first-use slot bring-ups",
-        f dm.Runtime.m_instantiations_cold );
-      ( "sfi_instantiations_warm_total",
-        "recycled-slot reuses",
-        f dm.Runtime.m_instantiations_warm );
-      ("sfi_admission_admitted_total", "slot grants through admission", f dm.Runtime.m_admitted);
-      ( "sfi_admission_queued_total",
-        "tickets parked by the admission controller",
-        f dm.Runtime.m_adm_queued );
-      ( "sfi_admission_shed_sojourn_total",
-        "CoDel / ticket-deadline sheds",
-        f dm.Runtime.m_shed_sojourn );
-      ( "sfi_admission_shed_rate_limited_total",
-        "per-tenant token-bucket sheds",
-        f dm.Runtime.m_shed_rate_limited );
-      ( "sfi_admission_shed_queue_full_total",
-        "queue-at-capacity sheds",
-        f dm.Runtime.m_shed_queue_full );
-    ]
+  Trace.prometheus (Kernel.prometheus_gauges m dm)
 
 let run_cmd =
   let arg_override =
@@ -463,7 +404,8 @@ let top_cmd =
     Arg.(value & flag
          & info [ "resilient" ]
              ~doc:"Arm the overload-resilience stack: adaptive admission over a quarter-size \
-                   slot pool and per-tenant circuit breakers. Adds SHED/BRKOPEN/BRK columns.")
+                   slot pool, per-tenant circuit breakers and SLO burn-rate tracking. Adds \
+                   SHED/BRKOPEN/BRK/BURN columns.")
   in
   let crash_tenants =
     Arg.(value & opt_all int []
@@ -488,6 +430,7 @@ let top_cmd =
           breaker = (if resilient then Some Sfi_faas.Breaker.default_config else None);
           degradation = resilient;
           hedged_retries = resilient;
+          slo = (if resilient then Some (Sfi_faas.Slo.default_config ()) else None);
         }
     in
     (* Churn when the resilience stack is armed: released slots keep
@@ -521,12 +464,7 @@ let top_cmd =
         r.Sim.breaker_fast_fails;
     print_newline ();
     let show_breakers = resilient || crash_tenants <> [] in
-    if show_breakers then
-      Printf.printf "%6s %8s %6s %6s %8s %10s %10s %10s %10s %6s\n" "TENANT" "OK" "FAIL"
-        "SHED" "BRKOPEN" "BRK" "P50(ms)" "P95(ms)" "P99(ms)" "SB%"
-    else
-      Printf.printf "%6s %8s %6s %10s %10s %10s %6s\n" "TENANT" "OK" "FAIL" "P50(ms)"
-        "P95(ms)" "P99(ms)" "SB%";
+    print_endline (Sim.top_header ~breakers:show_breakers);
     let tenants = Array.copy r.Sim.tenants in
     Array.sort
       (fun a b ->
@@ -536,26 +474,15 @@ let top_cmd =
       tenants;
     Array.iteri
       (fun i t ->
-        if i < rows then
-          if show_breakers then
-            Printf.printf "%6d %8d %6d %6d %8d %10s %10.2f %10.2f %10.2f %5.1f%%\n"
-              t.Sim.t_id t.Sim.t_completed t.Sim.t_failed t.Sim.t_shed t.Sim.t_breaker_opens
-              t.Sim.t_breaker_state (t.Sim.t_p50_ns /. 1e6) (t.Sim.t_p95_ns /. 1e6)
-              (t.Sim.t_p99_ns /. 1e6)
-              (100.0 *. t.Sim.t_sb_share)
-          else
-            Printf.printf "%6d %8d %6d %10.2f %10.2f %10.2f %5.1f%%\n" t.Sim.t_id
-              t.Sim.t_completed t.Sim.t_failed (t.Sim.t_p50_ns /. 1e6)
-              (t.Sim.t_p95_ns /. 1e6) (t.Sim.t_p99_ns /. 1e6)
-              (100.0 *. t.Sim.t_sb_share))
+        if i < rows then print_endline (Sim.top_row ~breakers:show_breakers t))
       tenants
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Run the FaaS simulation and print a per-tenant breakdown (completions, failures, \
-          shed/breaker state with --resilient, request-latency percentiles), busiest \
-          tenants first.")
+          shed/breaker state and fast-window SLO burn rate with --resilient, \
+          request-latency percentiles), busiest tenants first.")
     Term.(const run $ workload_arg $ processes $ duration $ trap_rate $ runaway_rate $ rows
           $ resilient $ crash_tenants)
 
@@ -740,7 +667,8 @@ let chaos_cmd =
         engine = Some engine;
       }
     in
-    let r = Chaos.run cfg in
+    let flight = Sfi_trace.Flight.create () in
+    let r = Chaos.run ~flight cfg in
     let s = r.Chaos.sim in
     Printf.printf "chaos: %d perturbations over %.0f ms (%s, seed %#x)\n" perturbations
       duration (Sfi_faas.Workloads.name workload) seed;
@@ -753,6 +681,11 @@ let chaos_cmd =
       s.Sim.admitted s.Sim.shed_sojourn s.Sim.shed_rate_limited s.Sim.shed_queue_full;
     Printf.printf "  breakers          %d opened, %d fast-fails, %d open at end\n"
       s.Sim.breaker_opens s.Sim.breaker_fast_fails s.Sim.breakers_open_at_end;
+    Printf.printf "  slo               %d burn alerts raised, %d cleared, %d burning at end\n"
+      s.Sim.slo_burn_starts s.Sim.slo_burn_stops s.Sim.slo_burning_at_end;
+    Printf.printf "  flight recorder   %d freezes, %d bundles kept (see sfi postmortem)\n"
+      (Sfi_trace.Flight.freezes flight)
+      (List.length (Sfi_trace.Flight.bundles flight));
     (match metrics_out with
     | None -> ()
     | Some path ->
@@ -783,6 +716,15 @@ let chaos_cmd =
                ( "sfi_breakers_open",
                  "breakers not closed at end of run",
                  f s.Sim.breakers_open_at_end );
+               ( "sfi_slo_burn_alerts_started_total",
+                 "SLO burn-rate alerts raised",
+                 f s.Sim.slo_burn_starts );
+               ( "sfi_slo_burn_alerts_stopped_total",
+                 "SLO burn-rate alerts cleared",
+                 f s.Sim.slo_burn_stops );
+               ( "sfi_slo_tenants_burning",
+                 "tenants with a fast-window burn alert raised at end of run",
+                 f s.Sim.slo_burning_at_end );
              ]);
         close_out oc;
         Printf.printf "  metrics           -> %s\n" path);
@@ -819,6 +761,85 @@ let chaos_cmd =
     Term.(
       const run $ workload_arg $ engine_arg $ seed $ perturbations $ duration $ floor
       $ repeat $ metrics_out)
+
+(* --- postmortem ------------------------------------------------------- *)
+
+let postmortem_cmd =
+  let module Chaos = Sfi_inject.Chaos in
+  let module Flight = Sfi_trace.Flight in
+  let seed =
+    Arg.(value & opt int 0xC4A05
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Plan seed — the same seed replays the same faults and freezes the same \
+                   bundles.")
+  in
+  let perturbations =
+    Arg.(value & opt int 200
+         & info [ "perturbations"; "n" ] ~docv:"N" ~doc:"Perturbations in the schedule.")
+  in
+  let duration =
+    Arg.(value & opt float 50.0
+         & info [ "duration" ] ~docv:"MS" ~doc:"Simulated wall-clock to run for (ms).")
+  in
+  let reason =
+    Arg.(value & opt (some string) None
+         & info [ "reason" ] ~docv:"R"
+             ~doc:"Dump only the bundle frozen for this reason (e.g. chaos.kill, \
+                   breaker.open, fault); default dumps every kept bundle.")
+  in
+  let capacity =
+    Arg.(value & opt int 256
+         & info [ "last" ] ~docv:"N"
+             ~doc:"Flight-recorder ring capacity: each bundle keeps the last $(docv) events \
+                   before its freeze.")
+  in
+  let run workload engine seed perturbations duration reason capacity =
+    let cfg =
+      {
+        (Chaos.default_config ~seed:(Int64.of_int seed) ~perturbations ()) with
+        Chaos.workload;
+        duration_ns = duration *. 1e6;
+        engine = Some engine;
+      }
+    in
+    let flight = Flight.create ~capacity () in
+    let r = Chaos.run ~flight cfg in
+    Printf.printf
+      "postmortem: %d perturbations over %.0f ms (%s, seed %#x), %d freezes, %d bundles\n"
+      perturbations duration (Sfi_faas.Workloads.name workload) seed
+      (Flight.freezes flight)
+      (List.length (Flight.bundles flight));
+    Printf.printf "  schedule digest %s\n\n" r.Chaos.digest;
+    let dump b = print_endline (Flight.render b) in
+    (match reason with
+    | Some why -> (
+        match Flight.find flight why with
+        | Some b -> dump b
+        | None ->
+            Printf.eprintf "no bundle frozen for reason %S (kept: %s)\n" why
+              (String.concat ", "
+                 (List.map (fun b -> b.Flight.b_reason) (Flight.bundles flight)));
+            exit 1)
+    | None -> List.iter dump (Flight.bundles flight));
+    if r.Chaos.violations <> [] then begin
+      List.iter
+        (fun v ->
+          Printf.printf "VIOLATION [%d] %s: %s\n" v.Chaos.v_index v.Chaos.v_kind
+            v.Chaos.v_detail)
+        r.Chaos.violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Replay a seeded chaos run with the fault flight recorder armed and dump the \
+          frozen post-mortem bundles: for each fault class the last events before the \
+          freeze, the machine and serving counters at the instant of the fault, and the \
+          admission/breaker/ladder state. Deterministic per seed.")
+    Term.(
+      const run $ workload_arg $ engine_arg $ seed $ perturbations $ duration $ reason
+      $ capacity)
 
 (* --- scale ------------------------------------------------------------ *)
 
@@ -953,5 +974,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; disasm_cmd; run_cmd; trace_cmd; layout_cmd; simulate_cmd; top_cmd;
-            scale_cmd; inject_cmd; fuzz_cmd; chaos_cmd;
+            scale_cmd; inject_cmd; fuzz_cmd; chaos_cmd; postmortem_cmd;
           ]))

@@ -14,6 +14,7 @@
 
 module Runtime = Sfi_runtime.Runtime
 module Prng = Sfi_util.Prng
+module Hist = Sfi_util.Hist
 module Trace = Sfi_trace.Trace
 
 type config = {
@@ -212,6 +213,9 @@ let run cfg =
       max_degrade_level = 0;
       chaos_applied = 0;
       chaos_kills = 0;
+      slo_burn_starts = 0;
+      slo_burn_stops = 0;
+      slo_burning_at_end = 0;
       throughput_rps = 0.0;
       goodput_rps = 0.0;
       availability = 1.0;
@@ -282,6 +286,9 @@ let run cfg =
       max_degrade_level = maxi (fun r -> r.Sim.max_degrade_level);
       chaos_applied = sum (fun r -> r.Sim.chaos_applied);
       chaos_kills = sum (fun r -> r.Sim.chaos_kills);
+      slo_burn_starts = sum (fun r -> r.Sim.slo_burn_starts);
+      slo_burn_stops = sum (fun r -> r.Sim.slo_burn_stops);
+      slo_burning_at_end = sum (fun r -> r.Sim.slo_burning_at_end);
       throughput_rps = float_of_int attempts /. (simulated_ns /. 1.0e9);
       goodput_rps =
         float_of_int (completed - deadline_misses) /. (simulated_ns /. 1.0e9);
@@ -358,6 +365,9 @@ let result_fingerprint (r : Sim.result) =
   mixi r.Sim.max_degrade_level;
   mixi r.Sim.chaos_applied;
   mixi r.Sim.chaos_kills;
+  mixi r.Sim.slo_burn_starts;
+  mixi r.Sim.slo_burn_stops;
+  mixi r.Sim.slo_burning_at_end;
   mixf r.Sim.throughput_rps;
   mixf r.Sim.goodput_rps;
   mixf r.Sim.availability;
@@ -379,7 +389,8 @@ let result_fingerprint (r : Sim.result) =
       mixf t.Sim.t_p50_ns;
       mixf t.Sim.t_p95_ns;
       mixf t.Sim.t_p99_ns;
-      mixf t.Sim.t_p99_e2e_ns)
+      mixf t.Sim.t_p99_e2e_ns;
+      mixf t.Sim.t_burn)
     r.Sim.tenants;
   !h
 
@@ -401,29 +412,16 @@ let metrics_fingerprint (m : Runtime.metrics) =
   mixi m.Runtime.m_shed_queue_full;
   !h
 
-(* Completions-weighted percentile over the per-tenant percentile values:
-   exact per tenant, an interpolation across them (exact for one shard
-   and one tenant; documented approximation otherwise). *)
-let weighted_pct tenants pick p =
-  let xs =
-    Array.to_list tenants
-    |> List.filter (fun t -> t.Sim.t_completed > 0)
-    |> List.map (fun t -> (pick t, float_of_int t.Sim.t_completed))
-    |> List.sort compare
-  in
-  match xs with
-  | [] -> 0.0
-  | xs ->
-      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 xs in
-      let target = p /. 100.0 *. total in
-      let rec go acc = function
-        | [] -> 0.0
-        | [ (v, _) ] -> v
-        | (v, w) :: rest -> if acc +. w >= target then v else go (acc +. w) rest
-      in
-      go 0.0 xs
+(* Global latency percentiles from the merged per-tenant histograms:
+   log-bucketed, so the merge across tenants (and shards) is exact at
+   bucket granularity — no completions-weighted interpolation over
+   per-tenant percentile values anymore. *)
+let merged_latency_hist (r : Sim.result) =
+  let merged = Hist.create () in
+  Array.iter (fun t -> Hist.merge merged t.Sim.t_lat_hist) r.Sim.tenants;
+  merged
 
 let latency_summary (r : Sim.result) =
-  ( weighted_pct r.Sim.tenants (fun t -> t.Sim.t_p50_ns) 50.0,
-    weighted_pct r.Sim.tenants (fun t -> t.Sim.t_p95_ns) 95.0,
-    weighted_pct r.Sim.tenants (fun t -> t.Sim.t_p99_ns) 99.0 )
+  let h = merged_latency_hist r in
+  if Hist.count h = 0 then (0.0, 0.0, 0.0)
+  else (Hist.percentile h 50.0, Hist.percentile h 95.0, Hist.percentile h 99.0)

@@ -95,6 +95,6 @@ val metrics_fingerprint : Sfi_runtime.Runtime.metrics -> int64
 (** FNV-1a digest of a runtime-metrics snapshot. *)
 
 val latency_summary : Sim.result -> float * float * float
-(** Completions-weighted (p50, p95, p99) request latency in ns across the
-    per-tenant percentiles — exact per tenant, a weighted summary across
-    them. *)
+(** Global (p50, p95, p99) request latency in ns, computed by merging the
+    per-tenant log-bucketed histograms — exact at bucket granularity
+    across tenants and shards, no completions-weighted interpolation. *)

@@ -7,7 +7,9 @@ module Pool = Sfi_core.Pool
 module Prng = Sfi_util.Prng
 module Units = Sfi_util.Units
 module Stats = Sfi_util.Stats
+module Hist = Sfi_util.Hist
 module Trace = Sfi_trace.Trace
+module Flight = Sfi_trace.Flight
 
 type mode = Colorguard | Multiprocess of int
 
@@ -36,6 +38,7 @@ type overload = {
   crash_tenants : int list;
   runaway_tenants : int list;
   low_priority : int -> bool;
+  slo : Slo.config option;
 }
 
 let no_overload =
@@ -49,6 +52,7 @@ let no_overload =
     crash_tenants = [];
     runaway_tenants = [];
     low_priority = (fun _ -> false);
+    slo = None;
   }
 
 (* Chaos perturbations applied to the live run on a schedule the caller
@@ -82,6 +86,11 @@ type config = {
   page_zero_ns : float;
   legacy_lifecycle : bool;
   trace : Trace.t;
+  flight : Flight.t option;
+      (* Fault flight recorder. When armed it taps the trace sink (or
+         becomes the sink for untraced runs) and freezes a post-mortem
+         bundle on faults, breaker trips and chaos perturbations. Pure
+         observer: arming it never changes simulation state. *)
   overload : overload;
   engine : Machine.engine_kind option;
   chaos : chaos_event list;
@@ -102,7 +111,7 @@ type config = {
 let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
     ?(faults = no_faults) ?(churn = false) ?(page_zero_ns = 0.0)
     ?(legacy_lifecycle = false) ?(overload = no_overload) ?engine ?(chaos = [])
-    ?on_perturbation ?(fair_scheduling = false) () =
+    ?on_perturbation ?(fair_scheduling = false) ?flight () =
   {
     mode;
     workload;
@@ -117,6 +126,7 @@ let default_config ?(mode = Colorguard) ?(workload = Workloads.Hash_balance)
     page_zero_ns;
     legacy_lifecycle;
     trace = Trace.null;
+    flight;
     overload;
     engine;
     chaos;
@@ -137,6 +147,9 @@ type tenant_stat = {
   t_p99_ns : float;
   t_p99_e2e_ns : float;
   t_sb_share : float;
+  t_burn : float;
+  t_lat_hist : Hist.t;
+  t_e2e_hist : Hist.t;
 }
 
 type result = {
@@ -159,6 +172,9 @@ type result = {
   max_degrade_level : int;
   chaos_applied : int;
   chaos_kills : int;
+  slo_burn_starts : int;
+  slo_burn_stops : int;
+  slo_burning_at_end : int;
   throughput_rps : float;
   goodput_rps : float;
   availability : float;
@@ -237,6 +253,14 @@ let run cfg =
   let nprocs = Array.length engines in
   let rng = Prng.create ~seed:cfg.seed in
   let ov = cfg.overload in
+  (* Effective trace sink: the flight recorder taps the primary ring (or
+     stands in for it on untraced runs). Everything below emits into
+     [trace], never [cfg.trace] directly. *)
+  let trace =
+    match cfg.flight with
+    | Some fr -> Flight.tap fr cfg.trace
+    | None -> cfg.trace
+  in
   (* Chaos draws its own PRNG stream so perturbation policy (victim
      choice, respawn delays) never perturbs the workload's stream. The
      stream is derived with [Prng.split] — an xor of the seed (the old
@@ -259,7 +283,7 @@ let run cfg =
     (* Admission/breaker decisions are trace-worthy: route the engines'
        event streams into the sim's sink so Perfetto shows shed/grant
        markers on the tenant lanes. Legacy runs keep engine tracing off. *)
-    Array.iter (fun e -> Runtime.set_trace e cfg.trace) engines;
+    Array.iter (fun e -> Runtime.set_trace e trace) engines;
   let breakers =
     match ov.breaker with
     | None -> None
@@ -356,7 +380,7 @@ let run cfg =
   (* Request spans run on the simulated clock, one trace track per request
      slot (= tenant), so a Perfetto load shows each tenant's activations as
      nested bars over sim time. *)
-  Trace.set_clock cfg.trace (fun () -> int_of_float !clock);
+  Trace.set_clock trace (fun () -> int_of_float !clock);
   (* Move a slot on to its tenant's next logical request: the next
      scheduled arrival in open-loop mode (possibly already in the past —
      then it has been queueing and is immediately ready, with its e2e
@@ -386,8 +410,8 @@ let run cfg =
   let t_failed = Array.make cfg.concurrency 0 in
   let t_shed = Array.make cfg.concurrency 0 in
   let t_breaker_opens = Array.make cfg.concurrency 0 in
-  let t_lat = Array.make cfg.concurrency [] in
-  let t_e2e = Array.make cfg.concurrency [] in
+  let t_lat = Array.init cfg.concurrency (fun _ -> Hist.create ()) in
+  let t_e2e = Array.init cfg.concurrency (fun _ -> Hist.create ()) in
   let t_sb = Array.make cfg.concurrency 0 in
   let t_instr = Array.make cfg.concurrency 0 in
   let completed = ref 0 in
@@ -409,6 +433,9 @@ let run cfg =
   let context_switches = ref 0 in
   let current_proc = ref 0 in
   let slice_start = ref 0.0 in
+  (* Hoisted out of the degradation section: the flight recorder's
+     counter snapshot wants the current ladder level too. *)
+  let ladder_level = ref 0 in
   let engine_cycles = Array.make nprocs 0 in
   (* Advance the global clock by the cycles an engine just spent. *)
   let charge proc =
@@ -427,6 +454,89 @@ let run cfg =
       end;
       lifecycle_prev.(proc) <- w
     end
+  in
+  (* --- flight recorder: post-mortem freezes --- *)
+  let flight_counters () =
+    let fold f = Array.fold_left (fun acc e -> acc + f e) 0 engines in
+    let mach f = fold (fun e -> f (Runtime.machine e)) in
+    [
+      ("clock_ns", !clock);
+      ("completed", float_of_int !completed);
+      ("failed", float_of_int !failed);
+      ("watchdog_kills", float_of_int !watchdog_kills);
+      ("collateral_aborts", float_of_int !collateral);
+      ("recycles", float_of_int !recycles);
+      ("shed_sojourn", float_of_int !shed_sojourn);
+      ("shed_rate_limited", float_of_int !shed_rate_limited);
+      ("shed_queue_full", float_of_int !shed_queue_full);
+      ("shed_priority", float_of_int !shed_priority);
+      ("breaker_opens", float_of_int !breaker_opens);
+      ("breaker_fast_fails", float_of_int !breaker_fast_fails);
+      ( "breakers_open",
+        match breakers with
+        | None -> 0.0
+        | Some arr ->
+            float_of_int
+              (Array.fold_left
+                 (fun acc b -> if Breaker.state b <> Breaker.Closed then acc + 1 else acc)
+                 0 arr) );
+      ("admission_waiting", float_of_int (fold Runtime.waiting));
+      ("ladder_level", float_of_int !ladder_level);
+      ("chaos_applied", float_of_int !chaos_applied);
+      ("machine_cycles", float_of_int (mach (fun m -> (Machine.counters m).Machine.cycles)));
+      ( "machine_instructions",
+        float_of_int (mach (fun m -> (Machine.counters m).Machine.instructions)) );
+      ("dtlb_misses", float_of_int (mach Machine.dtlb_misses));
+      ("superblocks_retired", float_of_int (mach Machine.superblock_retired));
+      ("transitions", float_of_int (fold Runtime.transitions));
+    ]
+  in
+  let freeze_flight reason =
+    match cfg.flight with
+    | None -> ()
+    | Some fr ->
+        Flight.freeze fr ~reason ~at_ns:(int_of_float !clock)
+          ~counters:(flight_counters ())
+  in
+  (* --- SLO burn-rate tracking --- *)
+  let slo_burn_starts = ref 0 in
+  let slo_burn_stops = ref 0 in
+  let burning = ref 0 in
+  let slos =
+    match ov.slo with
+    | None -> None
+    | Some sc -> Some (sc, Array.init cfg.concurrency (fun _ -> Slo.create sc))
+  in
+  (* Edge-trigger a tenant's alerts: count transitions, track how many
+     tenants are burning their fast window (the ladder's SLO-aware
+     trigger), and emit the slo.burn_start/stop markers. *)
+  let slo_transitions id s =
+    List.iter
+      (fun tr ->
+        let burn_milli = int_of_float (tr.Slo.tr_burn *. 1000.0) in
+        let window = match tr.Slo.tr_window with Slo.Fast -> 0 | Slo.Slow -> 1 in
+        if tr.Slo.tr_started then begin
+          incr slo_burn_starts;
+          if tr.Slo.tr_window = Slo.Fast then incr burning;
+          Trace.slo_burn_start trace ~tenant:id ~burn_milli ~window
+        end
+        else begin
+          incr slo_burn_stops;
+          if tr.Slo.tr_window = Slo.Fast then decr burning;
+          Trace.slo_burn_stop trace ~tenant:id ~burn_milli ~window
+        end)
+      (Slo.evaluate s ~now:!clock)
+  in
+  let slo_record id ~good =
+    match slos with
+    | None -> ()
+    | Some (_, arr) ->
+        let s = arr.(id) in
+        Slo.record s ~now:!clock ~good;
+        slo_transitions id s
+  in
+  let slo_good lat =
+    match slos with Some (sc, _) -> lat <= sc.Slo.latency_ns | None -> true
   in
   (* Which handler serves this request: deliberately misbehaving tenants
      (overload policy) crash-loop or spin on every request; otherwise the
@@ -450,10 +560,11 @@ let run cfg =
       | Breaker.Open ->
           incr breaker_opens;
           t_breaker_opens.(id) <- t_breaker_opens.(id) + 1;
-          Trace.breaker_open cfg.trace ~tenant:id
-            ~backoff:(int_of_float (Breaker.retry_at b -. !clock))
-      | Breaker.Half_open -> Trace.breaker_half_open cfg.trace ~tenant:id
-      | Breaker.Closed -> Trace.breaker_close cfg.trace ~tenant:id
+          Trace.breaker_open trace ~tenant:id
+            ~backoff:(int_of_float (Breaker.retry_at b -. !clock));
+          freeze_flight "breaker.open"
+      | Breaker.Half_open -> Trace.breaker_half_open trace ~tenant:id
+      | Breaker.Closed -> Trace.breaker_close trace ~tenant:id
   in
   let with_breaker id fn =
     match breakers with
@@ -490,8 +601,7 @@ let run cfg =
         end;
         ok
   in
-  (* --- graceful-degradation ladder --- *)
-  let ladder_level = ref 0 in
+  (* --- graceful-degradation ladder ([ladder_level] hoisted above) --- *)
   let degrade_steps = ref 0 in
   let max_degrade_level = ref 0 in
   let hedged = ref ov.hedged_retries in
@@ -516,11 +626,18 @@ let run cfg =
         Runtime.set_slot_reserve e reserve)
       engines;
     hedged := ov.hedged_retries && lvl < 2;
-    Trace.degrade_step cfg.trace ~level:lvl
+    Trace.degrade_step trace ~level:lvl
   in
   let ladder_tick () =
     if ov.degradation && !clock >= !window_end then begin
-      let overloaded = !window_sheds > 0 in
+      (* Re-evaluate burn-rate alerts at every window boundary so alerts
+         also clear while a tenant is idle (its windows slide empty). *)
+      (match slos with
+      | Some (_, arr) -> Array.iteri slo_transitions arr
+      | None -> ());
+      (* SLO-aware trigger: shedding starts when any tenant is burning
+         its fast error-budget window, not only on queue sojourn. *)
+      let overloaded = !window_sheds > 0 || !burning > 0 in
       window_sheds := 0;
       while !window_end <= !clock do
         window_end := !window_end +. window_len
@@ -547,6 +664,7 @@ let run cfg =
      later; a half-open breaker whose probe was shed re-opens. *)
   let note_shed r reason =
     t_shed.(r.id) <- t_shed.(r.id) + 1;
+    slo_record r.id ~good:false;
     (match reason with
     | Runtime.Shed_sojourn ->
         incr shed_sojourn;
@@ -612,7 +730,8 @@ let run cfg =
           if r2.act <> None then begin
             incr collateral;
             t_failed.(r2.id) <- t_failed.(r2.id) + 1;
-            Trace.request_end cfg.trace ~tenant:r2.id ~ok:false;
+            slo_record r2.id ~good:false;
+            Trace.request_end trace ~tenant:r2.id ~ok:false;
             r2.act <- None
           end;
           (match r2.inst with
@@ -627,8 +746,10 @@ let run cfg =
   let fail_request r ~is_crash =
     incr failed;
     t_failed.(r.id) <- t_failed.(r.id) + 1;
-    Trace.request_end cfg.trace ~tenant:r.id ~ok:false;
+    slo_record r.id ~good:false;
+    Trace.request_end trace ~tenant:r.id ~ok:false;
     with_breaker r.id (Breaker.on_failure ~now:!clock);
+    freeze_flight "fault";
     r.act <- None;
     r.seq <- r.seq + 1;
     r.bk_admitted <- false;
@@ -653,7 +774,8 @@ let run cfg =
          trace = priority shed (the runtime codes cover 0-2). *)
       incr shed_priority;
       t_shed.(r.id) <- t_shed.(r.id) + 1;
-      Trace.admission_shed cfg.trace ~tenant:r.id ~sojourn:0 ~reason:3;
+      slo_record r.id ~good:false;
+      Trace.admission_shed trace ~tenant:r.id ~sojourn:0 ~reason:3;
       r.bk_admitted <- false;
       rearm r
     end
@@ -670,7 +792,7 @@ let run cfg =
               let a = Runtime.start_call ?deadline_fuel inst (draw_entry r.id) [ seed ] in
               r.act <- Some a;
               r.started_at <- !clock;
-              Trace.request_begin cfg.trace ~tenant:r.id;
+              Trace.request_begin trace ~tenant:r.id;
               a
         in
         (* Tenant-attributed superblock occupancy: the engine's counters are
@@ -715,15 +837,20 @@ let run cfg =
            pre-charge timestamps (ready_at, respawn) unchanged. *)
         if !completed_now then begin
           t_completed.(r.id) <- t_completed.(r.id) + 1;
-          t_lat.(r.id) <- (!clock -. r.started_at) :: t_lat.(r.id);
+          let lat = !clock -. r.started_at in
           let e2e = !clock -. arrival in
-          t_e2e.(r.id) <- e2e :: t_e2e.(r.id);
           (match ov.request_deadline_ns with
           | Some d when e2e > d -> incr deadline_misses
           | _ -> ());
           with_breaker r.id (fun b ->
-              Breaker.on_slow b ~now:!clock ~elapsed_ns:(!clock -. r.started_at));
-          Trace.request_end cfg.trace ~tenant:r.id ~ok:true
+              Breaker.on_slow b ~now:!clock ~elapsed_ns:lat);
+          Trace.request_end trace ~tenant:r.id ~ok:true;
+          (* The exemplar points at the request-end event just stored, so
+             a percentile spike links to the exact span in the export. *)
+          Hist.record_exemplar t_lat.(r.id) lat
+            ~index:(max 0 (Trace.length trace - 1));
+          Hist.record t_e2e.(r.id) e2e;
+          slo_record r.id ~good:(slo_good lat)
         end
       end
     end
@@ -757,7 +884,8 @@ let run cfg =
             incr chaos_kills;
             incr failed;
             t_failed.(r.id) <- t_failed.(r.id) + 1;
-            Trace.request_end cfg.trace ~tenant:r.id ~ok:false;
+            slo_record r.id ~good:false;
+            Trace.request_end trace ~tenant:r.id ~ok:false;
             with_breaker r.id (Breaker.on_failure ~now:!clock);
             (match r.inst with
             | Some i when Runtime.live i -> Runtime.kill i
@@ -776,6 +904,11 @@ let run cfg =
         latency_until := !clock +. window_ns
     | Chaos_instantiate_fail n -> inst_fail_budget := !inst_fail_budget + n);
     incr chaos_applied;
+    freeze_flight
+      (match ev.action with
+      | Chaos_kill -> "chaos.kill"
+      | Chaos_latency _ -> "chaos.latency"
+      | Chaos_instantiate_fail _ -> "chaos.instantiate_fail");
     (match cfg.on_perturbation with
     | Some fn ->
         fn
@@ -883,12 +1016,21 @@ let run cfg =
   (* Balance the trace: activations still in flight when the simulated
      duration expires get their span closed (not counted as failures). *)
   Array.iter
-    (fun r -> if r.act <> None then Trace.request_end cfg.trace ~tenant:r.id ~ok:false)
+    (fun r -> if r.act <> None then Trace.request_end trace ~tenant:r.id ~ok:false)
     requests;
+  (* Final burn-rate sweep so [slo_burning_at_end] reflects the stream's
+     last state, then stamp the ring's fingerprint into the exemplars. *)
+  (match slos with
+  | Some (_, arr) -> Array.iteri slo_transitions arr
+  | None -> ());
+  if Trace.enabled trace then begin
+    let fp = Trace.fingerprint trace in
+    Array.iter (fun h -> Hist.seal_exemplars h fp) t_lat
+  end;
   let tenants =
     Array.init cfg.concurrency (fun id ->
         let lat = t_lat.(id) in
-        let pct p = if lat = [] then 0.0 else Stats.percentile lat p in
+        let pct h p = if Hist.count h = 0 then 0.0 else Hist.percentile h p in
         let e2e = t_e2e.(id) in
         {
           t_id = id;
@@ -900,13 +1042,19 @@ let run cfg =
             (match breakers with
             | None -> "-"
             | Some arr -> Breaker.state_name (Breaker.state arr.(id)));
-          t_p50_ns = pct 50.0;
-          t_p95_ns = pct 95.0;
-          t_p99_ns = pct 99.0;
-          t_p99_e2e_ns = (if e2e = [] then 0.0 else Stats.percentile e2e 99.0);
+          t_p50_ns = pct lat 50.0;
+          t_p95_ns = pct lat 95.0;
+          t_p99_ns = pct lat 99.0;
+          t_p99_e2e_ns = pct e2e 99.0;
           t_sb_share =
             (if t_instr.(id) = 0 then 0.0
              else float_of_int t_sb.(id) /. float_of_int t_instr.(id));
+          t_burn =
+            (match slos with
+            | Some (_, arr) -> Slo.burn arr.(id) ~now:!clock Slo.Fast
+            | None -> 0.0);
+          t_lat_hist = lat;
+          t_e2e_hist = e2e;
         })
   in
   let breakers_open_at_end =
@@ -954,6 +1102,9 @@ let run cfg =
     max_degrade_level = !max_degrade_level;
     chaos_applied = !chaos_applied;
     chaos_kills = !chaos_kills;
+    slo_burn_starts = !slo_burn_starts;
+    slo_burn_stops = !slo_burn_stops;
+    slo_burning_at_end = !burning;
     throughput_rps = float_of_int attempts /. (!clock /. 1.0e9);
     goodput_rps = float_of_int (!completed - !deadline_misses) /. (!clock /. 1.0e9);
     availability =
@@ -985,3 +1136,24 @@ let degraded_mode ~workload ~processes ~trap_rate cfg =
   let cg = run { cfg with mode = Colorguard; workload; faults } in
   let mp = run { cfg with mode = Multiprocess processes; workload; faults } in
   (cg, mp)
+
+(* The `sfi top` table formats live here so the golden-output test can pin
+   the column alignment without shelling out to the binary. *)
+let top_header ~breakers =
+  if breakers then
+    Printf.sprintf "%6s %8s %6s %6s %8s %10s %7s %10s %10s %10s %6s" "TENANT" "OK"
+      "FAIL" "SHED" "BRKOPEN" "BRK" "BURN" "P50(ms)" "P95(ms)" "P99(ms)" "SB%"
+  else
+    Printf.sprintf "%6s %8s %6s %10s %10s %10s %6s" "TENANT" "OK" "FAIL" "P50(ms)"
+      "P95(ms)" "P99(ms)" "SB%"
+
+let top_row ~breakers t =
+  if breakers then
+    Printf.sprintf "%6d %8d %6d %6d %8d %10s %7.2f %10.2f %10.2f %10.2f %5.1f%%"
+      t.t_id t.t_completed t.t_failed t.t_shed t.t_breaker_opens t.t_breaker_state
+      t.t_burn (t.t_p50_ns /. 1e6) (t.t_p95_ns /. 1e6) (t.t_p99_ns /. 1e6)
+      (100.0 *. t.t_sb_share)
+  else
+    Printf.sprintf "%6d %8d %6d %10.2f %10.2f %10.2f %5.1f%%" t.t_id t.t_completed
+      t.t_failed (t.t_p50_ns /. 1e6) (t.t_p95_ns /. 1e6) (t.t_p99_ns /. 1e6)
+      (100.0 *. t.t_sb_share)

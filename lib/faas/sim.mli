@@ -74,6 +74,14 @@ type overload = {
   runaway_tenants : int list;  (** tenants whose every request spins *)
   low_priority : int -> bool;
       (** tenants the ladder may shed at L3 (default: none) *)
+  slo : Slo.config option;
+      (** per-tenant latency/availability objectives: every request outcome
+          (completion checked against the latency threshold; failures and
+          sheds count as bad) feeds a per-tenant {!Slo} tracker, burn-rate
+          alert edges are emitted as [slo.burn_start]/[slo.burn_stop] trace
+          events, and the degradation ladder treats any tenant burning its
+          fast window as overload (shedding starts on burn rate, not just
+          queue sojourn) *)
 }
 
 val no_overload : overload
@@ -135,6 +143,15 @@ type config = {
           track [id] — so a Chrome/Perfetto export shows one lane per
           tenant. Spans still open when the simulated duration expires are
           closed without being counted as failures. *)
+  flight : Sfi_trace.Flight.t option;
+      (** fault flight recorder ([None] by default). When armed it taps
+          the trace sink (or becomes the effective sink when the run is
+          otherwise untraced) and freezes a post-mortem bundle — event
+          tail plus a machine/admission/breaker/ladder counter snapshot —
+          on every request failure ([fault]), breaker trip
+          ([breaker.open]) and chaos perturbation ([chaos.kill] /
+          [chaos.latency] / [chaos.instantiate_fail]). Pure observer:
+          arming it never changes simulation results. *)
   overload : overload;  (** resilience policy ({!no_overload} = legacy) *)
   engine : Sfi_machine.Machine.engine_kind option;
       (** execution engine for the machines (default: the machine's own
@@ -178,6 +195,7 @@ val default_config :
   ?chaos:chaos_event list ->
   ?on_perturbation:(chaos_report -> unit) ->
   ?fair_scheduling:bool ->
+  ?flight:Sfi_trace.Flight.t ->
   unit ->
   config
 (** concurrency 128, duration 20 ms, IO mean 5 ms, epoch 1 ms, OS switch
@@ -207,6 +225,13 @@ type tenant_stat = {
   t_sb_share : float;
       (** fraction of this tenant's retired instructions executed inside
           promoted superblocks (0 under the untiered engines) *)
+  t_burn : float;
+      (** fast-window error-budget burn rate at end of run (0 when SLOs
+          are off) — the [sfi top] BURN column *)
+  t_lat_hist : Sfi_util.Hist.t;
+      (** the latency histogram behind the percentiles, with per-bucket
+          exemplars pointing into the trace ring; mergeable across shards *)
+  t_e2e_hist : Sfi_util.Hist.t;  (** end-to-end latency histogram *)
 }
 
 type result = {
@@ -237,6 +262,10 @@ type result = {
   max_degrade_level : int;  (** deepest ladder level reached (0-3) *)
   chaos_applied : int;  (** perturbations applied from the schedule *)
   chaos_kills : int;  (** [Chaos_kill]s that found an in-flight victim *)
+  slo_burn_starts : int;  (** burn-rate alert raises, both windows *)
+  slo_burn_stops : int;  (** burn-rate alert clears, both windows *)
+  slo_burning_at_end : int;
+      (** tenants whose fast-window alert was still raised at end of run *)
   throughput_rps : float;
       (** requests retired (successfully or not) per simulated second *)
   goodput_rps : float;
@@ -282,3 +311,12 @@ val degraded_mode :
     The interesting deltas are [availability] and [collateral_aborts] — the
     per-process blast radius multiprocess pays that per-instance recovery
     avoids. *)
+
+val top_header : breakers:bool -> string
+(** Column header of the [sfi top] per-tenant table. With [breakers] the
+    table carries the resilience columns (SHED, BRKOPEN, BRK state) and
+    the fast-window SLO BURN rate. *)
+
+val top_row : breakers:bool -> tenant_stat -> string
+(** One fixed-width [sfi top] row, aligned with {!top_header} of the same
+    [breakers] mode. *)

@@ -1,0 +1,112 @@
+type window = Fast | Slow
+
+type config = {
+  latency_ns : float;
+  availability : float;
+  fast_window_ns : float;
+  slow_window_ns : float;
+  fast_burn : float;
+  slow_burn : float;
+}
+
+let default_config ?(latency_ns = 5.0e6) ?(availability = 0.999)
+    ?(fast_window_ns = 200_000.0) ?(slow_window_ns = 1_000_000.0)
+    ?(fast_burn = 14.4) ?(slow_burn = 6.0) () =
+  if not (availability > 0.0 && availability < 1.0) then
+    invalid_arg "Slo: availability must be in (0, 1)";
+  if fast_window_ns <= 0.0 || slow_window_ns <= 0.0 then
+    invalid_arg "Slo: windows must be positive";
+  { latency_ns; availability; fast_window_ns; slow_window_ns; fast_burn; slow_burn }
+
+(* A sliding window of [n_sub] circular sub-buckets. Each bucket owns a
+   fixed absolute epoch (time / bucket width); a record landing on a
+   bucket whose stored epoch is stale resets it first, and burn queries
+   only sum buckets whose epoch is still inside the window — so the
+   window slides correctly through idle gaps without any timer. *)
+let n_sub = 8
+
+type win = {
+  width : float; (* sub-bucket width in ns *)
+  epoch : int array;
+  good : int array;
+  bad : int array;
+}
+
+let make_win window_ns =
+  {
+    width = window_ns /. float_of_int n_sub;
+    epoch = Array.make n_sub (-1);
+    good = Array.make n_sub 0;
+    bad = Array.make n_sub 0;
+  }
+
+let win_record w ~now ~good =
+  let e = int_of_float (now /. w.width) in
+  let i = e mod n_sub in
+  if w.epoch.(i) <> e then begin
+    w.epoch.(i) <- e;
+    w.good.(i) <- 0;
+    w.bad.(i) <- 0
+  end;
+  if good then w.good.(i) <- w.good.(i) + 1 else w.bad.(i) <- w.bad.(i) + 1
+
+let win_bad_fraction w ~now =
+  let e = int_of_float (now /. w.width) in
+  let good = ref 0 and bad = ref 0 in
+  for i = 0 to n_sub - 1 do
+    if w.epoch.(i) >= 0 && e - w.epoch.(i) < n_sub then begin
+      good := !good + w.good.(i);
+      bad := !bad + w.bad.(i)
+    end
+  done;
+  let total = !good + !bad in
+  if total = 0 then 0.0 else float_of_int !bad /. float_of_int total
+
+type t = {
+  cfg : config;
+  fast : win;
+  slow : win;
+  mutable fast_alert : bool;
+  mutable slow_alert : bool;
+}
+
+type transition = { tr_window : window; tr_started : bool; tr_burn : float }
+
+let create cfg =
+  {
+    cfg;
+    fast = make_win cfg.fast_window_ns;
+    slow = make_win cfg.slow_window_ns;
+    fast_alert = false;
+    slow_alert = false;
+  }
+
+let record t ~now ~good =
+  win_record t.fast ~now ~good;
+  win_record t.slow ~now ~good
+
+let burn t ~now w =
+  let frac =
+    match w with
+    | Fast -> win_bad_fraction t.fast ~now
+    | Slow -> win_bad_fraction t.slow ~now
+  in
+  frac /. (1.0 -. t.cfg.availability)
+
+let evaluate t ~now =
+  let step w active threshold set =
+    let b = burn t ~now w in
+    if (not active) && b >= threshold then begin
+      set true;
+      [ { tr_window = w; tr_started = true; tr_burn = b } ]
+    end
+    else if active && b < threshold then begin
+      set false;
+      [ { tr_window = w; tr_started = false; tr_burn = b } ]
+    end
+    else []
+  in
+  step Fast t.fast_alert t.cfg.fast_burn (fun v -> t.fast_alert <- v)
+  @ step Slow t.slow_alert t.cfg.slow_burn (fun v -> t.slow_alert <- v)
+
+let alerting t = function Fast -> t.fast_alert | Slow -> t.slow_alert

@@ -1,0 +1,67 @@
+(** Per-tenant SLO tracking with multi-window burn-rate alerting.
+
+    A tenant's objective says what fraction of requests must be good —
+    completed, and under the latency threshold. The tracker counts
+    good/bad events into sliding windows of circular sub-buckets and
+    reports the {e burn rate}: the observed bad fraction divided by the
+    error budget [(1 - objective)]. Burn 1.0 means the budget is being
+    spent exactly at the sustainable rate; 14.4 means a 30-day budget
+    would be gone in 50 hours (the classic Google SRE fast-page
+    threshold).
+
+    Two windows are tracked per tenant — a fast one that catches sharp
+    spikes and a slow one that catches simmering burn — each with its
+    own alerting threshold. {!evaluate} edge-triggers alert state per
+    window; the caller turns the transitions into trace events and
+    gauges. *)
+
+type window = Fast | Slow
+
+type config = {
+  latency_ns : float;  (** a completion slower than this is a bad event *)
+  availability : float;  (** objective: required good fraction, in (0, 1) *)
+  fast_window_ns : float;
+  slow_window_ns : float;
+  fast_burn : float;  (** alert when the fast-window burn reaches this *)
+  slow_burn : float;  (** alert when the slow-window burn reaches this *)
+}
+
+val default_config :
+  ?latency_ns:float ->
+  ?availability:float ->
+  ?fast_window_ns:float ->
+  ?slow_window_ns:float ->
+  ?fast_burn:float ->
+  ?slow_burn:float ->
+  unit ->
+  config
+(** Defaults: 5 ms latency objective at 99.9% availability, 200 us /
+    1 ms windows (sim scale), burn thresholds 14.4 (fast) and 6.0
+    (slow). Raises [Invalid_argument] if [availability] is not in
+    (0, 1) or a window is not positive. *)
+
+type t
+(** One tenant's tracker. *)
+
+type transition = {
+  tr_window : window;
+  tr_started : bool;  (** [true] = alert raised, [false] = cleared *)
+  tr_burn : float;  (** the burn rate at the transition *)
+}
+
+val create : config -> t
+
+val record : t -> now:float -> good:bool -> unit
+(** Count one request outcome at simulated time [now] (monotonic). *)
+
+val burn : t -> now:float -> window -> float
+(** Current burn rate over the given window ending at [now]; [0.0] when
+    the window holds no samples. *)
+
+val evaluate : t -> now:float -> transition list
+(** Edge-trigger alert state against the thresholds: returns the
+    transitions (at most one per window) caused by the current burn
+    rates, updating internal state so each edge is reported once. *)
+
+val alerting : t -> window -> bool
+(** Is the alert for this window currently raised? *)

@@ -75,7 +75,12 @@ type violation = { v_index : int; v_kind : string; v_detail : string }
 
 type run_result = { digest : string; sim : Sim.result; violations : violation list }
 
-let run ?(trace = Sfi_trace.Trace.null) cfg =
+let action_class = function
+  | Sim.Chaos_kill -> "chaos.kill"
+  | Sim.Chaos_latency _ -> "chaos.latency"
+  | Sim.Chaos_instantiate_fail _ -> "chaos.instantiate_fail"
+
+let run ?(trace = Sfi_trace.Trace.null) ?flight cfg =
   let events = plan cfg in
   let digest = plan_digest events in
   let violations = ref [] in
@@ -120,6 +125,7 @@ let run ?(trace = Sfi_trace.Trace.null) cfg =
             backoff_jitter = 0.2;
             latency_threshold_ns = None;
           };
+      slo = Some (Sfi_faas.Slo.default_config ());
     }
   in
   let sim_cfg =
@@ -137,6 +143,7 @@ let run ?(trace = Sfi_trace.Trace.null) cfg =
       faults = { Sim.no_faults with Sim.deadline_epochs = 16 };
       seed = cfg.seed;
       trace;
+      flight;
     }
   in
   let sim = Sim.run sim_cfg in
@@ -157,6 +164,25 @@ let run ?(trace = Sfi_trace.Trace.null) cfg =
        mis-sized — it would also poison the blast-radius accounting. *)
     violate ~index:(-1) ~kind:"blast-radius"
       (Printf.sprintf "%d watchdog kills in a fault-free run" sim.Sim.watchdog_kills);
+  (* When a flight recorder is armed, every injected fault class must have
+     frozen a non-empty post-mortem bundle by quiescence. *)
+  (match flight with
+  | None -> ()
+  | Some fr ->
+      let classes =
+        List.sort_uniq compare (List.map (fun ev -> action_class ev.Sim.action) events)
+      in
+      List.iter
+        (fun cls ->
+          match Sfi_trace.Flight.find fr cls with
+          | None ->
+              violate ~index:(-1) ~kind:"postmortem"
+                (Printf.sprintf "no post-mortem bundle for %s" cls)
+          | Some b ->
+              if b.Sfi_trace.Flight.b_events = [] then
+                violate ~index:(-1) ~kind:"postmortem"
+                  (Printf.sprintf "empty post-mortem bundle for %s" cls))
+        classes);
   { digest; sim; violations = List.rev !violations }
 
 let fingerprint r =

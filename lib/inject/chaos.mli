@@ -52,7 +52,7 @@ val plan_digest : Sfi_faas.Sim.chaos_event list -> string
 type violation = {
   v_index : int;  (** perturbation index, or [-1] for an end-state check *)
   v_kind : string;  (** ["blast-radius"], ["availability"], ["breaker"],
-                        ["applied"] *)
+                        ["applied"], ["postmortem"] *)
   v_detail : string;
 }
 
@@ -62,11 +62,15 @@ type run_result = {
   violations : violation list;  (** empty = all invariants held *)
 }
 
-val run : ?trace:Sfi_trace.Trace.t -> config -> run_result
+val run :
+  ?trace:Sfi_trace.Trace.t -> ?flight:Sfi_trace.Flight.t -> config -> run_result
 (** Run the sim fault-free with admission control and per-tenant
     breakers armed, applying the plan and checking the per-perturbation
     blast-radius invariant plus the end-state invariants (availability
-    floor, all breakers closed, every scheduled perturbation applied). *)
+    floor, all breakers closed, every scheduled perturbation applied).
+    When [flight] is supplied it is armed on the sim; at quiescence every
+    injected fault class must have frozen a non-empty post-mortem bundle
+    or a ["postmortem"] violation is reported. *)
 
 val fingerprint : run_result -> string
 (** Compact counter summary (completed/failed/sheds/kills/checksum/…)

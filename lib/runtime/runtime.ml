@@ -735,3 +735,21 @@ let add_metrics a b =
   }
 
 let merged_metrics snapshots = List.fold_left add_metrics zero_metrics snapshots
+
+let metrics_fields m =
+  let f = float_of_int in
+  [
+    ("transitions", f m.m_transitions);
+    ("hostcalls_pure", f m.m_calls_pure);
+    ("hostcalls_readonly", f m.m_calls_readonly);
+    ("hostcalls_full", f m.m_calls_full);
+    ("pkru_writes_elided", f m.m_pkru_writes_elided);
+    ("pages_zeroed_on_recycle", f m.m_pages_zeroed_on_recycle);
+    ("instantiations_cold", f m.m_instantiations_cold);
+    ("instantiations_warm", f m.m_instantiations_warm);
+    ("admission_admitted", f m.m_admitted);
+    ("admission_queued", f m.m_adm_queued);
+    ("admission_shed_sojourn", f m.m_shed_sojourn);
+    ("admission_shed_rate_limited", f m.m_shed_rate_limited);
+    ("admission_shed_queue_full", f m.m_shed_queue_full);
+  ]

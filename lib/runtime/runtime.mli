@@ -404,3 +404,8 @@ val add_metrics : metrics -> metrics -> metrics
 val merged_metrics : metrics list -> metrics
 (** Field-wise sum of per-domain snapshots, each taken with
     {!domain_metrics} on the domain that did the work. *)
+
+val metrics_fields : metrics -> (string * float) list
+(** The snapshot as stable [(field, value)] pairs — one entry per
+    counter, in declaration order. The naming backbone for exported
+    gauges and flight-recorder snapshots. *)

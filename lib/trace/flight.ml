@@ -1,0 +1,78 @@
+type bundle = {
+  b_reason : string;
+  b_seq : int;
+  b_at_ns : int;
+  b_events : Trace.event list;
+  b_dropped : int;
+  b_counters : (string * float) list;
+}
+
+type t = {
+  ring : Trace.t;
+  mutable bundles : (string * bundle) list; (* latest bundle per reason *)
+  mutable freezes : int;
+}
+
+let create ?(capacity = 256) () =
+  { ring = Trace.create_tail_ring ~capacity (); bundles = []; freezes = 0 }
+
+let tap fr primary =
+  if Trace.enabled primary then begin
+    Trace.set_tee primary (Some fr.ring);
+    primary
+  end
+  else fr.ring
+
+let freeze fr ~reason ~at_ns ~counters =
+  let b =
+    {
+      b_reason = reason;
+      b_seq = fr.freezes;
+      b_at_ns = at_ns;
+      b_events = Trace.events fr.ring;
+      b_dropped = Trace.dropped fr.ring;
+      b_counters = counters;
+    }
+  in
+  fr.freezes <- fr.freezes + 1;
+  fr.bundles <- (reason, b) :: List.remove_assoc reason fr.bundles
+
+let freezes fr = fr.freezes
+
+let bundles fr =
+  List.map snd fr.bundles
+  |> List.sort (fun a b -> compare b.b_seq a.b_seq)
+
+let find fr reason = List.assoc_opt reason fr.bundles
+
+let render b =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "post-mortem: %s (freeze #%d at t=%dns)\n" b.b_reason
+       b.b_seq b.b_at_ns);
+  Buffer.add_string buf
+    (Printf.sprintf "  events captured: %d (%d scrolled out of the tail ring)\n"
+       (List.length b.b_events) b.b_dropped);
+  if b.b_counters <> [] then begin
+    Buffer.add_string buf "  counters:\n";
+    List.iter
+      (fun (k, v) ->
+        let rendered =
+          if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.sprintf "%.0f" v
+          else Printf.sprintf "%g" v
+        in
+        Buffer.add_string buf (Printf.sprintf "    %-32s %s\n" k rendered))
+      b.b_counters
+  end;
+  if b.b_events <> [] then begin
+    Buffer.add_string buf "  event tail (oldest first):\n";
+    List.iter
+      (fun (e : Trace.event) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %10d %c %-20s track=%d a0=%d a1=%d\n" e.Trace.ev_ts
+             e.Trace.ev_phase e.Trace.ev_name e.Trace.ev_track e.Trace.ev_a0
+             e.Trace.ev_a1))
+      b.b_events
+  end;
+  Buffer.contents buf

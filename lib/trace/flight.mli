@@ -1,0 +1,55 @@
+(** Fault flight recorder: a cheap always-on keep-last ring plus frozen
+    post-mortem bundles.
+
+    The recorder shadows whatever primary trace sink a run uses. When
+    the primary is a real ring, the recorder taps it as a tee — so it
+    keeps seeing events after the primary fills up and starts dropping.
+    When the run is otherwise untraced the recorder's own tail ring
+    becomes the effective sink, so post-mortems work without paying for
+    a full trace capture.
+
+    On a notable condition (containment fault, breaker trip, chaos
+    perturbation) the caller {!freeze}s a bundle: the last-N events, a
+    named counter snapshot (machine counters, admission/breaker/ladder
+    state), and the simulated time of the freeze. The latest bundle per
+    reason is retained, so one cheap recorder yields a post-mortem for
+    every distinct fault class seen. *)
+
+type bundle = {
+  b_reason : string;  (** e.g. ["fault"], ["breaker.open"], ["chaos.kill"] *)
+  b_seq : int;  (** freeze ordinal within this recorder (0-based) *)
+  b_at_ns : int;  (** simulated time of the freeze *)
+  b_events : Trace.event list;  (** last-N events, oldest first *)
+  b_dropped : int;  (** events that had scrolled out of the tail ring *)
+  b_counters : (string * float) list;  (** state snapshot at freeze time *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A recorder whose tail ring keeps the last [capacity] (default
+    [256]) events. *)
+
+val tap : t -> Trace.t -> Trace.t
+(** [tap fr primary] arms the recorder against [primary] and returns
+    the sink the run should emit into: [primary] itself (now teeing
+    into the recorder) when it is enabled, or the recorder's own tail
+    ring when the run is untraced. *)
+
+val freeze : t -> reason:string -> at_ns:int -> counters:(string * float) list -> unit
+(** Snapshot the tail ring and the given counters into a bundle for
+    [reason], replacing any earlier bundle with the same reason (the
+    freeze ordinal still advances). *)
+
+val freezes : t -> int
+(** Total number of {!freeze} calls (including replaced bundles). *)
+
+val bundles : t -> bundle list
+(** Retained bundles, most recent freeze first. *)
+
+val find : t -> string -> bundle option
+(** The retained bundle for [reason], if any. *)
+
+val render : bundle -> string
+(** Human-readable post-mortem: reason and time, counter snapshot, and
+    the captured event tail — the [sfi postmortem] output format. *)

@@ -9,18 +9,28 @@
 type t = {
   active : bool;
   cap : int;
+  wrap : bool;
+      (* false: keep-first (drops count overflow). true: keep-last tail
+         ring — overflow overwrites the oldest event; [head] marks the
+         logical start once wrapped. *)
   ts : int array;
   code : int array;
   track : int array;
   a0 : int array;
   a1 : int array;
   mutable len : int;
+  mutable head : int;
   mutable dropped : int;
   mutable clock : unit -> int;
   mutable shard_stride : int;
       (* 0 = unsharded. A merged ring records the track-namespacing
          stride so exports can label track [s * stride + k] as shard
          [s], sandbox [k]. *)
+  mutable tee : t option;
+      (* Secondary sink (the flight recorder's tail ring). Events are
+         forwarded after the primary store, with the same timestamp, so
+         both sinks see one coherent stream. Checked only inside the
+         [active] branch — the disabled-sink fast path is untouched. *)
 }
 
 (* Event vocabulary. Index = name id; the two tables must stay in sync. *)
@@ -50,6 +60,8 @@ let name_table =
     "tier.promote.pure";
     "tier.promote.load";
     "tier.promote.hazard";
+    "slo.burn_start";
+    "slo.burn_stop";
   |]
 
 let cat_table =
@@ -78,6 +90,8 @@ let cat_table =
     "tier";
     "tier";
     "tier";
+    "slo";
+    "slo";
   |]
 
 let ph_begin = 0
@@ -92,57 +106,112 @@ let null =
   {
     active = false;
     cap = 0;
+    wrap = false;
     ts = [||];
     code = [||];
     track = [||];
     a0 = [||];
     a1 = [||];
     len = 0;
+    head = 0;
     dropped = 0;
     clock = zero_clock;
     shard_stride = 0;
+    tee = None;
   }
 
-let create_ring ?(capacity = 65536) () =
+let make_ring ~wrap capacity =
   if capacity <= 0 then invalid_arg "Trace.create_ring: capacity must be > 0";
   {
     active = true;
     cap = capacity;
+    wrap;
     ts = Array.make capacity 0;
     code = Array.make capacity 0;
     track = Array.make capacity 0;
     a0 = Array.make capacity 0;
     a1 = Array.make capacity 0;
     len = 0;
+    head = 0;
     dropped = 0;
     clock = zero_clock;
     shard_stride = 0;
+    tee = None;
   }
 
+let create_ring ?(capacity = 65536) () = make_ring ~wrap:false capacity
+let create_tail_ring ?(capacity = 256) () = make_ring ~wrap:true capacity
 let enabled t = t.active
 let set_clock t f = t.clock <- f
 let now t = t.clock ()
+let set_tee t sink = if t.active then t.tee <- sink
 
 let clear t =
   t.len <- 0;
+  t.head <- 0;
   t.dropped <- 0
 
 let length t = t.len
 let capacity t = t.cap
 let dropped t = t.dropped
 
+let[@inline] store t ts code track a0 a1 =
+  if t.len < t.cap then begin
+    (* [head] is nonzero only once a tail ring has wrapped, and then
+       [len = cap], so an unfilled ring always appends at [len]. *)
+    let i = t.len in
+    t.ts.(i) <- ts;
+    t.code.(i) <- code;
+    t.track.(i) <- track;
+    t.a0.(i) <- a0;
+    t.a1.(i) <- a1;
+    t.len <- t.len + 1
+  end
+  else if t.wrap then begin
+    (* Tail ring: overwrite the oldest event in place and advance the
+       logical start; overwritten events still count as dropped. *)
+    let i = t.head in
+    t.ts.(i) <- ts;
+    t.code.(i) <- code;
+    t.track.(i) <- track;
+    t.a0.(i) <- a0;
+    t.a1.(i) <- a1;
+    t.head <- (if i + 1 = t.cap then 0 else i + 1);
+    t.dropped <- t.dropped + 1
+  end
+  else t.dropped <- t.dropped + 1
+
 let[@inline] emit t code track a0 a1 =
-  if t.active then
-    if t.len < t.cap then begin
-      let i = t.len in
-      t.ts.(i) <- t.clock ();
-      t.code.(i) <- code;
-      t.track.(i) <- track;
-      t.a0.(i) <- a0;
-      t.a1.(i) <- a1;
-      t.len <- i + 1
-    end
-    else t.dropped <- t.dropped + 1
+  if t.active then begin
+    let ts = t.clock () in
+    store t ts code track a0 a1;
+    match t.tee with
+    | Some r -> if r.active then store r ts code track a0 a1
+    | None -> ()
+  end
+
+(* Readers below index events from 0 without wrap awareness; a wrapped
+   tail ring is first linearized into a plain ring in logical (oldest
+   to newest) order. Unwrapped rings pass through untouched, so the
+   common case pays nothing. *)
+let logical t =
+  if t.head = 0 then t
+  else begin
+    let n = t.len in
+    let out = make_ring ~wrap:false (max 1 n) in
+    for i = 0 to n - 1 do
+      let j = (t.head + i) mod t.cap in
+      out.ts.(i) <- t.ts.(j);
+      out.code.(i) <- t.code.(j);
+      out.track.(i) <- t.track.(j);
+      out.a0.(i) <- t.a0.(j);
+      out.a1.(i) <- t.a1.(j)
+    done;
+    out.len <- n;
+    out.dropped <- t.dropped;
+    out.shard_stride <- t.shard_stride;
+    out
+  end
 
 let call_begin t ~sandbox = emit t (pack 0 ph_begin) sandbox 0 0
 let call_end t ~sandbox = emit t (pack 0 ph_end) sandbox 0 0
@@ -191,6 +260,15 @@ let tier_promote t ~cls ~block ~len =
   let name = match cls with 0 -> 21 | 1 -> 22 | _ -> 23 in
   emit t (pack name ph_instant) (-1) block len
 
+(* Burn rates are carried in milliburns (burn rate x 1000, truncated)
+   so the integer-only event payload keeps three decimal places; [window]
+   is 0 for the fast window, 1 for the slow one. *)
+let slo_burn_start t ~tenant ~burn_milli ~window =
+  emit t (pack 24 ph_instant) tenant burn_milli window
+
+let slo_burn_stop t ~tenant ~burn_milli ~window =
+  emit t (pack 25 ph_instant) tenant burn_milli window
+
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 
@@ -219,9 +297,12 @@ let event_at t i =
     ev_a1 = t.a1.(i);
   }
 
-let events t = List.init t.len (event_at t)
+let events t =
+  let t = logical t in
+  List.init t.len (event_at t)
 
 let categories t =
+  let t = logical t in
   let seen = Hashtbl.create 8 in
   for i = 0 to t.len - 1 do
     Hashtbl.replace seen cat_table.(code_name t.code.(i)) ()
@@ -229,6 +310,7 @@ let categories t =
   List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
 
 let validate t =
+  let t = logical t in
   let last_ts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
   let stack track =
@@ -297,7 +379,10 @@ let validate t =
 
 let fingerprint t =
   (* FNV-1a over the raw columns (plus length and drop count): a cheap
-     order-sensitive digest for determinism and bit-identity tests. *)
+     order-sensitive digest for determinism and bit-identity tests.
+     Wrapped tail rings hash in logical order, so the digest only
+     depends on the retained stream, not on where the wrap landed. *)
+  let t = logical t in
   let h = ref 0xCBF29CE484222325L in
   let mix v = h := Int64.mul (Int64.logxor !h (Int64.of_int v)) 0x100000001B3L in
   mix t.len;
@@ -316,7 +401,7 @@ let fingerprint t =
 
 let merge_shards rings =
   if rings = [] then invalid_arg "Trace.merge_shards: no rings";
-  let rings = Array.of_list rings in
+  let rings = Array.of_list (List.map logical rings) in
   let k = Array.length rings in
   (* Stride for sandbox-track namespacing: one past the widest sandbox
      track id seen in any shard, so shard [s]'s track [v] maps to
@@ -381,11 +466,15 @@ type summary = {
 }
 
 let summaries t =
-  let buckets : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let t = logical t in
+  let buckets : (string, Sfi_util.Hist.t) Hashtbl.t = Hashtbl.create 8 in
   let add key v =
     match Hashtbl.find_opt buckets key with
-    | Some l -> l := v :: !l
-    | None -> Hashtbl.add buckets key (ref [ v ])
+    | Some h -> Sfi_util.Hist.record h v
+    | None ->
+        let h = Sfi_util.Hist.create () in
+        Sfi_util.Hist.record h v;
+        Hashtbl.add buckets key h
   in
   (* Open-span begin timestamps, per (track, name id). *)
   let open_spans : (int * int, int list ref) Hashtbl.t = Hashtbl.create 16 in
@@ -410,15 +499,14 @@ let summaries t =
           add name_table.(name) (float_of_int t.a0.(i))
   done;
   Hashtbl.fold
-    (fun key l acc ->
-      let xs = !l in
+    (fun key h acc ->
       let s =
         {
-          s_count = List.length xs;
-          s_p50 = Sfi_util.Stats.percentile xs 50.;
-          s_p95 = Sfi_util.Stats.percentile xs 95.;
-          s_p99 = Sfi_util.Stats.percentile xs 99.;
-          s_total = List.fold_left ( +. ) 0. xs;
+          s_count = Sfi_util.Hist.count h;
+          s_p50 = Sfi_util.Hist.percentile h 50.;
+          s_p95 = Sfi_util.Hist.percentile h 95.;
+          s_p99 = Sfi_util.Hist.percentile h 99.;
+          s_total = Sfi_util.Hist.total h;
         }
       in
       (key, s) :: acc)
@@ -445,9 +533,11 @@ let args_fields name a0 a1 =
   | 17 -> [ ("backoff", a0) ]
   | 20 -> [ ("level", a0) ]
   | 21 | 22 | 23 -> [ ("block", a0); ("len", a1) ]
+  | 24 | 25 -> [ ("burn_milli", a0); ("window", a1) ]
   | _ -> []
 
 let to_chrome_json ?(process_name = "sfi-sim") t =
+  let t = logical t in
   let b = Buffer.create (4096 + (t.len * 96)) in
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
@@ -674,6 +764,7 @@ let known_cats =
     "admission";
     "breaker";
     "tier";
+    "slo";
   ]
 
 let validate_chrome_json text =
@@ -742,12 +833,48 @@ let prom_value v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
-let prometheus metrics =
+(* Exposition-format escaping: HELP text escapes backslash and newline;
+   label values additionally escape the double quote. *)
+let prom_escape ~quote s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' when quote -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prometheus_labeled metrics =
   let b = Buffer.create 512 in
+  (* One HELP/TYPE header per metric name, emitted at its first sample;
+     later samples of the same family (other label sets) follow bare. *)
+  let seen = Hashtbl.create 16 in
   List.iter
-    (fun (name, help, v) ->
-      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
-      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
-      Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_value v)))
+    (fun (name, help, labels, v) ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" name (prom_escape ~quote:false help));
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name)
+      end;
+      Buffer.add_string b name;
+      (match labels with
+      | [] -> ()
+      | ls ->
+          Buffer.add_char b '{';
+          List.iteri
+            (fun i (k, lv) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "%s=\"%s\"" k (prom_escape ~quote:true lv)))
+            ls;
+          Buffer.add_char b '}');
+      Buffer.add_string b (Printf.sprintf " %s\n" (prom_value v)))
     metrics;
   Buffer.contents b
+
+let prometheus metrics =
+  prometheus_labeled (List.map (fun (n, h, v) -> (n, h, [], v)) metrics)

@@ -37,6 +37,20 @@ val create_ring : ?capacity:int -> unit -> t
 (** A fresh enabled ring sink. [capacity] (default [65536]) bounds the
     number of retained events; all storage is allocated up front. *)
 
+val create_tail_ring : ?capacity:int -> unit -> t
+(** A keep-last ring: once full, each new event overwrites the oldest
+    one (still counted in {!dropped}), so the sink always holds the most
+    recent [capacity] (default [256]) events. This is the flight
+    recorder's backing store; inspection and export see events in
+    logical oldest-to-newest order regardless of where the wrap landed. *)
+
+val set_tee : t -> t option -> unit
+(** [set_tee t (Some r)] forwards every event stored into [t] to [r] as
+    well, stamped with the same timestamp, so a keep-last tail ring can
+    shadow a primary keep-first ring (the flight recorder still sees
+    events after the primary fills up and starts dropping). A no-op on
+    the disabled sink. [set_tee t None] detaches. *)
+
 val enabled : t -> bool
 (** [true] iff events emitted into this sink are recorded. Hot paths
     check this before computing event arguments. *)
@@ -144,6 +158,16 @@ val tier_promote : t -> cls:int -> block:int -> len:int -> unit
     no-store-no-branch ([tier.promote.load]), [2] hazardous
     ([tier.promote.hazard]). Machine track. *)
 
+val slo_burn_start : t -> tenant:int -> burn_milli:int -> window:int -> unit
+(** SLO: tenant [tenant]'s error-budget burn rate crossed its alerting
+    threshold. [burn_milli] is the burn rate in thousandths (burn x
+    1000, truncated); [window] is [0] for the fast window, [1] for the
+    slow one. *)
+
+val slo_burn_stop : t -> tenant:int -> burn_milli:int -> window:int -> unit
+(** SLO: the burn-rate alert for [tenant] cleared. Arguments as for
+    {!slo_burn_start}. *)
+
 (** {1 Inspection} *)
 
 type event = {
@@ -208,7 +232,10 @@ type summary = {
 val summaries : t -> (string * summary) list
 (** Per-class latency summaries: paired [call] / [request] span
     durations and per-class hostcall costs, keyed by event name,
-    sorted by name. Percentiles via {!Sfi_util.Stats.percentile}. *)
+    sorted by name. Distributions are accumulated into
+    {!Sfi_util.Hist} log-bucketed histograms, so percentiles are
+    bucket-quantized (within one bucket width of the exact sorted-array
+    answer); [s_count] and [s_total] stay exact. *)
 
 (** {1 Export} *)
 
@@ -218,6 +245,25 @@ val to_chrome_json : ?process_name:string -> t -> string
     [chrome://tracing]). One thread per track — tid [0] is the machine
     track, tid [id + 1] is sandbox [id] — with thread-name metadata
     records. Timestamps are exported in microseconds. *)
+
+(** Minimal self-contained JSON value, exposed so downstream tools (the
+    bench perf-regression gate, test-side validators) can parse emitted
+    documents without an external dependency. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+(** Raised by {!parse_json} with a description and byte offset. *)
+
+val parse_json : string -> json
+(** Parse a JSON document (objects, arrays, strings with the common
+    escapes, numbers, literals). Raises {!Bad_json} on malformed
+    input or trailing garbage. *)
 
 type json_report = { json_events : int; json_cats : string list }
 (** Result of {!validate_chrome_json}: number of non-metadata events
@@ -233,4 +279,13 @@ val validate_chrome_json : string -> (json_report, string) result
 val prometheus : (string * string * float) list -> string
 (** [prometheus [(name, help, value); ...]] renders Prometheus text
     exposition format: a [# HELP] and [# TYPE ... gauge] line followed
-    by the sample for each metric. *)
+    by the sample for each metric. HELP text is escaped per the format
+    (backslash and newline). *)
+
+val prometheus_labeled :
+  (string * string * (string * string) list * float) list -> string
+(** Like {!prometheus} with a label set per sample:
+    [(name, help, [(label, value); ...], v)] renders
+    [name{label="value",...} v]. Label values are escaped (backslash,
+    double quote, newline). Samples sharing a metric name share one
+    [# HELP]/[# TYPE] header, emitted at the first occurrence. *)

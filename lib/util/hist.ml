@@ -1,0 +1,194 @@
+(* Log-linear histogram: each power-of-two range [2^(e-1), 2^e) is cut
+   into [sub] equal linear sub-buckets.  [sub] is a power of two, so
+   every boundary is a dyadic rational and [Float.frexp] computes the
+   bucket index exactly — there is no boundary jitter to reason about
+   in the qcheck pin against [Stats.percentile]. *)
+
+type exemplar = { ex_value : float; ex_ref : int64; ex_index : int }
+
+(* Exponent range: frexp's [e] for 1.0 is 1; e_min = -20 tracks values
+   down to ~5e-7 (anything smaller joins the zero bucket), e_max = 63
+   covers the full simulated-nanosecond range.  Out-of-range highs
+   clamp into the top bucket. *)
+let e_min = -20
+let e_max = 63
+let n_exp = e_max - e_min + 1
+
+type t = {
+  sub : int;
+  counts : int array; (* slot 0 = zero/underflow, then n_exp * sub slots *)
+  mutable n : int;
+  mutable sum : float;
+  mutable vmax : float;
+  mutable exemplars : exemplar option array; (* [||] until first exemplar *)
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(sub = 16) () =
+  if not (is_pow2 sub) then invalid_arg "Hist.create: sub must be a power of two";
+  {
+    sub;
+    counts = Array.make (1 + (n_exp * sub)) 0;
+    n = 0;
+    sum = 0.0;
+    vmax = 0.0;
+    exemplars = [||];
+  }
+
+let sub_buckets t = t.sub
+let count t = t.n
+let total t = t.sum
+let max_recorded t = t.vmax
+
+let index t v =
+  if not (v > 0.0) then 0
+  else
+    let m, e = Float.frexp v in
+    if e < e_min then 0
+    else if e > e_max then Array.length t.counts - 1
+    else
+      let s = int_of_float ((m -. 0.5) *. 2.0 *. float_of_int t.sub) in
+      let s = if s >= t.sub then t.sub - 1 else s in
+      1 + (((e - e_min) * t.sub) + s)
+
+(* Midpoint representative of a bucket: for slot 0 that is 0.0, else the
+   centre of the linear sub-range [0.5 + s/(2*sub), 0.5 + (s+1)/(2*sub))
+   scaled by 2^e. *)
+let representative t i =
+  if i = 0 then 0.0
+  else
+    let b = i - 1 in
+    let e = e_min + (b / t.sub) in
+    let s = b mod t.sub in
+    Float.ldexp (0.5 +. ((float_of_int s +. 0.5) /. (2.0 *. float_of_int t.sub))) e
+
+let width_of_slot t i =
+  if i = 0 then Float.ldexp 1.0 (e_min - 1)
+  else
+    let e = e_min + ((i - 1) / t.sub) in
+    Float.ldexp (1.0 /. (2.0 *. float_of_int t.sub)) e
+
+let bucket_width_at t v = width_of_slot t (index t v)
+
+let record t v =
+  let i = index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v > t.vmax then t.vmax <- v
+
+(* Total order on exemplars so merge is commutative and associative:
+   larger value wins, then larger event index, then larger ref. *)
+let better_exemplar a b =
+  if a.ex_value <> b.ex_value then a.ex_value > b.ex_value
+  else if a.ex_index <> b.ex_index then a.ex_index > b.ex_index
+  else Int64.unsigned_compare a.ex_ref b.ex_ref > 0
+
+let ensure_exemplars t =
+  if Array.length t.exemplars = 0 then t.exemplars <- Array.make (Array.length t.counts) None
+
+let offer_exemplar t i ex =
+  ensure_exemplars t;
+  match t.exemplars.(i) with
+  | None -> t.exemplars.(i) <- Some ex
+  | Some cur -> if better_exemplar ex cur then t.exemplars.(i) <- Some ex
+
+let record_exemplar t v ~index:ev_index =
+  record t v;
+  offer_exemplar t (index t v) { ex_value = v; ex_ref = 0L; ex_index = ev_index }
+
+let seal_exemplars t fp =
+  Array.iteri
+    (fun i ex ->
+      match ex with
+      | Some e when e.ex_ref = 0L -> t.exemplars.(i) <- Some { e with ex_ref = fp }
+      | _ -> ())
+    t.exemplars
+
+(* Value of the k-th order statistic (k in [0, n-1]) as its bucket's
+   representative.  Single forward scan over the bucket array. *)
+let value_at_order t k =
+  let acc = ref 0 in
+  let res = ref 0.0 in
+  (try
+     for i = 0 to Array.length t.counts - 1 do
+       acc := !acc + t.counts.(i);
+       if !acc > k then begin
+         res := representative t i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !res
+
+let slot_at_order t k =
+  let acc = ref 0 in
+  let res = ref (Array.length t.counts - 1) in
+  (try
+     for i = 0 to Array.length t.counts - 1 do
+       acc := !acc + t.counts.(i);
+       if !acc > k then begin
+         res := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !res
+
+let clamp_order t k = if k < 0 then 0 else if k > t.n - 1 then t.n - 1 else k
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Hist.percentile: empty histogram";
+  if t.n = 1 then value_at_order t 0
+  else
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = clamp_order t (int_of_float (Float.floor rank)) in
+    let hi = clamp_order t (int_of_float (Float.ceil rank)) in
+    let vlo = value_at_order t lo in
+    if lo = hi then vlo
+    else
+      let vhi = value_at_order t hi in
+      let frac = rank -. Float.floor rank in
+      vlo +. (frac *. (vhi -. vlo))
+
+let exemplar_at t p =
+  if t.n = 0 then None
+  else
+    let rank = if t.n = 1 then 0.0 else p /. 100.0 *. float_of_int (t.n - 1) in
+    let k = clamp_order t (int_of_float (Float.ceil rank)) in
+    let start = slot_at_order t k in
+    if Array.length t.exemplars = 0 then None
+    else
+      let res = ref None in
+      (try
+         for i = start to Array.length t.exemplars - 1 do
+           match t.exemplars.(i) with
+           | Some _ as ex -> res := ex; raise Exit
+           | None -> ()
+         done
+       with Exit -> ());
+      !res
+
+let merge dst src =
+  if dst.sub <> src.sub then invalid_arg "Hist.merge: sub-bucket counts differ";
+  for i = 0 to Array.length dst.counts - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax;
+  if Array.length src.exemplars > 0 then
+    Array.iteri
+      (fun i ex -> match ex with Some e -> offer_exemplar dst i e | None -> ())
+      src.exemplars
+
+let copy t =
+  {
+    sub = t.sub;
+    counts = Array.copy t.counts;
+    n = t.n;
+    sum = t.sum;
+    vmax = t.vmax;
+    exemplars = (if Array.length t.exemplars = 0 then [||] else Array.copy t.exemplars);
+  }

@@ -83,3 +83,55 @@ let normalized ?cost ?vectorize strategy k =
   float_of_int measured.cycles /. float_of_int native.cycles
 
 let code_size ~strategy k = (compile ~strategy k).Codegen.code_bytes
+
+(* The Prometheus gauge set of one kernel run: machine counters of the
+   measurement plus the domain-runtime aggregate. Lives here (not in the
+   CLI) so the exposition-format lint can cover every gauge `sfi run
+   --metrics-out` produces without shelling out. *)
+let runtime_gauge_help =
+  [
+    ("transitions", "one-way sandbox crossings");
+    ("hostcalls_pure", "hostcalls through the pure springboard");
+    ("hostcalls_readonly", "hostcalls through the read-only springboard");
+    ("hostcalls_full", "hostcalls through the full springboard");
+    ("pkru_writes_elided", "PKRU writes skipped by the elision rules");
+    ("pages_zeroed_on_recycle", "dirty pages dropped by slot recycles");
+    ("instantiations_cold", "first-use slot bring-ups");
+    ("instantiations_warm", "recycled-slot reuses");
+    ("admission_admitted", "slot grants through admission");
+    ("admission_queued", "tickets parked by the admission controller");
+    ("admission_shed_sojourn", "CoDel / ticket-deadline sheds");
+    ("admission_shed_rate_limited", "per-tenant token-bucket sheds");
+    ("admission_shed_queue_full", "queue-at-capacity sheds");
+  ]
+
+let prometheus_gauges m (dm : Runtime.metrics) =
+  let f = float_of_int in
+  [
+    ("sfi_instructions_total", "simulated instructions retired", f m.instructions);
+    ("sfi_cycles_total", "simulated machine cycles", f m.cycles);
+    ("sfi_ns_total", "simulated nanoseconds at the modeled clock", m.ns);
+    ("sfi_code_bytes_static", "static compiled code size", f m.code_bytes);
+    ("sfi_code_bytes_fetched", "dynamic code bytes through the frontend", f m.fetched_bytes);
+    ("sfi_dtlb_misses_total", "simulated dTLB misses", f m.dtlb_misses);
+    ("sfi_dcache_misses_total", "simulated dcache misses", f m.dcache_misses);
+    ( "sfi_tier_blocks_total",
+      "basic blocks discovered at translation",
+      f m.tier.Machine.blocks_total );
+    ( "sfi_tier_blocks_promoted",
+      "blocks currently installed as superblocks",
+      f m.tier.Machine.blocks_promoted );
+    ("sfi_tier_promotions_total", "lifetime superblock promotions", f m.tier.Machine.promotions);
+    ( "sfi_tier_superblock_instructions_total",
+      "instructions retired inside superblocks",
+      f m.tier.Machine.superblock_instructions );
+  ]
+  @ List.map
+      (fun (field, v) ->
+        let help =
+          match List.assoc_opt field runtime_gauge_help with
+          | Some h -> h
+          | None -> field
+        in
+        ("sfi_" ^ field ^ "_total", help, v))
+      (Runtime.metrics_fields dm)

@@ -68,3 +68,11 @@ val normalized : ?cost:Sfi_machine.Cost.t -> ?vectorize:bool -> Sfi_core.Strateg
 
 val code_size : strategy:Sfi_core.Strategy.t -> t -> int
 (** Static compiled size in bytes (Table 2) without running. *)
+
+val prometheus_gauges :
+  measurement -> Sfi_runtime.Runtime.metrics -> (string * string * float) list
+(** The [(name, help, value)] gauge set a kernel run exports — machine
+    counters of [measurement] plus the domain-runtime aggregate — i.e.
+    exactly what [sfi run --metrics-out] renders through
+    {!Sfi_trace.Trace.prometheus}. Exposed so format lints can iterate
+    over every gauge without shelling out to the CLI. *)

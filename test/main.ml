@@ -24,4 +24,5 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("engine", Test_engine.tests);
       ("tier", Test_tier.tests);
+      ("observability", Test_obs.tests);
     ]
